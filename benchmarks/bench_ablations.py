@@ -1,0 +1,100 @@
+"""Ablation benchmarks for the design choices DESIGN.md §6 calls out.
+
+Beyond the paper's own artifacts: how the window size W, the deferred
+confirmation interval, the delivery level and the membership extension's
+keepalives trade latency against traffic.
+"""
+
+import pytest
+
+from benchmarks.conftest import base_config, quick
+
+
+class TestWindowAblation:
+    @pytest.mark.parametrize("window", [1, 8, 32])
+    def test_window_point(self, benchmark, window):
+        result = benchmark.pedantic(
+            quick,
+            args=(base_config(window=window, messages_per_entity=20,
+                              send_interval=1e-4),),
+            rounds=1, iterations=1,
+        )
+        assert result.quiesced
+        result.report.assert_ok()
+
+    def test_tiny_window_throttles_throughput(self, benchmark):
+        def sweep():
+            return [
+                quick(base_config(window=w, messages_per_entity=20,
+                                  send_interval=1e-4)).simulated_time
+                for w in (1, 32)
+            ]
+
+        times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        # W=1 serialises every PDU behind a full confirmation round.
+        assert times[0] > times[1]
+
+
+class TestDeferredIntervalAblation:
+    @pytest.mark.parametrize("interval", [5e-4, 4e-3])
+    def test_interval_point(self, benchmark, interval):
+        result = benchmark.pedantic(
+            quick,
+            args=(base_config(deferred_interval=interval,
+                              messages_per_entity=15),),
+            rounds=1, iterations=1,
+        )
+        assert result.quiesced
+        result.report.assert_ok()
+
+    def test_short_interval_trades_traffic_for_latency(self, benchmark):
+        def sweep():
+            fast = quick(base_config(deferred_interval=5e-4,
+                                     messages_per_entity=15))
+            slow = quick(base_config(deferred_interval=4e-3,
+                                     messages_per_entity=15))
+            return fast, slow
+
+        fast, slow = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        # Confirming sooner means acknowledging sooner...
+        assert fast.ack_latency.mean <= slow.ack_latency.mean
+        # ...at the cost of more control traffic per data PDU.
+        fast_ratio = fast.control_pdus_on_wire / max(1, fast.data_pdus_on_wire)
+        slow_ratio = slow.control_pdus_on_wire / max(1, slow.data_pdus_on_wire)
+        assert fast_ratio >= slow_ratio
+
+
+class TestDeliveryLevelAblation:
+    def test_preack_saves_about_one_round(self, benchmark):
+        def compare():
+            acked = quick(base_config(protocol="co", messages_per_entity=15))
+            preack = quick(base_config(protocol="co-preack", messages_per_entity=15))
+            return acked, preack
+
+        acked, preack = benchmark.pedantic(compare, rounds=1, iterations=1)
+        assert preack.tap.mean < acked.tap.mean
+        preack.report.assert_ok()
+        acked.report.assert_ok()
+
+
+class TestMembershipOverhead:
+    def test_keepalives_cost_little_during_traffic(self, benchmark):
+        from repro.core.cluster import build_cluster
+        from repro.core.config import ProtocolConfig
+        from repro.sim.rng import RngRegistry
+
+        def run(suspect_timeout):
+            config = ProtocolConfig(suspect_timeout=suspect_timeout)
+            cluster = build_cluster(4, config=config, rngs=RngRegistry(3))
+            for k in range(40):
+                cluster.submit(k % 4, f"m{k}")
+            cluster.run_until_quiescent(max_time=30.0)
+            return cluster.network.stats.control_pdus
+
+        def compare():
+            return run(None), run(0.02)
+
+        without, with_keepalive = benchmark.pedantic(compare, rounds=1, iterations=1)
+        # Under live traffic the keepalive machinery should add little:
+        # data PDUs and ordinary confirmations already prove liveness.
+        assert with_keepalive <= without * 2 + 40

@@ -1,0 +1,36 @@
+"""§5 claim C1: deferred confirmation keeps traffic O(n) per round; a
+confirm-per-receipt protocol pays O(n²)."""
+
+import pytest
+
+from benchmarks.conftest import base_config, quick
+
+
+@pytest.mark.parametrize("protocol", ["co", "co-immediate"])
+def test_c1_traffic_per_mode(benchmark, protocol):
+    result = benchmark.pedantic(
+        quick,
+        args=(base_config(n=6, messages_per_entity=10, protocol=protocol),),
+        rounds=1, iterations=1,
+    )
+    assert result.quiesced
+    result.report.assert_ok()
+
+
+def test_c1_immediate_ratio_widens_with_n(benchmark):
+    def sweep():
+        ratios = []
+        for n in (3, 6, 9):
+            deferred = quick(base_config(n=n, messages_per_entity=8))
+            immediate = quick(base_config(
+                n=n, messages_per_entity=8, protocol="co-immediate",
+            ))
+            ratios.append(
+                immediate.total_pdus_on_wire / deferred.total_pdus_on_wire
+            )
+        return ratios
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # O(n²)/O(n) = O(n): the ratio must grow across the sweep.
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 2.0

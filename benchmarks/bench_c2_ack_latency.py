@@ -1,0 +1,38 @@
+"""§5 claim C2: pre-acknowledgment ≈ R after acceptance, acknowledgment ≈ 2R,
+when confirmations flow in parallel."""
+
+import pytest
+
+from benchmarks.conftest import base_config, quick
+
+
+def c2_config(delay):
+    return base_config(
+        n=4, delay=delay,
+        send_interval=max(delay, 4e-4),
+        deferred_interval=delay / 2,
+        cpu_base=2e-6, cpu_per_entity=5e-7,
+        messages_per_entity=15,
+    )
+
+
+@pytest.mark.parametrize("delay", [200e-6, 800e-6])
+def test_c2_latency_point(benchmark, delay):
+    result = benchmark.pedantic(
+        quick, args=(c2_config(delay),), rounds=1, iterations=1,
+    )
+    assert result.quiesced
+    preack = result.preack_latency.p50
+    ack = result.ack_latency.p50
+    # Pre-ack within a few R; ack roughly double the pre-ack span.
+    assert preack < 3 * delay
+    assert 1.5 * preack < ack < 3 * preack
+
+
+def test_c2_latency_scales_with_r(benchmark):
+    def sweep():
+        return [quick(c2_config(d)).ack_latency.p50 for d in (200e-6, 800e-6)]
+
+    acks = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # 4x the propagation delay must raise the ack latency substantially.
+    assert acks[1] > 2 * acks[0]

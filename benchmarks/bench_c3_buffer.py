@@ -1,0 +1,36 @@
+"""§5 claim C3: the buffer requirement is O(n) — about 2nW PDUs resident
+between receipt and acknowledgment."""
+
+import pytest
+
+from repro.metrics.stats import linear_fit
+
+from benchmarks.conftest import base_config, quick
+
+
+@pytest.mark.parametrize("n", [2, 6, 10])
+def test_c3_resident_pdus_point(benchmark, n):
+    result = benchmark.pedantic(
+        quick, args=(base_config(n=n, messages_per_entity=20),),
+        rounds=1, iterations=1,
+    )
+    assert result.quiesced
+    assert result.resident_high_water <= 2 * n * result.config.window
+
+
+def test_c3_growth_is_linear_not_quadratic(benchmark):
+    ns = [2, 4, 6, 8]
+
+    def sweep():
+        return [
+            quick(base_config(n=n, messages_per_entity=20)).resident_high_water
+            for n in ns
+        ]
+
+    high = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert high[-1] > high[0]            # it does grow
+    fit = linear_fit(ns, high)
+    assert fit.r_squared > 0.8           # and roughly on a line
+    # Stay under the paper's 2nW budget at every point.
+    for n, value in zip(ns, high):
+        assert value <= 2 * n * 8

@@ -1,0 +1,51 @@
+"""Microbenchmarks of the wire codec (encode/decode throughput).
+
+Not a paper artifact — supporting evidence for the §5 header argument:
+CO's integer headers are trivially cheap to marshal at any cluster size.
+"""
+
+import pytest
+
+from repro.core.codec import decode_pdu, encode_pdu
+from repro.core.pdu import DataPdu, HeartbeatPdu, RetPdu
+
+
+def make_data(n: int, payload: int) -> DataPdu:
+    return DataPdu(
+        cid=1, src=0, seq=123, ack=tuple(range(1, n + 1)), buf=64,
+        data=b"x" * payload, data_size=payload,
+    )
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_encode_data_pdu(benchmark, n):
+    pdu = make_data(n, payload=512)
+    encoded = benchmark(encode_pdu, pdu)
+    assert len(encoded) > 512
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_decode_data_pdu(benchmark, n):
+    blob = encode_pdu(make_data(n, payload=512))
+    decoded = benchmark(decode_pdu, blob)
+    assert decoded.seq == 123
+
+
+def test_roundtrip_ret(benchmark):
+    pdu = RetPdu(cid=1, src=2, lsrc=0, lseq=40, ack=(5, 6, 7, 8), buf=32)
+
+    def roundtrip():
+        return decode_pdu(encode_pdu(pdu))
+
+    assert benchmark(roundtrip) == pdu
+
+
+def test_roundtrip_heartbeat(benchmark):
+    pdu = HeartbeatPdu(
+        cid=1, src=1, ack=(5, 6, 7, 8), pack=(4, 5, 6, 7), buf=32, probe=True,
+    )
+
+    def roundtrip():
+        return decode_pdu(encode_pdu(pdu))
+
+    assert benchmark(roundtrip) == pdu

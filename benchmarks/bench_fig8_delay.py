@@ -1,0 +1,32 @@
+"""Figure 8, Tap curve: application-to-application delay vs cluster size.
+
+Tap is the time from the DT request at the sender's application to delivery
+at a destination's application.  The paper's measured curve grows with n;
+here the simulated Tap must do the same (more entities means more PDUs per
+acknowledgment round and more CPU work per PDU).
+"""
+
+import pytest
+
+from benchmarks.conftest import base_config, quick
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_fig8_tap_point(benchmark, n):
+    result = benchmark.pedantic(
+        quick, args=(base_config(n=n, messages_per_entity=10),),
+        rounds=1, iterations=1,
+    )
+    assert result.quiesced
+    assert result.tap.count == n * 10 * n  # every message delivered n times
+
+
+def test_fig8_tap_grows_with_n(benchmark):
+    def sweep():
+        return [
+            quick(base_config(n=n, messages_per_entity=10)).tap.mean
+            for n in (2, 4, 8)
+        ]
+
+    taps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert taps[0] < taps[1] < taps[2]

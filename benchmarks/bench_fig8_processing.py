@@ -1,0 +1,62 @@
+"""Figure 8, Tco curve: per-PDU protocol processing cost vs cluster size.
+
+The paper measured the CO entity's per-PDU processing time on a SPARC2 and
+found it O(n).  Here the *real* Python cost of ``COEntity.on_pdu`` is
+benchmarked at several cluster sizes — the engine's per-PDU work is a
+handful of length-n vector folds, so wall time should grow roughly linearly
+with n, mirroring the paper's curve.  The harness-level experiment
+additionally reports the modelled Tco (exactly ``base + per_entity * n``).
+"""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.entity import COEntity
+from repro.core.pdu import DataPdu
+from repro.sim.trace import TraceLog
+
+from benchmarks.conftest import base_config, quick
+
+PDUS_PER_ROUND = 200
+
+
+def drive_engine(n: int):
+    """Feed a receiver engine a stream of in-order PDUs from n-1 sources."""
+    trace = TraceLog(enabled=False)
+    engine = COEntity(0, n, ProtocolConfig(), clock=lambda: 0.0, trace=trace)
+    engine.bind(send=lambda pdu: None, deliver=lambda m: None)
+    pdus = []
+    req = [1] * n
+    for k in range(PDUS_PER_ROUND):
+        src = 1 + (k % (n - 1))
+        seq = req[src]
+        req[src] += 1
+        pdus.append(DataPdu(
+            cid=1, src=src, seq=seq, ack=tuple(req), buf=10 ** 6, data="x",
+        ))
+
+    def run():
+        for pdu in pdus:
+            engine.on_pdu(pdu)
+
+    return run
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_fig8_tco_on_pdu_cost(benchmark, n):
+    """Real per-PDU engine cost at cluster size n (one timing per n)."""
+    run = drive_engine(n)
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_fig8_modelled_tco_is_linear(benchmark, n):
+    """Harness-level Tco: the modelled curve is exactly linear in n."""
+    result = benchmark.pedantic(
+        quick, args=(base_config(n=n, messages_per_entity=8),),
+        rounds=1, iterations=1,
+    )
+    config = result.config
+    expected = config.cpu_base + config.cpu_per_entity * n
+    assert result.tco == pytest.approx(expected)
+    assert result.quiesced

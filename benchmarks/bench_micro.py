@@ -1,0 +1,70 @@
+"""Microbenchmarks of the protocol's hot paths.
+
+Not paper artifacts, but the primitives whose costs the paper's O(n)
+processing claim rests on: the CPI insertion, knowledge-matrix merges, the
+Theorem 4.1 predicate and vector-clock comparison (the ISIS alternative).
+"""
+
+import pytest
+
+from repro.core.causality import causally_precedes, cpi_insert
+from repro.core.pdu import DataPdu
+from repro.core.state import KnowledgeState
+from repro.ordering.vector_clock import VectorClock
+
+
+def chain_pdus(length, n=4):
+    """A causal chain: each PDU from source 0 with rising seq."""
+    return [
+        DataPdu(cid=1, src=0, seq=k + 1, ack=(k + 1,) + (1,) * (n - 1),
+                buf=0, data=None)
+        for k in range(length)
+    ]
+
+
+def test_cpi_insert_chain(benchmark):
+    pdus = chain_pdus(300)
+
+    def run():
+        log = []
+        for p in pdus:
+            cpi_insert(log, p)
+        return log
+
+    log = benchmark(run)
+    assert len(log) == 300
+
+
+def test_theorem_4_1_predicate(benchmark):
+    p = DataPdu(cid=1, src=0, seq=5, ack=(5, 3, 2, 1), buf=0, data=None)
+    q = DataPdu(cid=1, src=2, seq=4, ack=(6, 3, 4, 1), buf=0, data=None)
+
+    result = benchmark(lambda: causally_precedes(p, q))
+    assert result is True
+
+
+def test_vector_clock_comparison(benchmark):
+    a = VectorClock((5, 3, 2, 1))
+    b = VectorClock((6, 3, 4, 1))
+
+    result = benchmark(lambda: a < b)
+    assert result is True
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_knowledge_merge_scales_with_n(benchmark, n):
+    state = KnowledgeState(n, 0)
+    vector = tuple(range(1, n + 1))
+
+    def run():
+        state.merge_al(1, vector)
+        return state.min_al(0)
+
+    benchmark(run)
+
+
+def test_min_al_is_constant_time(benchmark):
+    state = KnowledgeState(64, 0)
+    state.merge_al(1, tuple(range(1, 65)))
+
+    benchmark(lambda: state.min_al(3))

@@ -1,0 +1,46 @@
+"""Saturation benchmark: goodput vs offered load.
+
+Not a paper artifact, but the natural question after Figure 8: at what
+offered rate does a CO cluster saturate?  Each entity's CPU serves one PDU
+at a time (``base + per_entity*n`` seconds), so the cluster has a hard
+service capacity; beyond it, queueing (and with small buffers, overrun
+loss + recovery) dominates and delivery throughput plateaus.
+"""
+
+import pytest
+
+from benchmarks.conftest import base_config, quick
+
+
+def run_at_interval(interval: float):
+    config = base_config(
+        n=4,
+        messages_per_entity=30,
+        send_interval=interval,
+        deferred_interval=1e-3,
+    )
+    result = quick(config)
+    assert result.quiesced
+    result.report.assert_ok()
+    # Delivered messages per simulated second.
+    return result.messages_delivered / result.simulated_time, result
+
+
+@pytest.mark.parametrize("interval", [2e-3, 5e-4, 1e-4])
+def test_saturation_point(benchmark, interval):
+    goodput, result = benchmark.pedantic(
+        run_at_interval, args=(interval,), rounds=1, iterations=1,
+    )
+    assert goodput > 0
+
+
+def test_goodput_plateaus_under_overload(benchmark):
+    def sweep():
+        return [run_at_interval(i)[0] for i in (2e-3, 5e-4, 1e-4, 5e-5)]
+
+    goodputs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # More offered load means more goodput at first...
+    assert goodputs[1] > goodputs[0]
+    # ...but the last doubling of offered load cannot double goodput:
+    # the CPU service capacity caps the pipeline.
+    assert goodputs[3] < goodputs[2] * 1.7

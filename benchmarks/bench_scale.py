@@ -1,0 +1,48 @@
+"""Scale benchmarks: whole-cluster simulation cost as n grows.
+
+Beyond the paper's n ≤ 10: how expensive is simulating (and running) the
+protocol at larger cluster sizes, and does the O(n) per-entity claim keep
+the *total* simulated work at O(n²) per broadcast (n receivers × O(n)
+work) rather than worse?
+"""
+
+import pytest
+
+from benchmarks.conftest import base_config, quick
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+def test_cluster_scale_point(benchmark, n):
+    result = benchmark.pedantic(
+        quick,
+        args=(base_config(
+            n=n, messages_per_entity=5, buffer_capacity=4 * n * 8,
+        ),),
+        rounds=1, iterations=1,
+    )
+    assert result.quiesced
+    result.report.assert_ok()
+    assert result.messages_delivered == 5 * n * n
+
+
+def test_wire_traffic_composition(benchmark):
+    """Each data broadcast fans out exactly n-1 copies (the medium's Θ(n)
+    cost per message), and the control-plane total stays within a factor
+    of n of the data plane — consistent with claim C1's O(n) confirmations
+    per broadcast round even as probes and their answers scale up."""
+    def sweep():
+        rows = []
+        for n in (4, 8, 16):
+            result = quick(base_config(
+                n=n, messages_per_entity=5, buffer_capacity=4 * n * 8,
+            ))
+            rows.append((n, result.network["data_pdus"],
+                         result.network["control_pdus"],
+                         result.network["copies_sent"]))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for n, data_pdus, control_pdus, copies in rows:
+        assert data_pdus == 5 * n                    # no spurious data PDUs
+        assert copies == (data_pdus + control_pdus) * (n - 1)
+        assert control_pdus < data_pdus * n          # control bounded by O(n)/data

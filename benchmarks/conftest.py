@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Every module regenerates one DESIGN.md §4 artifact under pytest-benchmark:
+the ``benchmark`` fixture measures the real Python cost of the protocol
+work, and each test additionally asserts the artifact's *shape* (who wins,
+how it grows) on the simulated metrics — those assertions are about
+simulated time and counts, so they are stable across machines.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from typing import Optional
+
+import pytest
+
+from repro.harness.runner import ExperimentConfig, ExperimentResult, run_experiment
+
+
+def quick(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment configured for benchmark-sized workloads."""
+    return run_experiment(config)
+
+
+@pytest.fixture
+def bench_experiment(benchmark):
+    """Benchmark ``run_experiment`` on a config; returns the last result."""
+
+    def run(config: ExperimentConfig, rounds: int = 3) -> ExperimentResult:
+        return benchmark.pedantic(
+            run_experiment, args=(config,), rounds=rounds, iterations=1,
+        )
+
+    return run
+
+
+def base_config(**kw) -> ExperimentConfig:
+    defaults = dict(n=4, messages_per_entity=15, send_interval=5e-4)
+    defaults.update(kw)
+    return ExperimentConfig(**defaults)

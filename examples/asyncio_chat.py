@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The CO engine on a real event loop: a tiny group chat.
+
+Everything else in this repository runs on the deterministic simulator;
+this example runs the *same* protocol engine on asyncio with wall-clock
+timers and a lossy in-process transport — the deployment shape a real
+application would use (swap :class:`LocalAsyncTransport` for a UDP
+transport speaking ``repro.core.codec`` and nothing else changes).
+
+Three chatters exchange messages; replies are only typed after the message
+they answer was delivered locally, and the causal order holds on every
+screen despite 10% packet loss on a real clock.
+
+Run:  python examples/asyncio_chat.py
+"""
+
+import asyncio
+
+from repro.ordering.checker import verify_run
+from repro.runtime import AsyncCluster
+
+NAMES = ["ana", "bo", "cy"]
+
+
+async def chat() -> AsyncCluster:
+    cluster = AsyncCluster(n=3, loss_rate=0.10, seed=9)
+    await cluster.start()
+    try:
+        cluster.broadcast(0, "ana: anyone up for lunch?")
+        await cluster.quiesce(timeout=30.0)
+
+        cluster.broadcast(1, "bo: yes! the noodle place?")
+        cluster.broadcast(2, "cy: can't today, deadline :(")
+        await cluster.quiesce(timeout=30.0)
+
+        cluster.broadcast(0, "ana: noodles it is, bo. good luck cy!")
+        await cluster.quiesce(timeout=30.0)
+    finally:
+        await cluster.stop()
+    return cluster
+
+
+def main() -> None:
+    cluster = asyncio.run(chat())
+
+    for member, name in enumerate(NAMES):
+        print(f"--- {name}'s screen " + "-" * 30)
+        for message in cluster.delivered(member):
+            print(f"  {message.data}")
+        print()
+
+    dropped = cluster.transport.copies_dropped
+    sent = cluster.transport.copies_sent
+    verify_run(cluster.trace, 3).assert_ok()
+    print(f"transport dropped {dropped}/{sent} copies on the real clock;")
+    print("every screen shows the opener first and the wrap-up last —")
+    print("verified causally ordered by the happened-before oracle.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Protocol shoot-out on a lossy high-speed network.
+
+Runs the same request-reply workload over the same 10%-lossy network with
+four protocols (via :func:`repro.harness.compare_protocols`) and prints
+what each one actually guarantees:
+
+* ``unordered``  — best effort: loses messages, no ordering;
+* ``po``         — the authors' earlier FIFO protocol: recovers losses,
+                   but causally-later messages overtake their causes;
+* ``cbcast``     — ISIS on an (assumed) reliable transport: on a lossy
+                   network it silently stalls, because vector clocks cannot
+                   *detect* loss (§5);
+* ``co``         — this paper: detects every gap from the sequence numbers,
+                   repairs it selectively, and delivers everything in
+                   causal order.
+
+Run:  python examples/lossy_network_demo.py
+"""
+
+from repro.harness import ExperimentConfig, compare_protocols
+
+
+def main() -> None:
+    base = ExperimentConfig(
+        n=4,
+        workload="request-reply",       # replies create causal chains
+        messages_per_entity=8,
+        loss_rate=0.10,
+        protect_control=True,
+        seed=13,
+        max_time=2.0,
+    )
+    report = compare_protocols(base)
+    print(report.render())
+    print(
+        "\nReading the table: unordered drops information; PO repairs loss\n"
+        "but lets replies overtake their questions (causal violations);\n"
+        "CBCAST cannot detect the loss at all and hangs with undeliverable\n"
+        "messages; the CO protocol delivers everything, everywhere, in\n"
+        "causal order — at the latency cost of its acknowledgment phase."
+    )
+
+    co = report.by_protocol("co")
+    assert co.missing == 0 and co.causal_violations == 0 and co.completed
+
+
+if __name__ == "__main__":
+    main()

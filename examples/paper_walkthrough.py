@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Walk through the paper's Example 4.1 / Table 1 / Figure 7, live.
+
+Reruns the exact 3-entity trace of the paper (PDUs ``a`` through ``h``),
+printing each PDU's SEQ/ACK fields next to Table 1's values, the evolution
+of REQ and minAL, the CPI insertions into PRL, and the final delivery order
+``a c b d e f g h``.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro.core.causality import causally_coincident, causally_precedes
+from repro.metrics.reporting import format_table
+from repro.workloads.scenarios import run_fig7_example
+
+TABLE_1 = {
+    "a": (0, 1, (1, 1, 1)),
+    "b": (2, 1, (2, 1, 1)),
+    "c": (0, 2, (2, 1, 1)),
+    "d": (1, 1, (3, 1, 2)),
+    "e": (0, 3, (3, 2, 2)),
+    "f": (0, 4, (4, 2, 2)),
+    "g": (1, 2, (4, 2, 2)),
+    "h": (2, 2, (5, 3, 2)),
+}
+
+
+def main() -> None:
+    result = run_fig7_example()
+    cluster, pdus = result["cluster"], result["pdus"]
+    names = {pdus[k].pdu_id: k for k in pdus}
+
+    print("Table 1 — SEQ and ACK fields (paper vs. this run)")
+    rows = []
+    for name, (src, seq, ack) in TABLE_1.items():
+        p = pdus[name]
+        match = "ok" if (p.src, p.seq, p.ack) == (src, seq, ack) else "MISMATCH"
+        rows.append([name, f"E{p.src + 1}", p.seq, list(p.ack), list(ack), match])
+    print(format_table(
+        ["PDU", "src", "SEQ", "ACK (run)", "ACK (paper)", ""], rows,
+    ))
+
+    e1 = cluster.engines[0]
+    print("\nExample 4.1 state at E1 after accepting h:")
+    print(f"  REQ   = {e1.state.req}          (paper: [5, 3, 3])")
+    print(f"  minAL = {[e1.state.min_al(k) for k in range(3)]}"
+          f"          (paper: minAL_1 = 4 -> b, c, d, e join a as pre-acked)")
+
+    sequence = [names[p.pdu_id] for p in e1.arl] + [names[p.pdu_id] for p in e1.prl]
+    print(f"\nCPI result (ARL + PRL at E1): {sequence}   (paper: a c b d e)")
+
+    print("\nCausality relations decided purely from SEQ/ACK (Theorem 4.1):")
+    for x, y in [("a", "b"), ("c", "d"), ("b", "d"), ("d", "e")]:
+        print(f"  {x} < {y}: {causally_precedes(pdus[x], pdus[y])}")
+    print(f"  b ~ c (coincident): {causally_coincident(pdus['b'], pdus['c'])}")
+
+    print("\nRunning the confirmation rounds to full acknowledgment ...")
+    cluster.advance(1.0)
+    cluster.flush_control(rounds=5)
+    for i in range(3):
+        delivered = [m.data for m in cluster.delivered[i]]
+        print(f"  E{i + 1} delivered: {' '.join(delivered)}")
+    print("\nAll three entities delivered the causality-consistent order.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package remains installable in offline environments whose setuptools lacks
+PEP 660 editable-wheel support (``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""One-call run summaries.
+
+:func:`summarize_run` combines the metrics collectors, the verification
+oracle and the traffic counters into a single printable report — the thing
+to look at first after any experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.metrics.collector import collect_lifecycles, latency_samples, pdu_census
+from repro.metrics.reporting import format_table
+from repro.metrics.stats import Summary, summarize
+from repro.ordering.checker import RunReport, verify_run
+from repro.sim.trace import TraceLog
+
+
+@dataclass
+class RunSummary:
+    """Everything worth knowing about a finished run."""
+
+    n: int
+    census: Dict[str, int]
+    delivery_latency: Summary
+    preack_latency: Summary
+    ack_latency: Summary
+    report: RunReport
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def render(self) -> str:
+        c = self.census
+        rows = [
+            ["messages broadcast", self.report.messages_sent],
+            ["deliveries", c.get("deliver", 0)],
+            ["acceptances", c.get("accept", 0)],
+            ["duplicates discarded", c.get("duplicate", 0)],
+            ["copies dropped", c.get("drop", 0)],
+            ["gaps detected", c.get("gap", 0)],
+            ["RET requests", c.get("ret", 0)],
+            ["retransmissions", c.get("retransmit", 0)],
+            ["heartbeats", c.get("heartbeat", 0)],
+        ]
+        latency_rows = [
+            ["submit -> deliver", _ms(self.delivery_latency)],
+            ["accept -> pre-ack", _ms(self.preack_latency)],
+            ["accept -> ack", _ms(self.ack_latency)],
+        ]
+        return "\n".join([
+            format_table(["event", "count"], rows, title="traffic"),
+            "",
+            format_table(
+                ["span", "mean / p95 [ms]"], latency_rows, title="latency",
+            ),
+            "",
+            f"verification: {self.report.summary()}",
+        ])
+
+
+def _ms(summary: Summary) -> str:
+    if summary.count == 0:
+        return "-"
+    return f"{summary.mean * 1e3:.3f} / {summary.p95 * 1e3:.3f}"
+
+
+def summarize_run(
+    trace: TraceLog,
+    n: int,
+    expect_all_delivered: bool = True,
+) -> RunSummary:
+    """Build a :class:`RunSummary` from a finished run's trace."""
+    lifecycles = collect_lifecycles(trace)
+    return RunSummary(
+        n=n,
+        census=pdu_census(trace),
+        delivery_latency=summarize(
+            [s.value for s in latency_samples(lifecycles, "delivery")]
+        ),
+        preack_latency=summarize(
+            [s.value for s in latency_samples(lifecycles, "preack")]
+        ),
+        ack_latency=summarize(
+            [s.value for s in latency_samples(lifecycles, "ack")]
+        ),
+        report=verify_run(trace, n, expect_all_delivered=expect_all_delivered),
+    )

@@ -1,0 +1,68 @@
+"""Text timelines over a run's trace.
+
+Debugging a distributed protocol is mostly asking "what happened to PDU
+(2, 17), in order, everywhere?" — :func:`message_timeline` answers exactly
+that; :func:`entity_timeline` is the per-entity view.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.sim.trace import TraceLog
+
+#: Categories that name a message via src/seq details.
+_MESSAGE_CATEGORIES = (
+    "accept", "duplicate", "stash", "preack", "ack", "deliver",
+)
+
+
+def message_timeline(trace: TraceLog, src: int, seq: int) -> str:
+    """Every recorded event in the life of message ``(src, seq)``.
+
+    Includes its broadcasts/retransmissions, per-entity acceptance,
+    pre-acknowledgment, acknowledgment and delivery, plus any drops, gaps
+    and RETs that mention it.
+    """
+    lines: List[str] = [f"timeline of message ({src}, {seq})"]
+    for rec in trace:
+        related = False
+        if rec.category == "broadcast" and rec.entity == src and rec.get("seq") == seq:
+            related = True
+        elif rec.category == "retransmit" and rec.get("seq") == seq:
+            related = True
+        elif rec.category in _MESSAGE_CATEGORIES:
+            related = rec.get("src") == src and rec.get("seq") == seq
+        elif rec.category == "drop":
+            related = rec.get("src") == src and rec.get("seq") == seq
+        elif rec.category in ("gap", "ret"):
+            lo = rec.get("missing_from", rec.get("req_from"))
+            hi = rec.get("missing_upto", rec.get("req_upto"))
+            target = rec.get("src", rec.get("lsrc"))
+            related = (
+                target == src and lo is not None and hi is not None
+                and lo <= seq < hi
+            )
+        if related:
+            lines.append("  " + str(rec))
+    if len(lines) == 1:
+        lines.append("  (no events recorded)")
+    return "\n".join(lines)
+
+
+def entity_timeline(
+    trace: TraceLog,
+    entity: int,
+    categories: Optional[Tuple[str, ...]] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """The event stream of one entity, optionally filtered and truncated."""
+    records = trace.select(entity=entity)
+    if categories is not None:
+        records = [r for r in records if r.category in categories]
+    if limit is not None:
+        records = records[:limit]
+    header = f"timeline of entity E{entity}"
+    if not records:
+        return header + "\n  (no events recorded)"
+    return "\n".join([header, *("  " + str(r) for r in records)])

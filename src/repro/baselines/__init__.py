@@ -1,0 +1,32 @@
+"""Baseline protocols the paper compares against (or that its claims imply).
+
+* :mod:`repro.baselines.isis_cbcast` — the ISIS CBCAST protocol [Birman,
+  Schiper, Stephenson 1991]: vector-clock causal broadcast over a *reliable*
+  network.  §5 argues CO beats it on computation and on loss detectability.
+* :mod:`repro.baselines.po_protocol` — the authors' earlier PO (partially /
+  locally ordering) protocol [16]: per-source FIFO delivery with selective
+  recovery but *no* cross-source causal ordering.
+* :mod:`repro.baselines.unordered` — best-effort broadcast: no recovery, no
+  ordering.  The floor any reliability metric is measured against.
+* The **go-back-n** ablation of the CO protocol itself is not a separate
+  engine: pass ``ProtocolConfig(retransmission=RetransmissionScheme.GO_BACK_N)``.
+
+All engines implement the sans-I/O host interface (``bind`` / ``submit`` /
+``on_pdu`` / ``on_tick`` / ``quiescent``) so they run on the same
+:class:`~repro.core.cluster.EntityHost` substrate as the CO engine — the
+comparisons differ only in the protocol.
+"""
+
+from repro.baselines.isis_cbcast import CbcastEntity, CbcastMessage
+from repro.baselines.po_protocol import PoEntity, PoPdu, PoRetPdu
+from repro.baselines.unordered import RawMessage, UnorderedEntity
+
+__all__ = [
+    "CbcastEntity",
+    "CbcastMessage",
+    "PoEntity",
+    "PoPdu",
+    "PoRetPdu",
+    "RawMessage",
+    "UnorderedEntity",
+]

@@ -1,0 +1,180 @@
+"""The PO protocol: locally (FIFO) ordering broadcast [ref 16].
+
+The authors' earlier *partially ordering broadcast* protocol provides the LO
+service of §1: "PDUs from each entity are received in the same order as they
+are sent" — per-source FIFO, nothing more.  It recovers lost PDUs with
+per-source sequence numbers and NAKs, and delivers a PDU the moment it is
+accepted.
+
+What it does **not** provide is the CO service: a PDU can overtake another
+PDU from a different source that causally precedes it.  The baselines
+benchmark counts exactly these causality violations to show what the CO
+protocol buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.entity import DeliveredMessage, DeliverFn, SendFn
+from repro.core.errors import ProtocolError
+from repro.sim.trace import TraceLog
+
+_INT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class PoPdu:
+    """A PO data unit: per-source sequence number, no ACK vector."""
+
+    src: int
+    seq: int
+    data: Any
+    data_size: int = 0
+
+    is_control = False
+
+    @property
+    def pdu_id(self) -> Tuple[int, int]:
+        return (self.src, self.seq)
+
+    def wire_size(self) -> int:
+        return 2 * _INT_BYTES + self.data_size
+
+
+@dataclass(frozen=True)
+class PoRetPdu:
+    """A NAK: asks ``lsrc`` to rebroadcast ``from_seq <= seq < upto``."""
+
+    src: int
+    lsrc: int
+    from_seq: int
+    upto: int
+
+    is_control = True
+
+    def wire_size(self) -> int:
+        return 4 * _INT_BYTES
+
+
+class PoEntity:
+    """One PO process: FIFO broadcast with selective NAK recovery."""
+
+    def __init__(
+        self,
+        index: int,
+        n: int,
+        config: Any = None,
+        clock: Optional[Callable[[], float]] = None,
+        trace: Optional[TraceLog] = None,
+        advertised_buf: Optional[Callable[[], int]] = None,
+        nak_timeout: float = 4e-3,
+    ):
+        self.index = index
+        self.n = n
+        self._clock = clock or (lambda: 0.0)
+        self._trace = trace if trace is not None else TraceLog(enabled=False)
+        self.nak_timeout = nak_timeout
+        self._next_seq = 1
+        self._req = [1] * n
+        self._sent: Dict[int, PoPdu] = {}
+        self._stash: List[Dict[int, PoPdu]] = [{} for _ in range(n)]
+        #: Open gaps: src -> (upto, last_nak_time).
+        self._gaps: Dict[int, Tuple[int, float]] = {}
+        self.delivered_count = 0
+        self.retransmissions = 0
+        self._send_fn: Optional[SendFn] = None
+        self._deliver_fn: Optional[DeliverFn] = None
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+    def bind(self, send: SendFn, deliver: DeliverFn) -> None:
+        self._send_fn = send
+        self._deliver_fn = deliver
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    def submit(self, data: Any, size: int = 0) -> None:
+        if self._send_fn is None or self._deliver_fn is None:
+            raise ProtocolError("engine used before bind()")
+        pdu = PoPdu(self.index, self._next_seq, data, size)
+        self._next_seq += 1
+        self._sent[pdu.seq] = pdu
+        self._trace.record(self.now, "submit", self.index, size=size)
+        self._send_fn(pdu)
+        self._accept(pdu)  # self-delivery
+
+    def on_pdu(self, pdu: Any) -> None:
+        if isinstance(pdu, PoPdu):
+            self._on_data(pdu)
+        elif isinstance(pdu, PoRetPdu):
+            self._on_nak(pdu)
+        else:
+            raise ProtocolError(f"PO received {type(pdu).__name__}")
+
+    def on_tick(self) -> None:
+        now = self.now
+        for src, (upto, last) in list(self._gaps.items()):
+            if now - last >= self.nak_timeout:
+                self._send_nak(src, upto)
+
+    # ------------------------------------------------------------------
+    # FIFO acceptance with NAK recovery
+    # ------------------------------------------------------------------
+    def _on_data(self, p: PoPdu) -> None:
+        src = p.src
+        expected = self._req[src]
+        if p.seq < expected:
+            return  # duplicate
+        if p.seq == expected:
+            self._accept(p)
+            stash = self._stash[src]
+            while self._req[src] in stash:
+                self._accept(stash.pop(self._req[src]))
+            gap = self._gaps.get(src)
+            if gap is not None and self._req[src] >= gap[0]:
+                del self._gaps[src]
+            return
+        # Gap detected: stash and NAK if this widens the known hole.
+        self._stash[src].setdefault(p.seq, p)
+        known = self._gaps.get(src, (0, 0.0))[0]
+        if p.seq > known:
+            self._send_nak(src, p.seq)
+
+    def _accept(self, p: PoPdu) -> None:
+        self._req[p.src] = p.seq + 1
+        self.delivered_count += 1
+        self._trace.record(self.now, "accept", self.index, src=p.src, seq=p.seq, null=False)
+        self._trace.record(self.now, "deliver", self.index, src=p.src, seq=p.seq)
+        self._deliver_fn(
+            DeliveredMessage(data=p.data, src=p.src, seq=p.seq, delivered_at=self.now)
+        )
+
+    def _send_nak(self, src: int, upto: int) -> None:
+        self._gaps[src] = (upto, self.now)
+        self._trace.record(
+            self.now, "ret", self.index,
+            lsrc=src, req_from=self._req[src], req_upto=upto,
+        )
+        self._send_fn(PoRetPdu(self.index, src, self._req[src], upto))
+
+    def _on_nak(self, nak: PoRetPdu) -> None:
+        if nak.lsrc != self.index:
+            return
+        for seq in range(nak.from_seq, min(nak.upto, self._next_seq)):
+            pdu = self._sent.get(seq)
+            if pdu is not None:
+                self.retransmissions += 1
+                self._trace.record(self.now, "retransmit", self.index, seq=seq, to=nak.src)
+                self._send_fn(pdu)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def quiescent(self) -> bool:
+        return not self._gaps and all(not s for s in self._stash)

@@ -1,0 +1,98 @@
+"""Best-effort unordered broadcast — the floor of every comparison.
+
+Delivers whatever arrives, the moment it arrives, with no sequencing, no
+recovery and no ordering.  On the MC service this is the raw network
+behaviour the paper starts from: logs that are neither information- nor
+causality-preserved.  The baselines benchmark measures how many messages it
+loses and how many causal/FIFO inversions it commits, as the zero point for
+the PO and CO rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+from repro.core.entity import DeliveredMessage, DeliverFn, SendFn
+from repro.core.errors import ProtocolError
+from repro.sim.trace import TraceLog
+
+_INT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class RawMessage:
+    """A bare message with just enough identity to be tracked."""
+
+    src: int
+    seq: int
+    data: Any
+    data_size: int = 0
+
+    is_control = False
+
+    @property
+    def pdu_id(self) -> Tuple[int, int]:
+        return (self.src, self.seq)
+
+    def wire_size(self) -> int:
+        return 2 * _INT_BYTES + self.data_size
+
+
+class UnorderedEntity:
+    """Deliver-on-arrival broadcast with no guarantees."""
+
+    def __init__(
+        self,
+        index: int,
+        n: int,
+        config: Any = None,
+        clock: Optional[Callable[[], float]] = None,
+        trace: Optional[TraceLog] = None,
+        advertised_buf: Optional[Callable[[], int]] = None,
+    ):
+        self.index = index
+        self.n = n
+        self._clock = clock or (lambda: 0.0)
+        self._trace = trace if trace is not None else TraceLog(enabled=False)
+        self._next_seq = 1
+        self.delivered_count = 0
+        self._send_fn: Optional[SendFn] = None
+        self._deliver_fn: Optional[DeliverFn] = None
+
+    def bind(self, send: SendFn, deliver: DeliverFn) -> None:
+        self._send_fn = send
+        self._deliver_fn = deliver
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    def submit(self, data: Any, size: int = 0) -> None:
+        if self._send_fn is None or self._deliver_fn is None:
+            raise ProtocolError("engine used before bind()")
+        message = RawMessage(self.index, self._next_seq, data, size)
+        self._next_seq += 1
+        self._trace.record(self.now, "submit", self.index, size=size)
+        self._send_fn(message)
+        self._deliver(message)
+
+    def on_pdu(self, pdu: Any) -> None:
+        if not isinstance(pdu, RawMessage):
+            raise ProtocolError(f"unordered broadcast received {type(pdu).__name__}")
+        self._deliver(pdu)
+
+    def on_tick(self) -> None:
+        """Nothing to retry: losses stay lost."""
+
+    def _deliver(self, m: RawMessage) -> None:
+        self.delivered_count += 1
+        self._trace.record(self.now, "accept", self.index, src=m.src, seq=m.seq, null=False)
+        self._trace.record(self.now, "deliver", self.index, src=m.src, seq=m.seq)
+        self._deliver_fn(
+            DeliveredMessage(data=m.data, src=m.src, seq=m.seq, delivered_at=self.now)
+        )
+
+    @property
+    def quiescent(self) -> bool:
+        return True

@@ -1,0 +1,95 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``    — run a small cluster and print a full run summary;
+* ``figures`` — regenerate the paper's evaluation artifacts
+  (delegates to :mod:`repro.harness.figures`);
+* ``soak``    — randomized correctness campaign
+  (delegates to :mod:`repro.harness.soak`);
+* ``version`` — print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import repro
+from repro.harness import figures, soak
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.analysis.summary import summarize_run
+    from repro.core.cluster import build_cluster
+    from repro.net.loss import BernoulliLoss
+    from repro.sim.rng import RngRegistry
+    from repro.workloads.generators import RequestReplyWorkload
+
+    loss = BernoulliLoss(args.loss, protect_control=True) if args.loss else None
+    cluster = build_cluster(args.n, loss=loss, rngs=RngRegistry(args.seed))
+    RequestReplyWorkload(requests=args.messages).install(
+        cluster, RngRegistry(args.seed),
+    )
+    cluster.run_until_quiescent(max_time=60.0)
+    summary = summarize_run(cluster.trace, args.n)
+    print(f"cluster of {args.n}, request-reply workload, "
+          f"{args.loss:.0%} injected loss, seed {args.seed}")
+    print(f"simulated time: {cluster.sim.now * 1e3:.2f} ms\n")
+    print(summary.render())
+    return 0 if summary.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Causally Ordering Broadcast protocol reproduction "
+                    "(Nakamura & Takizawa, ICDCS 1994)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    demo = sub.add_parser("demo", help="run a demo cluster and summarize")
+    demo.add_argument("--n", type=int, default=4)
+    demo.add_argument("--messages", type=int, default=6)
+    demo.add_argument("--loss", type=float, default=0.05)
+    demo.add_argument("--seed", type=int, default=1)
+
+    fig = sub.add_parser("figures", help="regenerate the paper's artifacts")
+    fig.add_argument("--fast", action="store_true")
+    fig.add_argument("--only", default=None)
+    fig.add_argument("--write", default=None, metavar="PATH")
+
+    sk = sub.add_parser("soak", help="randomized correctness campaign")
+    sk.add_argument("--trials", type=int, default=50)
+    sk.add_argument("--seed", type=int, default=0)
+    sk.add_argument("--verbose", action="store_true")
+
+    sub.add_parser("version", help="print the package version")
+
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "figures":
+        forwarded = []
+        if args.fast:
+            forwarded.append("--fast")
+        if args.only:
+            forwarded += ["--only", args.only]
+        if args.write:
+            forwarded += ["--write", args.write]
+        return figures.main(forwarded)
+    if args.command == "soak":
+        forwarded = ["--trials", str(args.trials), "--seed", str(args.seed)]
+        if args.verbose:
+            forwarded.append("--verbose")
+        return soak.main(forwarded)
+    if args.command == "version":
+        print(repro.__version__)
+        return 0
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,390 @@
+"""Cluster assembly: hosts that bind protocol engines to the substrate.
+
+The paper's system model (Fig. 1) stacks an application entity on a system
+entity on a network SAP.  Here:
+
+* :class:`EntityHost` is the "workstation": it owns the finite receive
+  buffer (where overrun loss happens), a CPU model that serves one PDU at a
+  time (the network is faster than the host — §2.1), the engine's periodic
+  housekeeping tick, and the application-side delivery record;
+* :class:`Cluster` wires ``n`` hosts to one network and offers run helpers;
+* :func:`build_cluster` assembles the whole stack from parameters, for any
+  engine type that speaks the sans-I/O interface (``bind`` / ``submit`` /
+  ``on_pdu`` / ``on_tick``), which is how the baselines reuse the substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.core.config import ProtocolConfig
+from repro.core.entity import COEntity, DeliveredMessage
+from repro.core.errors import ConfigurationError
+from repro.net.buffers import ReceiveBuffer
+from repro.net.loss import LossModel
+from repro.net.network import MCNetwork
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+from repro.sim.process import SimProcess
+from repro.sim.rng import RngRegistry
+from repro.sim.timers import PeriodicTimer
+from repro.sim.trace import TraceLog
+
+#: Signature of an engine factory, allowing baselines to ride the same hosts:
+#: ``factory(index, n, config, clock, trace, advertised_buf) -> engine``.
+EngineFactory = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Per-PDU processing cost of a system entity.
+
+    The paper measured the per-PDU processing time ``Tco`` to be ``O(n)``
+    (Fig. 8): every PDU carries an ``n``-entry ACK vector that must be folded
+    into the knowledge matrices.  We model service time as
+    ``base + per_entity * n`` and let the host serve one PDU at a time, so a
+    receiver genuinely falls behind a fast network — which is where buffer
+    overrun comes from.
+    """
+
+    #: Fixed cost per PDU (seconds).
+    base: float = 40e-6
+    #: Cost per cluster entity (vector handling), seconds.
+    per_entity: float = 8e-6
+
+    def service_time(self, pdu: Any, n: int) -> float:
+        return self.base + self.per_entity * n
+
+
+class EntityHost(SimProcess):
+    """One simulated workstation: buffer + CPU + engine + application record."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: TraceLog,
+        index: int,
+        engine: Any,
+        network: MCNetwork,
+        buffer: ReceiveBuffer,
+        cpu: CpuModel,
+        tick_interval: float,
+    ):
+        super().__init__(sim, trace, index)
+        self.engine = engine
+        self.network = network
+        self.buffer = buffer
+        self.cpu = cpu
+        self.delivered: List[DeliveredMessage] = []
+        self._delivery_listeners: List[Callable[[DeliveredMessage], None]] = []
+        self._busy = False
+        self._crashed = False
+        self._tick = PeriodicTimer(sim, tick_interval, engine.on_tick)
+        self.pdus_processed = 0
+        self.busy_time = 0.0
+        #: Real (host Python) seconds spent inside ``engine.on_pdu`` — the
+        #: measured counterpart of the modelled Tco.
+        self.real_cpu_time = 0.0
+        network.attach(index, self.on_arrival)
+        engine.bind(send=self._send, deliver=self._on_deliver)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._tick.start()
+
+    def stop(self) -> None:
+        self._tick.stop()
+
+    def crash(self) -> None:
+        """Crash-stop this host: no more processing, sending or receiving.
+
+        Used by fault-injection experiments together with the engines'
+        ``suspect_timeout``.  Crashing is permanent for the host (the paper
+        has no recovery protocol; suspicion, however, is revocable for
+        hosts that were merely slow).
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self._tick.stop()
+        self.buffer.clear()
+        self.record("crash")
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    # ------------------------------------------------------------------
+    # Application side (the system SAP)
+    # ------------------------------------------------------------------
+    def submit(self, data: Any, size: int = 0) -> None:
+        """A DT request from this host's application entity."""
+        self.engine.submit(data, size)
+
+    def _on_deliver(self, message: DeliveredMessage) -> None:
+        self.delivered.append(message)
+        for listener in self._delivery_listeners:
+            listener(message)
+
+    def add_delivery_listener(self, listener: Callable[[DeliveredMessage], None]) -> None:
+        """Register an application-side callback fired on every delivery.
+
+        Used by reactive workloads (request-reply / CSCW) that create causal
+        chains by broadcasting in response to deliveries.
+        """
+        self._delivery_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Network side
+    # ------------------------------------------------------------------
+    def _send(self, pdu: Any) -> None:
+        if self._crashed:
+            return
+        self.network.broadcast(self.index, pdu)
+
+    def on_arrival(self, pdu: Any) -> None:
+        """A copy reached this host: queue it, or lose it to overrun."""
+        if self._crashed:
+            self.record("drop", reason="crashed",
+                        src=getattr(pdu, "src", None), seq=getattr(pdu, "seq", None))
+            return
+        self.record("arrive", kind=type(pdu).__name__,
+                    src=getattr(pdu, "src", None), seq=getattr(pdu, "seq", None))
+        if not self.buffer.offer(pdu):
+            self.record("drop", reason="overrun",
+                        src=getattr(pdu, "src", None), seq=getattr(pdu, "seq", None))
+            return
+        if not self._busy:
+            self._begin_service()
+
+    def _begin_service(self) -> None:
+        pdu = self.buffer.pop()
+        self._busy = True
+        service = self.cpu.service_time(pdu, self.network.n)
+        self.busy_time += service
+        self.schedule(service, self._complete, pdu)
+
+    def _complete(self, pdu: Any) -> None:
+        if self._crashed:
+            self._busy = False
+            return
+        self.pdus_processed += 1
+        started = perf_counter()
+        self.engine.on_pdu(pdu)
+        self.real_cpu_time += perf_counter() - started
+        if self.buffer.empty:
+            self._busy = False
+        else:
+            self._begin_service()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when no PDU is being served and none is queued."""
+        return self._crashed or (not self._busy and self.buffer.empty)
+
+    @property
+    def mean_service_time(self) -> float:
+        """Average modelled processing time per PDU (the Tco metric)."""
+        if self.pdus_processed == 0:
+            return 0.0
+        return self.busy_time / self.pdus_processed
+
+    @property
+    def mean_real_cpu_time(self) -> float:
+        """Average *measured* Python time per PDU inside the engine."""
+        if self.pdus_processed == 0:
+            return 0.0
+        return self.real_cpu_time / self.pdus_processed
+
+
+class Cluster:
+    """A cluster ``C = <E_1, ..., E_n>`` assembled on the simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: TraceLog,
+        network: MCNetwork,
+        hosts: Sequence[EntityHost],
+        config: ProtocolConfig,
+    ):
+        self.sim = sim
+        self.trace = trace
+        self.network = network
+        self.hosts = list(hosts)
+        self.config = config
+
+    @property
+    def n(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def engines(self) -> List[Any]:
+        return [host.engine for host in self.hosts]
+
+    def start(self) -> None:
+        for host in self.hosts:
+            host.start()
+
+    def stop(self) -> None:
+        for host in self.hosts:
+            host.stop()
+
+    def submit(self, index: int, data: Any, size: int = 0) -> None:
+        """Broadcast ``data`` from entity ``index``."""
+        self.hosts[index].submit(data, size)
+
+    def delivered(self, index: int) -> List[DeliveredMessage]:
+        """Messages delivered to entity ``index``'s application, in order."""
+        return self.hosts[index].delivered
+
+    def crash(self, index: int) -> None:
+        """Crash-stop one host (fault injection)."""
+        self.hosts[index].crash()
+
+    # ------------------------------------------------------------------
+    # Run helpers
+    # ------------------------------------------------------------------
+    def _quiet(self) -> bool:
+        if self.network.in_flight:
+            return False
+        if any(not host.idle for host in self.hosts):
+            return False
+        return all(
+            getattr(host.engine, "quiescent", True)
+            for host in self.hosts
+            if not host.crashed
+        )
+
+    def run_for(self, duration: float) -> float:
+        """Advance the simulation by ``duration`` time units."""
+        return self.sim.run(until=self.sim.now + duration)
+
+    def run_until_quiescent(self, max_time: float = 60.0, settle_chunks: int = 2) -> float:
+        """Run until the protocol has nothing left to do.
+
+        Quiescence = no copies in flight, every host idle, every live
+        engine's logs drained and no open gaps — held across
+        ``settle_chunks`` consecutive chunk boundaries so pending
+        deferred-confirmation timers get their chance to fire.  (Keepalive
+        heartbeats from the membership extension do not block quiescence:
+        with every log drained they carry no information anyone is waiting
+        for.)  Returns the simulated stop time; raises if ``max_time``
+        elapses first (usually a stalled protocol, e.g. strict paper mode
+        on a finite workload).
+        """
+        chunk = max(
+            self.config.deferred_interval,
+            self.config.tick_interval,
+            self.config.ret_timeout,
+        ) * 2 + 2 * self.network.max_delay + 1e-6
+        # Progress = any trace record that is not keepalive chatter.  A
+        # chunk with real progress (submissions, acceptances, recoveries)
+        # resets the quiet streak, so workloads with long scheduled silences
+        # are not mistaken for completion.  Drops are chatter too: a drop of
+        # a *data* PDU always comes with submit/accept records elsewhere,
+        # while keepalives raining on a crashed host drop forever.
+        ignored = frozenset({"heartbeat", "broadcast", "arrive", "drop"})
+        cursor = len(self.trace)
+        quiet_streak = 0
+        while self.sim.now < max_time:
+            self.sim.run(until=min(self.sim.now + chunk, max_time))
+            progressed = any(
+                self.trace[i].category not in ignored
+                for i in range(cursor, len(self.trace))
+            )
+            cursor = len(self.trace)
+            if self._quiet() and not progressed:
+                quiet_streak += 1
+                if quiet_streak >= settle_chunks:
+                    return self.sim.now
+            else:
+                quiet_streak = 0
+        raise TimeoutError(
+            f"cluster did not quiesce within {max_time} simulated seconds "
+            f"(strict paper mode on a finite workload never does — see DESIGN.md)"
+        )
+
+
+def default_engine_factory(
+    index: int,
+    n: int,
+    config: ProtocolConfig,
+    clock: Callable[[], float],
+    trace: TraceLog,
+    advertised_buf: Callable[[], int],
+) -> COEntity:
+    """Build a CO protocol engine (the default for :func:`build_cluster`)."""
+    return COEntity(index, n, config, clock, trace, advertised_buf)
+
+
+def build_cluster(
+    n: int,
+    config: Optional[ProtocolConfig] = None,
+    topology: Optional[Topology] = None,
+    sim: Optional[Simulator] = None,
+    trace: Optional[TraceLog] = None,
+    loss: Optional[LossModel] = None,
+    rngs: Optional[RngRegistry] = None,
+    buffer_capacity: int = 256,
+    cpu: Optional[CpuModel] = None,
+    engine_factory: EngineFactory = default_engine_factory,
+) -> Cluster:
+    """Assemble a ready-to-run cluster.
+
+    Parameters mirror one experiment configuration: cluster size, protocol
+    config, delay topology (uniform 200 µs by default), loss injection,
+    receive-buffer capacity in units, and the CPU model.  The returned
+    cluster is started; submit data and run the simulator.
+    """
+    if n < 2:
+        raise ConfigurationError(f"a cluster needs at least 2 entities, got {n}")
+    config = config or ProtocolConfig()
+    minimum_buffer = 2 * n * config.units_per_pdu
+    if buffer_capacity < minimum_buffer:
+        raise ConfigurationError(
+            f"buffer_capacity={buffer_capacity} is below the protocol's "
+            f"minimum operating point: the flow condition divides minBUF by "
+            f"H*2n = {minimum_buffer}, so smaller buffers block all "
+            f"transmission permanently (§4.2)"
+        )
+    sim = sim or Simulator()
+    trace = trace if trace is not None else TraceLog()
+    topology = topology or Topology.uniform(n, 200e-6)
+    if topology.n != n:
+        raise ConfigurationError(
+            f"topology is for {topology.n} entities, cluster has {n}"
+        )
+    rngs = rngs or RngRegistry()
+    cpu = cpu or CpuModel()
+    network = MCNetwork(sim, trace, topology, loss=loss, rngs=rngs)
+    hosts = []
+    for i in range(n):
+        buffer = ReceiveBuffer(buffer_capacity, config.units_per_pdu)
+        engine = engine_factory(
+            index=i,
+            n=n,
+            config=config,
+            clock=lambda: sim.now,
+            trace=trace,
+            advertised_buf=buffer_free_fn(buffer),
+        )
+        host = EntityHost(
+            sim, trace, i, engine, network, buffer, cpu, config.tick_interval,
+        )
+        hosts.append(host)
+    cluster = Cluster(sim, trace, network, hosts, config)
+    cluster.start()
+    return cluster
+
+
+def buffer_free_fn(buffer: ReceiveBuffer) -> Callable[[], int]:
+    """The BUF advertisement: free units of the host's receive buffer."""
+    return lambda: buffer.free_units

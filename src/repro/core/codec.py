@@ -1,0 +1,170 @@
+"""Binary wire codec for the PDU formats of Figures 4 and 5.
+
+The simulator passes PDU objects by reference, but an open-source release
+of the protocol needs a concrete encoding; this module provides one, and
+the round-trip property tests pin it down.  Layout (network byte order):
+
+Data PDU (Figure 4)::
+
+    u8  type = 0x01
+    u8  flags          bit 0: null (confirmation-only) PDU
+    u32 cid
+    u16 src
+    u32 seq
+    u16 n              length of the ACK vector
+    u32 ack[n]
+    u32 buf
+    u32 payload_len    0 for null PDUs
+    ..  payload        raw bytes (the application's serialisation)
+
+RET PDU (Figure 5)::
+
+    u8  type = 0x02
+    u8  flags = 0
+    u32 cid
+    u16 src
+    u16 lsrc
+    u32 lseq
+    u16 n
+    u32 ack[n]
+    u32 buf
+
+Heartbeat (quiescence/membership extension)::
+
+    u8  type = 0x03
+    u8  flags          bit 0: probe
+    u32 cid
+    u16 src
+    u16 n
+    u32 ack[n]
+    u32 pack[n]
+    u32 buf
+
+Application payloads must be ``bytes`` (or ``str``, encoded as UTF-8 and
+decoded back to ``bytes`` — the codec does not guess application types).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple, Union
+
+from repro.core.errors import ReproError
+from repro.core.pdu import DataPdu, HeartbeatPdu, RetPdu
+
+_TYPE_DATA = 0x01
+_TYPE_RET = 0x02
+_TYPE_HEARTBEAT = 0x03
+
+_FLAG_NULL = 0x01
+_FLAG_PROBE = 0x01
+
+
+class CodecError(ReproError, ValueError):
+    """Malformed bytes, or a PDU the codec cannot represent."""
+
+
+def _payload_bytes(data: Any) -> bytes:
+    if data is None:
+        return b""
+    if isinstance(data, bytes):
+        return data
+    if isinstance(data, str):
+        return data.encode("utf-8")
+    raise CodecError(
+        f"only bytes/str payloads are encodable, got {type(data).__name__} "
+        "(serialise application objects before broadcast)"
+    )
+
+
+def _pack_vector(vector: Tuple[int, ...]) -> bytes:
+    return struct.pack(f"!{len(vector)}I", *vector)
+
+
+def encode_pdu(pdu: Union[DataPdu, RetPdu, HeartbeatPdu]) -> bytes:
+    """Serialise any of the three PDU kinds to bytes."""
+    if isinstance(pdu, DataPdu):
+        payload = _payload_bytes(pdu.data)
+        flags = _FLAG_NULL if pdu.is_null else 0
+        head = struct.pack(
+            "!BBIHIH", _TYPE_DATA, flags, pdu.cid, pdu.src, pdu.seq, len(pdu.ack),
+        )
+        tail = struct.pack("!II", pdu.buf, len(payload))
+        return head + _pack_vector(pdu.ack) + tail + payload
+    if isinstance(pdu, RetPdu):
+        head = struct.pack(
+            "!BBIHHIH", _TYPE_RET, 0, pdu.cid, pdu.src, pdu.lsrc, pdu.lseq,
+            len(pdu.ack),
+        )
+        return head + _pack_vector(pdu.ack) + struct.pack("!I", pdu.buf)
+    if isinstance(pdu, HeartbeatPdu):
+        flags = _FLAG_PROBE if pdu.probe else 0
+        head = struct.pack(
+            "!BBIHH", _TYPE_HEARTBEAT, flags, pdu.cid, pdu.src, len(pdu.ack),
+        )
+        return (
+            head
+            + _pack_vector(pdu.ack)
+            + _pack_vector(pdu.pack)
+            + struct.pack("!I", pdu.buf)
+        )
+    raise CodecError(f"cannot encode {type(pdu).__name__}")
+
+
+def decode_pdu(data: bytes) -> Union[DataPdu, RetPdu, HeartbeatPdu]:
+    """Parse bytes produced by :func:`encode_pdu`."""
+    try:
+        return _decode(data)
+    except (struct.error, IndexError) as exc:
+        raise CodecError(f"truncated or malformed PDU: {exc}") from exc
+
+
+def _decode(data: bytes) -> Union[DataPdu, RetPdu, HeartbeatPdu]:
+    if not data:
+        raise CodecError("empty buffer")
+    kind = data[0]
+    if kind == _TYPE_DATA:
+        _, flags, cid, src, seq, n = struct.unpack_from("!BBIHIH", data, 0)
+        offset = struct.calcsize("!BBIHIH")
+        ack = struct.unpack_from(f"!{n}I", data, offset)
+        offset += 4 * n
+        buf, payload_len = struct.unpack_from("!II", data, offset)
+        offset += 8
+        payload = data[offset:offset + payload_len]
+        if len(payload) != payload_len:
+            raise CodecError("payload shorter than its declared length")
+        is_null = bool(flags & _FLAG_NULL)
+        return DataPdu(
+            cid=cid, src=src, seq=seq, ack=ack, buf=buf,
+            data=None if is_null else payload,
+            data_size=payload_len,
+        )
+    if kind == _TYPE_RET:
+        _, _, cid, src, lsrc, lseq, n = struct.unpack_from("!BBIHHIH", data, 0)
+        offset = struct.calcsize("!BBIHHIH")
+        ack = struct.unpack_from(f"!{n}I", data, offset)
+        offset += 4 * n
+        (buf,) = struct.unpack_from("!I", data, offset)
+        return RetPdu(cid=cid, src=src, lsrc=lsrc, lseq=lseq, ack=ack, buf=buf)
+    if kind == _TYPE_HEARTBEAT:
+        _, flags, cid, src, n = struct.unpack_from("!BBIHH", data, 0)
+        offset = struct.calcsize("!BBIHH")
+        ack = struct.unpack_from(f"!{n}I", data, offset)
+        offset += 4 * n
+        pack = struct.unpack_from(f"!{n}I", data, offset)
+        offset += 4 * n
+        (buf,) = struct.unpack_from("!I", data, offset)
+        return HeartbeatPdu(
+            cid=cid, src=src, ack=ack, pack=pack, buf=buf,
+            probe=bool(flags & _FLAG_PROBE),
+        )
+    raise CodecError(f"unknown PDU type byte 0x{kind:02x}")
+
+
+def encoded_size(pdu: Union[DataPdu, RetPdu, HeartbeatPdu]) -> int:
+    """Exact wire length of the encoded PDU.
+
+    Like the model in :mod:`repro.core.pdu`, this is linear in the cluster
+    size — the §5 observation that the PDU length is O(n).
+    """
+    return len(encode_pdu(pdu))

@@ -1,0 +1,153 @@
+"""Protocol configuration.
+
+All tunables of the CO protocol live in one frozen dataclass so an
+experiment's parameters can be recorded verbatim.  The paper's symbols map to
+fields as follows:
+
+===========  =========================  =======================================
+Paper        Field                      Meaning
+===========  =========================  =======================================
+``W``        ``window``                 flow-control window size (§4.2)
+``H``        ``units_per_pdu``          buffer units one PDU occupies (§4.2)
+(implicit)   ``deferred_interval``      the "some predefined time" after which
+                                        a deferred confirmation is sent (§5)
+(implicit)   ``ret_timeout``            how long a gap may persist before the
+                                        RET request is re-issued (RETs travel
+                                        the same lossy world as everything
+                                        else)
+===========  =========================  =======================================
+
+The ablation switches (:class:`RetransmissionScheme`,
+:class:`ConfirmationMode`, :class:`DeliveryLevel`, ``strict_paper_mode``)
+correspond to the design decisions called out in DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.core.errors import ConfigurationError
+
+
+class RetransmissionScheme(enum.Enum):
+    """How a source answers a RET PDU (§4.3 vs the TO protocols of §5)."""
+
+    #: Rebroadcast only the requested range; receivers stash out-of-order
+    #: arrivals (the CO protocol's selective retransmission).
+    SELECTIVE = "selective"
+    #: Rebroadcast everything from the first missing PDU onward; receivers
+    #: discard out-of-order arrivals (the go-back-n scheme of the TO
+    #: protocols [14, 15, 17] that §5 argues against).
+    GO_BACK_N = "go-back-n"
+
+
+class ConfirmationMode(enum.Enum):
+    """When receipt confirmations are transmitted (§5, claim C1)."""
+
+    #: Send a confirming PDU only after hearing from every entity since the
+    #: last transmission, or after ``deferred_interval`` — O(n) PDUs per
+    #: broadcast round.
+    DEFERRED = "deferred"
+    #: Send a confirming PDU for every PDU received — O(n²) PDUs per round.
+    #: Implemented only to measure the claim; never use it for real work.
+    IMMEDIATE = "immediate"
+
+
+class DeliveryLevel(enum.Enum):
+    """Which of §3's receipt criteria gates delivery to the application."""
+
+    #: Deliver once the PDU is *acknowledged* (the paper's choice: the entity
+    #: knows that every entity knows that every entity accepted it).
+    ACKNOWLEDGED = "acknowledged"
+    #: Deliver once *pre-acknowledged* (every entity accepted it).  Still
+    #: causally ordered; trades one ``R`` of latency for weaker atomicity
+    #: knowledge.  Used by the latency ablation.
+    PREACKNOWLEDGED = "preacknowledged"
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables of one CO entity (all entities of a cluster share one).
+
+    Times are in the simulator's unit (seconds by convention).
+    """
+
+    #: Flow-control window ``W``: at most this many unconfirmed PDUs in
+    #: flight per source.
+    window: int = 8
+    #: Buffer units one PDU occupies (the paper's ``H``).
+    units_per_pdu: int = 1
+    #: Deferred-confirmation window: after this long with unconfirmed receipt
+    #: information, send a confirming PDU even if not every entity has been
+    #: heard from.
+    deferred_interval: float = 2e-3
+    #: Re-issue a RET if a detected gap persists this long.
+    ret_timeout: float = 4e-3
+    #: A source ignores repeated RETs for the same PDU within this window
+    #: (NAK-implosion suppression; several receivers may miss the same PDU).
+    ret_suppression_interval: float = 1e-3
+    #: How often the host drives the engine's housekeeping tick.
+    tick_interval: float = 1e-3
+    #: Retransmission scheme ablation (§5 claim C4).
+    retransmission: RetransmissionScheme = RetransmissionScheme.SELECTIVE
+    #: Confirmation-traffic ablation (§5 claim C1).
+    confirmation: ConfirmationMode = ConfirmationMode.DEFERRED
+    #: Delivery-gate ablation (§3 / §5 claim C2).
+    delivery_level: DeliveryLevel = DeliveryLevel.ACKNOWLEDGED
+    #: Strict paper mode: deferred confirmations are *sequenced* null-data
+    #: PDUs and no PACK information is exchanged out of band.  Matches the
+    #: paper exactly but only quiesces under continuous traffic (see
+    #: DESIGN.md §2).  When ``False`` (default), confirmations are unsequenced
+    #: heartbeat PDUs carrying both the ACK and the PACK vectors.
+    strict_paper_mode: bool = False
+    #: Crash-stop membership extension: an entity not heard from (any PDU)
+    #: for this long is *suspected* — excluded from every knowledge minimum
+    #: so the survivors keep delivering, with its PDUs re-served by peers
+    #: that hold them.  ``None`` (default) disables suspicion entirely, the
+    #: paper's fixed-membership model.  Delivery then means "accepted by
+    #: every live member".  A suspected entity heard from again is
+    #: re-included automatically.
+    suspect_timeout: "float | None" = None
+    #: Cluster identifier placed in every PDU's ``CID`` field.
+    cluster_id: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {self.window}")
+        if self.units_per_pdu < 1:
+            raise ConfigurationError(
+                f"units_per_pdu must be >= 1, got {self.units_per_pdu}"
+            )
+        for name in (
+            "deferred_interval",
+            "ret_timeout",
+            "ret_suppression_interval",
+            "tick_interval",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(f"{name} must be non-negative, got {value}")
+        if self.suspect_timeout is not None and self.suspect_timeout <= 0:
+            raise ConfigurationError(
+                f"suspect_timeout must be positive or None, got {self.suspect_timeout}"
+            )
+        if self.suspect_timeout is not None and self.strict_paper_mode:
+            raise ConfigurationError(
+                "the membership extension needs heartbeat keepalives, which "
+                "strict paper mode disables; choose one"
+            )
+
+    def with_(self, **changes) -> "ProtocolConfig":
+        """A copy with the given fields replaced (sugar over ``replace``)."""
+        return replace(self, **changes)
+
+    @property
+    def paper_faithful(self) -> bool:
+        """True when no extension or ablation deviates from the paper."""
+        return (
+            self.strict_paper_mode
+            and self.retransmission is RetransmissionScheme.SELECTIVE
+            and self.confirmation is ConfirmationMode.DEFERRED
+            and self.delivery_level is DeliveryLevel.ACKNOWLEDGED
+        )

@@ -1,0 +1,807 @@
+"""The CO protocol engine (§4).
+
+:class:`COEntity` is a **sans-I/O state machine**: it never touches the
+network or the clock directly.  A host (:mod:`repro.core.cluster`) feeds it
+arriving PDUs via :meth:`COEntity.on_pdu`, drives housekeeping via
+:meth:`COEntity.on_tick`, and receives outputs through two callbacks bound
+with :meth:`COEntity.bind`:
+
+* ``send(pdu)`` — broadcast a PDU on the cluster's network;
+* ``deliver(message)`` — hand ordered application data up through the SAP.
+
+This separation keeps the protocol logic synchronous, deterministic and unit
+testable: the tests drive an engine directly with hand-built PDUs and
+inspect its logs, exactly like working through the paper's Example 4.1.
+
+The engine implements, in the paper's terms:
+
+==============================  ==========================================
+Paper action / condition        Method
+==============================  ==========================================
+DT request intake               :meth:`submit`
+Flow condition (§4.2)           :class:`~repro.core.flow.FlowController`
+Transmission action             :meth:`_broadcast_data`
+Acceptance condition + action   :meth:`_on_data` / :meth:`_accept`
+Failure condition (1)           :meth:`_on_data` (sequence gap)
+Failure condition (2)           :meth:`_check_ack_gaps`
+Retransmission action           :meth:`_send_ret` / :meth:`_on_ret`
+PACK condition + action         :meth:`_pack_action`
+ACK condition + action          :meth:`_ack_action`
+Deferred confirmation (§5)      :meth:`_maybe_confirm` / :meth:`on_tick`
+==============================  ==========================================
+
+Self-delivery: the MC network does not loop a broadcast back to its sender;
+instead the engine *self-accepts* each PDU it sends, at send time.  This
+keeps the knowledge matrices uniform (the sender's own row of ``AL`` is just
+its ``REQ`` vector) and matches a host handing its own broadcast straight to
+its system entity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.causality import cpi_insert
+from repro.core.config import (
+    ConfirmationMode,
+    DeliveryLevel,
+    ProtocolConfig,
+    RetransmissionScheme,
+)
+from repro.core.errors import ProtocolError
+from repro.core.flow import FlowController
+from repro.core.logs import Log, ReceiptSublogs, SendingLog
+from repro.core.pdu import DataPdu, HeartbeatPdu, RetPdu
+from repro.core.retransmit import GapTracker, RetransmitSuppressor
+from repro.core.state import KnowledgeState
+from repro.sim.trace import TraceLog
+
+Clock = Callable[[], float]
+SendFn = Callable[[Any], None]
+
+
+@dataclass(frozen=True)
+class DeliveredMessage:
+    """One ordered application message handed up through the SAP."""
+
+    data: Any
+    src: int
+    seq: int
+    delivered_at: float
+
+
+DeliverFn = Callable[[DeliveredMessage], None]
+
+
+@dataclass
+class EntityCounters:
+    """Per-entity protocol statistics."""
+
+    submitted: int = 0
+    sent_data: int = 0
+    sent_null: int = 0
+    sent_heartbeats: int = 0
+    sent_rets: int = 0
+    retransmissions: int = 0
+    retransmissions_suppressed: int = 0
+    accepted: int = 0
+    duplicates: int = 0
+    stashed: int = 0
+    discarded_out_of_order: int = 0
+    preacknowledged: int = 0
+    acknowledged: int = 0
+    delivered: int = 0
+    flow_blocked: int = 0
+    foreign_cluster: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class COEntity:
+    """One system entity ``E_i`` running the CO protocol.
+
+    Parameters
+    ----------
+    index:
+        This entity's position in the cluster (0-based; the paper's 1-based
+        ``E_i`` maps to index ``i-1``).
+    n:
+        Cluster size.
+    config:
+        Shared :class:`~repro.core.config.ProtocolConfig`.
+    clock:
+        Returns the current time; used for trace stamps and timeouts.
+    trace:
+        Shared :class:`~repro.sim.trace.TraceLog`.
+    advertised_buf:
+        Returns the free buffer units this entity advertises in its PDUs'
+        ``BUF`` field (the host wires this to its receive buffer).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        n: int,
+        config: ProtocolConfig,
+        clock: Clock,
+        trace: TraceLog,
+        advertised_buf: Optional[Callable[[], int]] = None,
+    ):
+        if n < 1:
+            raise ProtocolError(f"cluster size must be >= 1, got {n}")
+        self.index = index
+        self.n = n
+        self.config = config
+        self._clock = clock
+        self._trace = trace
+        self._advertised_buf = advertised_buf or (lambda: 10 ** 9)
+
+        self.state = KnowledgeState(n, index)
+        self.flow = FlowController(config, self.state)
+        self.sl = SendingLog()
+        self.rrl = ReceiptSublogs(n)
+        #: Pre-acknowledged log, kept causality-ordered by CPI.
+        self.prl: List[DataPdu] = []
+        #: Acknowledged log, in delivery order.
+        self.arl: Log[DataPdu] = Log()
+        self.gaps = GapTracker(n)
+        #: preack_floor[j]: every PDU from E_j with seq below this has been
+        #: pre-acknowledged locally (same-source pre-acks are in seq order).
+        self._preack_floor: List[int] = [1] * n
+        self._suppressor = RetransmitSuppressor(config.ret_suppression_interval)
+        #: Out-of-order arrivals per source (selective retransmission only).
+        self._stash: List[Dict[int, DataPdu]] = [{} for _ in range(n)]
+        #: Accepted PDUs from peers, kept to re-serve RETs addressed to a
+        #: suspected (crashed) source — the membership extension's
+        #: peer-assisted retransmission.  Pruned below the live minAL.
+        self._peer_store: List[Dict[int, DataPdu]] = [{} for _ in range(n)]
+        self._assist_suppressor = RetransmitSuppressor(config.ret_suppression_interval)
+        #: Membership extension state.
+        self.suspected: Set[int] = set()
+        self._last_heard: List[float] = [clock()] * n
+        #: Application data waiting for the flow condition: (data, size).
+        self._pending: Deque[Tuple[Any, int]] = deque()
+        #: Sources heard from since this entity's last transmission.
+        self._heard_from: Set[int] = set()
+        self._last_confirmed_req: Tuple[int, ...] = self.state.req_vector()
+        self._last_confirmed_pack: Tuple[int, ...] = tuple(self._preack_floor)
+        self._last_send_time: float = clock()
+        self._flow_block_announced = False
+        self._resident_high_water = 0
+        # Exponential backoff multiplier for probe heartbeats.  Probes are
+        # retries; retrying them at a fixed rate can congest receivers whose
+        # slowness caused the stall in the first place (their full buffers
+        # then advertise BUF=0, which keeps the prober's window shut — a
+        # self-sustaining storm).  Doubles per fruitless probe, resets on
+        # any knowledge progress.
+        self._probe_backoff = 1
+        self.counters = EntityCounters()
+        self._send_fn: Optional[SendFn] = None
+        self._deliver_fn: Optional[DeliverFn] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, send: SendFn, deliver: DeliverFn) -> None:
+        """Attach the host's output callbacks.  Must precede any traffic."""
+        self._send_fn = send
+        self._deliver_fn = deliver
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+    def submit(self, data: Any, size: int = 0) -> None:
+        """A data-transmission (DT) request from the application entity."""
+        if data is None:
+            raise ValueError("application data must not be None (reserved for null PDUs)")
+        self.counters.submitted += 1
+        self._trace.record(self.now, "submit", self.index, size=size)
+        self._pending.append((data, size))
+        self._pump()
+
+    def on_pdu(self, pdu: Any) -> None:
+        """Process one PDU taken from the receive buffer."""
+        if getattr(pdu, "cid", self.config.cluster_id) != self.config.cluster_id:
+            # Another cluster's traffic on a shared medium (the paper's CID
+            # field exists precisely to demultiplex this): not ours, drop.
+            self.counters.foreign_cluster += 1
+            return
+        src = getattr(pdu, "src", None)
+        if src is not None and 0 <= src < self.n and src != self.index:
+            self._last_heard[src] = self.now
+            if src in self.suspected:
+                self._unsuspect(src)
+        if isinstance(pdu, DataPdu):
+            self._on_data(pdu)
+        elif isinstance(pdu, RetPdu):
+            self._on_ret(pdu)
+        elif isinstance(pdu, HeartbeatPdu):
+            self._on_heartbeat(pdu)
+        else:
+            raise ProtocolError(f"unknown PDU type: {type(pdu).__name__}")
+
+    def on_tick(self) -> None:
+        """Periodic housekeeping: RET retries, deferred confirmation, flow retry."""
+        now = self.now
+        timeout = self.config.suspect_timeout
+        if timeout is not None:
+            for j in range(self.n):
+                if j == self.index or j in self.suspected:
+                    continue
+                if now - self._last_heard[j] >= timeout:
+                    self._suspect(j)
+        for gap in self.gaps.due(now, self.config.ret_timeout):
+            self._send_ret(gap.src, gap.upto)
+        # While this entity is still waiting on the cluster — undrained
+        # logs, open gaps, or data blocked by the flow window — keep
+        # repeating the confirmation as a *probe* even if nothing changed:
+        # heartbeats are unsequenced, so a lost one is otherwise
+        # irreplaceable and the tail of the run would stall (a blocked
+        # sender additionally needs fresh BUF advertisements to reopen its
+        # window).  Probes back off exponentially while fruitless.
+        needy = self._needy
+        interval = self.config.deferred_interval
+        if needy:
+            interval *= self._probe_backoff
+        if now - self._last_send_time >= interval:
+            self._send_confirmation(force=True, resend=needy, probe=needy)
+            if needy:
+                self._probe_backoff = min(self._probe_backoff * 2, 64)
+        # Keepalives: with the membership extension on, silence must mean
+        # death, so a healthy idle entity announces itself twice per
+        # suspicion window (repeating its last heartbeat verbatim).
+        if (
+            timeout is not None
+            and now - self._last_send_time >= timeout / 2
+        ):
+            self._send_confirmation(force=True, resend=True, probe=False)
+        self._pump()
+
+    @property
+    def _drained(self) -> bool:
+        """No local protocol state is waiting on further knowledge."""
+        return (
+            self.rrl.total == 0
+            and not self.prl
+            and self.gaps.open_gaps == 0
+            and all(not s for s in self._stash)
+        )
+
+    @property
+    def _needy(self) -> bool:
+        """Progress here depends on hearing more from the cluster."""
+        return not self._drained or bool(self._pending)
+
+    # ------------------------------------------------------------------
+    # Transmission (§4.2)
+    # ------------------------------------------------------------------
+    def _pump(self) -> int:
+        """Send as many pending DT requests as the flow condition allows."""
+        sent = 0
+        while self._pending:
+            decision = self.flow.check(self.sl.next_seq)
+            if not decision.allowed:
+                if not self._flow_block_announced:
+                    self.counters.flow_blocked += 1
+                    self._trace.record(
+                        self.now, "flow-blocked", self.index,
+                        seq=decision.seq, reason=decision.reason,
+                        window=decision.effective_window,
+                    )
+                    self._flow_block_announced = True
+                break
+            data, size = self._pending.popleft()
+            self._broadcast_data(data, size)
+            sent += 1
+        if sent:
+            self._flow_block_announced = False
+        return sent
+
+    def _broadcast_data(self, data: Optional[Any], size: int) -> None:
+        """The transmission action: build, log, broadcast and self-accept."""
+        pdu = DataPdu(
+            cid=self.config.cluster_id,
+            src=self.index,
+            seq=self.sl.next_seq,
+            ack=self.state.req_vector(),
+            buf=self._advertised_buf(),
+            data=data,
+            data_size=size,
+        )
+        self.sl.append(pdu)
+        if pdu.is_null:
+            self.counters.sent_null += 1
+        else:
+            self.counters.sent_data += 1
+        self._note_transmission()
+        self._send(pdu)
+        # Self-acceptance: the sender's own copy enters its receipt machinery
+        # immediately, keeping REQ/AL uniform across the cluster.
+        self._accept(pdu)
+        self._pack_action()
+
+    def _note_transmission(self) -> None:
+        """Every outgoing sequenced PDU carries REQ — it *is* a confirmation."""
+        self._last_confirmed_req = self.state.req_vector()
+        self._heard_from.clear()
+        self._last_send_time = self.now
+
+    def _send(self, pdu: Any) -> None:
+        if self._send_fn is None:
+            raise ProtocolError("engine used before bind()")
+        self._send_fn(pdu)
+
+    # ------------------------------------------------------------------
+    # Data-PDU receipt: acceptance + failure condition (1)  (§4.2, §4.3)
+    # ------------------------------------------------------------------
+    def _on_data(self, p: DataPdu) -> None:
+        src = p.src
+        if src == self.index:
+            # Our own rebroadcast echoed back by a peer relay — impossible in
+            # the MC model; tolerate as a duplicate.
+            self.counters.duplicates += 1
+            return
+        expected = self.state.req[src]
+        if p.seq < expected:
+            # A retransmitted copy of something already accepted: its ACK
+            # vector is old but max-merging stale knowledge is harmless.
+            self.counters.duplicates += 1
+            self._trace.record(self.now, "duplicate", self.index, src=src, seq=p.seq)
+            self.state.merge_al(src, p.ack)
+        elif p.seq == expected:
+            self._accept(p)
+            self._drain_stash(src)
+        else:
+            # Failure condition (1): REQ_src < p.SEQ.
+            self._trace.record(
+                self.now, "gap", self.index,
+                kind="F1", src=src, missing_from=expected, missing_upto=p.seq,
+            )
+            self.state.merge_al(src, p.ack)
+            self.state.update_buf(src, p.buf)
+            if self.config.retransmission is RetransmissionScheme.SELECTIVE:
+                if p.seq not in self._stash[src]:
+                    self._stash[src][p.seq] = p
+                    self.counters.stashed += 1
+                    self._trace.record(self.now, "stash", self.index, src=src, seq=p.seq)
+            else:
+                self.counters.discarded_out_of_order += 1
+            if self.gaps.note(src, p.seq, self.now):
+                self._send_ret(src, p.seq)
+        # Failure condition (2) applies to every received PDU's ACK vector.
+        self._check_ack_gaps(p.ack, carrier=src)
+        self._pack_action()
+        self._maybe_confirm()
+        self._pump()
+
+    def _accept(self, p: DataPdu) -> None:
+        """The acceptance action (§4.2)."""
+        self.state.advance_req(p.src, p.seq)
+        self.state.merge_al(p.src, p.ack)
+        if p.src != self.index:
+            # Own BUF advertisements never constrain our window: broadcasts
+            # land in *other* entities' buffers (self-acceptance bypasses
+            # ours), so the self entry stays at its non-binding initial.
+            self.state.update_buf(p.src, p.buf)
+        # Our own row of AL is our own REQ vector, which just advanced.
+        self.state.merge_al(self.index, self.state.req_vector())
+        self.rrl.enqueue(p)
+        if p.src != self.index:
+            self._peer_store[p.src][p.seq] = p
+        self.gaps.close_below(p.src, self.state.req[p.src])
+        self.counters.accepted += 1
+        self._trace.record(
+            self.now, "accept", self.index,
+            src=p.src, seq=p.seq, null=p.is_null,
+        )
+        if p.src != self.index:
+            self._heard_from.add(p.src)
+        self._probe_backoff = 1
+        resident = self.resident_pdus
+        if resident > self._resident_high_water:
+            self._resident_high_water = resident
+
+    def _drain_stash(self, src: int) -> None:
+        """Accept stashed PDUs that have become in-order."""
+        stash = self._stash[src]
+        while True:
+            nxt = stash.pop(self.state.req[src], None)
+            if nxt is None:
+                break
+            self._accept(nxt)
+
+    # ------------------------------------------------------------------
+    # Failure condition (2) and RET handling (§4.3)
+    # ------------------------------------------------------------------
+    def _check_ack_gaps(self, ack: Tuple[int, ...], carrier: int) -> None:
+        """F condition (2): a received ACK vector proves others accepted
+        PDUs we have not — request them from their sources.
+
+        The carrier's own component is *not* skipped: for a data PDU it is
+        redundant with failure condition (1) (harmlessly deduplicated by the
+        gap tracker), but for unsequenced control PDUs it is the only way to
+        learn that the carrier itself sent data we never saw.
+        """
+        for j in range(self.n):
+            if j == self.index:
+                continue
+            if ack[j] > self.state.req[j]:
+                self._trace.record(
+                    self.now, "gap", self.index,
+                    kind="F2", src=j,
+                    missing_from=self.state.req[j], missing_upto=ack[j],
+                )
+                if self.gaps.note(j, ack[j], self.now):
+                    self._send_ret(j, ack[j])
+
+    def _send_ret(self, lsrc: int, upto: int) -> None:
+        """The retransmission-request side of the retransmission action."""
+        ret = RetPdu(
+            cid=self.config.cluster_id,
+            src=self.index,
+            lsrc=lsrc,
+            lseq=upto,
+            ack=self.state.req_vector(),
+            buf=self._advertised_buf(),
+        )
+        self.counters.sent_rets += 1
+        self._trace.record(
+            self.now, "ret", self.index,
+            lsrc=lsrc, req_from=ret.requested_from, req_upto=upto,
+        )
+        self.gaps.mark_ret(lsrc, self.now)
+        self._send(ret)
+
+    def _on_ret(self, r: RetPdu) -> None:
+        """The rebroadcast side of the retransmission action."""
+        self.state.merge_al(r.src, r.ack)
+        self.state.update_buf(r.src, r.buf)
+        self._check_ack_gaps(r.ack, carrier=r.src)
+        if r.lsrc == self.index:
+            lo = r.requested_from
+            if self.config.retransmission is RetransmissionScheme.GO_BACK_N:
+                # Go-back-n: resend everything from the first missing PDU on.
+                hi = self.sl.next_seq
+            else:
+                hi = min(r.requested_upto, self.sl.next_seq)
+            for pdu in self.sl.get_range(lo, hi):
+                if self._suppressor.should_send(pdu.seq, self.now):
+                    self.counters.retransmissions += 1
+                    self._trace.record(
+                        self.now, "retransmit", self.index, seq=pdu.seq, to=r.src,
+                    )
+                    self._send(pdu)
+                else:
+                    self.counters.retransmissions_suppressed += 1
+        elif r.lsrc in self.suspected:
+            # Peer-assisted retransmission (membership extension): the
+            # source is presumed crashed, so any live holder re-serves its
+            # PDUs from the peer store.
+            store = self._peer_store[r.lsrc]
+            hi = min(r.requested_upto, max(store, default=0) + 1)
+            for seq in range(r.requested_from, hi):
+                pdu = store.get(seq)
+                if pdu is None:
+                    continue
+                if self._assist_suppressor.should_send((r.lsrc, seq), self.now):
+                    self.counters.retransmissions += 1
+                    self._trace.record(
+                        self.now, "retransmit", self.index,
+                        seq=seq, to=r.src, on_behalf_of=r.lsrc,
+                    )
+                    self._send(pdu)
+                else:
+                    self.counters.retransmissions_suppressed += 1
+        self._pack_action()
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Heartbeats (quiescence extension, DESIGN.md §2)
+    # ------------------------------------------------------------------
+    def _on_heartbeat(self, h: HeartbeatPdu) -> None:
+        al_changed = self.state.merge_al(h.src, h.ack)
+        pal_changed = self.state.merge_pal(h.src, h.pack)
+        if al_changed or pal_changed or h.buf > self.state.buf[h.src]:
+            self._probe_backoff = 1
+        self.state.update_buf(h.src, h.buf)
+        self._check_ack_gaps(h.ack, carrier=h.src)
+        # Heartbeats count as "heard from" for the deferred-confirmation
+        # trigger even though they are not accepted into any log.
+        self._heard_from.add(h.src)
+        self._pack_action()
+        self._maybe_confirm()
+        # Answer with a fresh heartbeat when the peer demonstrably needs
+        # one: either its vectors trail ours (it missed a confirmation —
+        # heartbeats are unsequenced, so loss leaves no gap to detect) or it
+        # is probing because it is stuck waiting for knowledge it cannot
+        # name (e.g. its minPAL lags because OUR last heartbeat to it was
+        # lost).  Rate-limited by the deferred window; the exchange
+        # converges once both sides drain.
+        peer_stale = any(
+            h.ack[j] < self.state.req[j] or h.pack[j] < self._preack_floor[j]
+            for j in range(self.n)
+        )
+        if (
+            (peer_stale or h.probe)
+            and self.now - self._last_send_time >= self.config.deferred_interval
+        ):
+            self._send_confirmation(force=True, resend=True, probe=False)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Pre-acknowledgment and acknowledgment (§4.4, §4.5)
+    # ------------------------------------------------------------------
+    def _pack_action(self) -> None:
+        """Move PDUs satisfying the PACK condition from RRL to PRL via CPI.
+
+        Beyond the paper's PACK condition (``p.seq < minAL_{p.src}``), a PDU
+        only moves once **every causal predecessor it names has moved**
+        (:meth:`_deps_preacked`).  The paper's Proposition 4.3 derives this
+        ordering from Lemma 4.2's ACK monotonicity, but the paper itself
+        notes (after Lemma 4.2, Fig. 6 discussion) that a *lost* PDU breaks
+        that monotonicity: an entity accepts ``q`` whose ACK vector names a
+        predecessor ``p`` it never received, its subsequent confirmations
+        regress below ``q``'s ACK, and ``q`` can reach the PACK condition
+        cluster-wide while ``p`` is still being retransmitted — after which
+        ``q`` would be acknowledged and *delivered before* ``p``.  Gating on
+        the predecessor floor restores Proposition 4.3 deterministically
+        (see DESIGN.md, "correctness completion").
+
+        The scan iterates to a fixpoint because moving a predecessor can
+        unblock a successor in an already-visited sublog.  All newly
+        pre-acknowledged PDUs are CPI-inserted before any delivery decision
+        runs, so a mid-batch delivery can never jump a predecessor.
+        """
+        newly: List[DataPdu] = []
+        progressed = True
+        while progressed:
+            progressed = False
+            for j in range(self.n):
+                threshold = self.state.min_al(j)
+                top = self.rrl.top(j)
+                while (
+                    top is not None
+                    and top.seq < threshold
+                    and self._deps_preacked(top)
+                ):
+                    p = self.rrl.dequeue(j)
+                    self._preack_floor[j] = p.seq + 1
+                    # The paper's PAL rule: a pre-acknowledged PDU's ACK
+                    # vector certifies what its sender had accepted.
+                    self.state.merge_pal(j, p.ack)
+                    newly.append(p)
+                    progressed = True
+                    top = self.rrl.top(j)
+        if newly:
+            for p in newly:
+                cpi_insert(self.prl, p)
+                self.counters.preacknowledged += 1
+                self._trace.record(
+                    self.now, "preack", self.index, src=p.src, seq=p.seq,
+                )
+            # Our own PAL row is our own (true) pre-acknowledgment floor.
+            self.state.merge_pal(self.index, tuple(self._preack_floor))
+            if self.config.delivery_level is DeliveryLevel.PREACKNOWLEDGED:
+                self._deliver_batch_in_prl_order(newly)
+        self._ack_action()
+
+    def _deps_preacked(self, p: DataPdu) -> bool:
+        """Have all causal predecessors ``p`` names been pre-acknowledged?
+
+        ``p.ack[j]`` says ``p``'s sender had accepted every PDU from ``E_j``
+        below it when sending ``p`` — all of those causally precede ``p``
+        (Theorem 4.1), so they must enter PRL first.  For ``j == p.src`` the
+        check is vacuous: RRL order already sequences same-source PDUs.
+        """
+        floor = self._preack_floor
+        return all(
+            p.ack[j] <= floor[j]
+            for j in range(self.n)
+            if j != p.src
+        )
+
+    def _deliver_batch_in_prl_order(self, batch: List[DataPdu]) -> None:
+        """PREACKNOWLEDGED ablation: deliver a freshly pre-acked batch in
+        PRL (causality) order.  Safe because every causal predecessor of a
+        batch member is already in PRL or ARL (Proposition 4.3)."""
+        members = {p.pdu_id for p in batch}
+        for p in self.prl:
+            if p.pdu_id in members:
+                self._deliver(p)
+
+    def _ack_action(self) -> None:
+        """Move the PRL prefix satisfying the ACK condition to ARL; deliver."""
+        while self.prl:
+            p = self.prl[0]
+            if p.seq >= self.state.min_pal(p.src):
+                break
+            self.prl.pop(0)
+            self.arl.enqueue(p)
+            self.counters.acknowledged += 1
+            self._trace.record(self.now, "ack", self.index, src=p.src, seq=p.seq)
+            self._on_acknowledged(p)
+        self._prune()
+
+    def _on_acknowledged(self, p: DataPdu) -> None:
+        """Hook: a PDU just reached the acknowledged level.
+
+        The base engine delivers here (unless the PREACKNOWLEDGED ablation
+        already did); the total-order extension overrides this to hold
+        acknowledged PDUs back until their global rank is decided.
+        """
+        if self.config.delivery_level is DeliveryLevel.ACKNOWLEDGED:
+            self._deliver(p)
+
+    def _deliver(self, p: DataPdu) -> None:
+        """Hand a PDU's data to the application (null PDUs deliver nothing)."""
+        if p.is_null:
+            return
+        if self._deliver_fn is None:
+            raise ProtocolError("engine used before bind()")
+        self.counters.delivered += 1
+        self._trace.record(self.now, "deliver", self.index, src=p.src, seq=p.seq)
+        self._deliver_fn(
+            DeliveredMessage(data=p.data, src=p.src, seq=p.seq, delivered_at=self.now)
+        )
+
+    def _prune(self) -> None:
+        """Release sent PDUs no entity can still request (§5 buffer bound).
+
+        Pruning uses the all-rows minimum (suspects included): a suspected
+        entity may be merely slow and return with retransmission requests,
+        so nothing above its last known expectations may be dropped.  The
+        price is that a permanently dead member freezes its column and the
+        stores stop shrinking past it; a real deployment would eventually
+        evict the member for good (view change — out of scope here).
+        """
+        floor = self.state.min_al_all_rows(self.index)
+        if floor > 1:
+            self.sl.prune_below(floor)
+            self._suppressor.forget_below(floor)
+        for j in range(self.n):
+            if j == self.index:
+                continue
+            store = self._peer_store[j]
+            if not store:
+                continue
+            keep_from = self.state.min_al_all_rows(j)
+            for seq in [s for s in store if s < keep_from]:
+                del store[seq]
+
+    # ------------------------------------------------------------------
+    # Membership (crash-stop extension)
+    # ------------------------------------------------------------------
+    def _suspect(self, j: int) -> None:
+        """Exclude a silent entity from every progress condition.
+
+        Pre-acknowledgment and acknowledgment now mean "by every *live*
+        entity"; the flow window stops waiting for ``j``'s confirmations;
+        RETs addressed to ``j`` are answered by live holders.  Suspicion is
+        revocable: any PDU from ``j`` re-includes it.
+        """
+        self.suspected.add(j)
+        self.state.set_excluded(j, True)
+        self._heard_from.discard(j)
+        self._trace.record(
+            self.now, "suspect", self.index,
+            src=j, silent_for=self.now - self._last_heard[j],
+        )
+        # The minima may have risen the moment the laggard's rows stopped
+        # counting: re-run the whole pipeline.
+        self._pack_action()
+        self._pump()
+
+    def _unsuspect(self, j: int) -> None:
+        """A suspected entity spoke: re-include it (it was merely slow)."""
+        self.suspected.discard(j)
+        self.state.set_excluded(j, False)
+        self._trace.record(self.now, "unsuspect", self.index, src=j)
+
+    # ------------------------------------------------------------------
+    # Deferred confirmation (§5)
+    # ------------------------------------------------------------------
+    def _maybe_confirm(self) -> None:
+        """Send a confirming PDU when the deferred rule fires."""
+        if self.config.confirmation is ConfirmationMode.IMMEDIATE:
+            self._send_confirmation(force=False)
+            return
+        live_others = self.n - 1 - len(self.suspected)
+        if live_others and len(self._heard_from - self.suspected) >= live_others:
+            self._send_confirmation(force=False)
+
+    def _send_confirmation(self, force: bool, resend: bool = False, probe: bool = False) -> None:
+        """Emit receipt confirmations.
+
+        Pending application data takes priority — a data PDU carries the
+        same ACK vector.  Otherwise strict paper mode sends a sequenced
+        null-data PDU (bypassing the flow window only when the deferred
+        timer forces it); extension mode sends an unsequenced heartbeat.
+        ``resend`` bypasses the nothing-new suppression, repeating the last
+        heartbeat — the loss-recovery path for unsequenced control PDUs.
+        """
+        if self._pending:
+            if self._pump():
+                return
+            # Flow-blocked data: fall through and confirm out of band (the
+            # heartbeat also refreshes our BUF advertisement, which is what
+            # usually reopens the window).
+        if self.config.strict_paper_mode:
+            if self.state.req_vector() == self._last_confirmed_req:
+                return
+            decision = self.flow.check(self.sl.next_seq)
+            if decision.allowed or force:
+                self._broadcast_data(None, 0)
+            return
+        req = self.state.req_vector()
+        pack = tuple(self._preack_floor)
+        if (
+            not resend
+            and req == self._last_confirmed_req
+            and pack == self._last_confirmed_pack
+        ):
+            return
+        hb = HeartbeatPdu(
+            cid=self.config.cluster_id,
+            src=self.index,
+            ack=req,
+            pack=pack,
+            buf=self._advertised_buf(),
+            # A probe says "I am stuck; please re-send me your state."
+            # Fresh confirmations and probe *answers* are not probes, so
+            # answering cannot ping-pong between drained entities.
+            probe=probe,
+        )
+        self.counters.sent_heartbeats += 1
+        self._trace.record(self.now, "heartbeat", self.index)
+        self._last_confirmed_req = req
+        self._last_confirmed_pack = pack
+        self._heard_from.clear()
+        self._last_send_time = self.now
+        self._send(hb)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident_pdus(self) -> int:
+        """PDUs held in SL + RRL + PRL + stash (the §5 buffer metric).
+
+        ARL is excluded: acknowledged PDUs are kept only "in record" and a
+        production implementation would release them on delivery.
+        """
+        stash = sum(len(s) for s in self._stash)
+        return self.sl.retained + self.rrl.total + len(self.prl) + stash
+
+    @property
+    def resident_high_water(self) -> int:
+        """Peak of :attr:`resident_pdus` over the run (§5 claim C3)."""
+        return self._resident_high_water
+
+    @property
+    def pending_requests(self) -> int:
+        """DT requests waiting for the flow condition."""
+        return len(self._pending)
+
+    @property
+    def quiescent(self) -> bool:
+        """No pending work: nothing to send, no open gaps, logs drained."""
+        return (
+            not self._pending
+            and self.gaps.open_gaps == 0
+            and self.rrl.total == 0
+            and not self.prl
+            and all(not s for s in self._stash)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"COEntity(E{self.index}, seq={self.sl.next_seq}, "
+            f"req={self.state.req})"
+        )

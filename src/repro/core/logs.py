@@ -1,0 +1,169 @@
+"""The paper's logs: ``SL``, ``RRL``, ``PRL``, ``ARL``.
+
+§2.2 models the communication service as a set of *logs* — sequences of
+PDUs.  Each CO entity maintains:
+
+* ``SL`` (:class:`SendingLog`) — every PDU it has broadcast, indexed by
+  sequence number so RET requests can be answered;
+* ``RRL_j`` (:class:`ReceiptSublogs`) — one FIFO per source holding PDUs
+  *accepted* but not yet pre-acknowledged;
+* ``PRL`` — pre-acknowledged PDUs kept in causality order by the CPI
+  operation (a plain list managed by :mod:`repro.core.causality`; the engine
+  owns it directly);
+* ``ARL`` (:class:`Log`) — acknowledged PDUs in delivery order.
+
+:class:`Log` is the generic ordered container with the paper's vocabulary
+(``enqueue``, ``dequeue``, ``top``, ``last``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generic, Iterator, List, Optional, TypeVar
+
+from repro.core.pdu import DataPdu
+
+T = TypeVar("T")
+
+
+class Log(Generic[T]):
+    """A sequence of PDUs with the paper's log operations.
+
+    ``enqueue`` appends at the tail; ``dequeue`` removes the top (head).
+    Iteration runs top → last.
+    """
+
+    def __init__(self, items: Optional[List[T]] = None):
+        self._items: Deque[T] = deque(items or [])
+
+    def enqueue(self, item: T) -> None:
+        """The paper's ``enqueue(L, p)``: put ``p`` at the tail of ``L``."""
+        self._items.append(item)
+
+    def dequeue(self) -> T:
+        """The paper's ``dequeue(L)``: remove and return ``top(L)``."""
+        if not self._items:
+            raise IndexError("dequeue from an empty log")
+        return self._items.popleft()
+
+    @property
+    def top(self) -> Optional[T]:
+        """``top(L)``: the head of the log, or ``None`` when empty."""
+        return self._items[0] if self._items else None
+
+    @property
+    def last(self) -> Optional[T]:
+        """``last(L)``: the tail of the log, or ``None`` when empty."""
+        return self._items[-1] if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> T:
+        return self._items[index]
+
+    def as_list(self) -> List[T]:
+        return list(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Log({list(self._items)!r})"
+
+
+class SendingLog:
+    """``SL``: PDUs this entity has broadcast, retrievable by sequence number.
+
+    Retransmission (§4.3) needs random access by ``SEQ``; the log also
+    supports pruning of globally acknowledged prefixes so long runs do not
+    retain every PDU ever sent (the §5 buffer analysis: only ``O(n·W)`` PDUs
+    need to stay resident).
+    """
+
+    def __init__(self) -> None:
+        self._by_seq: Dict[int, DataPdu] = {}
+        self._min_retained = 1
+        self._next_seq = 1
+
+    def append(self, pdu: DataPdu) -> None:
+        """Record a freshly sent PDU (sequence numbers must be consecutive)."""
+        if pdu.seq != self._next_seq:
+            raise ValueError(
+                f"sending log expects seq {self._next_seq}, got {pdu.seq}"
+            )
+        self._by_seq[pdu.seq] = pdu
+        self._next_seq += 1
+
+    def get(self, seq: int) -> Optional[DataPdu]:
+        """The PDU with the given sequence number, if still retained."""
+        return self._by_seq.get(seq)
+
+    def get_range(self, lo: int, hi: int) -> List[DataPdu]:
+        """Retained PDUs with ``lo <= seq < hi``, in sequence order."""
+        lo = max(lo, self._min_retained)
+        hi = min(hi, self._next_seq)
+        return [self._by_seq[s] for s in range(lo, hi) if s in self._by_seq]
+
+    def prune_below(self, seq: int) -> int:
+        """Forget PDUs with sequence number below ``seq``; returns count."""
+        removed = 0
+        for s in range(self._min_retained, min(seq, self._next_seq)):
+            if self._by_seq.pop(s, None) is not None:
+                removed += 1
+        if seq > self._min_retained:
+            self._min_retained = seq
+        return removed
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next broadcast will use."""
+        return self._next_seq
+
+    @property
+    def retained(self) -> int:
+        """How many PDUs are currently held (buffer-usage metric)."""
+        return len(self._by_seq)
+
+    def __len__(self) -> int:
+        return self._next_seq - 1
+
+    def __iter__(self) -> Iterator[DataPdu]:
+        return (self._by_seq[s] for s in sorted(self._by_seq))
+
+
+class ReceiptSublogs:
+    """``RRL``: one receipt sublog per source (§4.4's ``RRL_ij``).
+
+    Holds PDUs *accepted* from each source, in sequence order, until they are
+    pre-acknowledged and move to ``PRL``.
+    """
+
+    def __init__(self, n: int):
+        self._sublogs: List[Log[DataPdu]] = [Log() for _ in range(n)]
+
+    def sublog(self, src: int) -> Log[DataPdu]:
+        return self._sublogs[src]
+
+    def enqueue(self, pdu: DataPdu) -> None:
+        self._sublogs[pdu.src].enqueue(pdu)
+
+    def top(self, src: int) -> Optional[DataPdu]:
+        return self._sublogs[src].top
+
+    def dequeue(self, src: int) -> DataPdu:
+        return self._sublogs[src].dequeue()
+
+    @property
+    def total(self) -> int:
+        """PDUs resident across all sublogs (buffer-usage metric)."""
+        return sum(len(log) for log in self._sublogs)
+
+    def __iter__(self) -> Iterator[Log[DataPdu]]:
+        return iter(self._sublogs)
+
+    def __len__(self) -> int:
+        return len(self._sublogs)

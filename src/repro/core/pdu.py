@@ -1,0 +1,185 @@
+"""PDU formats.
+
+Figure 4 (data PDU)::
+
+    CID | SRC | SEQ | ACK = <ACK_1 ... ACK_n> | BUF | DATA
+
+Figure 5 (RET PDU)::
+
+    CID | SRC | LSRC | LSEQ | ACK = <ACK_1 ... ACK_n> | BUF
+
+plus the :class:`HeartbeatPdu` of the quiescence extension (DESIGN.md §2),
+which is shaped like a RET without a retransmission request and additionally
+carries the sender's pre-acknowledgment vector ``PACK``.
+
+Field semantics (§4.1):
+
+* ``seq`` — per-source sequence number, starting at 1.
+* ``ack`` — tuple of length *n*; ``ack[j]`` is the sequence number the sender
+  expects to receive next from entity *j*, i.e. the sender has accepted every
+  PDU ``q`` from *j* with ``q.seq < ack[j]``.
+* ``buf`` — free buffer units at the sender, feeding the flow condition.
+
+Wire sizes are modelled, not marshalled: ``wire_size()`` assumes 4-byte
+integer fields, so a data PDU header is ``O(n)`` bytes — exactly the §5
+observation that "the length of PDU is O(n)".  The byte model feeds the
+header-overhead benchmark against ISIS CBCAST (whose vector timestamp is the
+same asymptotic size; the paper's argument is about computation and loss
+detection, which the benchmark also measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+#: Modelled size of one integer field on the wire.
+_INT_BYTES = 4
+#: CID + SRC + SEQ + BUF for data PDUs; CID + SRC + LSRC + LSEQ + BUF for RET.
+_DATA_FIXED_FIELDS = 4
+_RET_FIXED_FIELDS = 5
+_HEARTBEAT_FIXED_FIELDS = 3  # CID + SRC + BUF
+
+
+@dataclass(frozen=True)
+class DataPdu:
+    """A broadcast data unit (Figure 4).
+
+    ``data is None`` marks a *null* PDU: a sequenced carrier of receipt
+    confirmations sent by the deferred-confirmation rule in strict paper
+    mode.  Null PDUs take part in every protocol action but deliver nothing
+    to the application.
+    """
+
+    cid: int
+    src: int
+    seq: int
+    ack: Tuple[int, ...]
+    buf: int
+    data: Optional[Any] = None
+    #: Modelled payload size in bytes (0 for null PDUs).
+    data_size: int = 0
+
+    #: Control-plane flag used by loss models and traffic accounting.
+    is_control = False
+
+    def __post_init__(self) -> None:
+        if self.seq < 1:
+            raise ValueError(f"sequence numbers start at 1, got {self.seq}")
+        if self.src < 0:
+            raise ValueError(f"src must be a valid entity index, got {self.src}")
+        if any(a < 1 for a in self.ack):
+            raise ValueError(f"ACK entries start at 1, got {self.ack}")
+
+    @property
+    def pdu_id(self) -> Tuple[int, int]:
+        """Globally unique identity of the data unit: ``(src, seq)``.
+
+        Retransmitted copies share the id of the original — they are the
+        same PDU.
+        """
+        return (self.src, self.seq)
+
+    @property
+    def is_null(self) -> bool:
+        """True for confirmation-only PDUs that carry no application data."""
+        return self.data is None
+
+    def wire_size(self) -> int:
+        """Modelled bytes on the wire: fixed header + n ACK entries + data."""
+        header = (_DATA_FIXED_FIELDS + len(self.ack)) * _INT_BYTES
+        return header + self.data_size
+
+    def __str__(self) -> str:
+        payload = "null" if self.is_null else repr(self.data)
+        return f"DATA(src=E{self.src}, seq={self.seq}, ack={list(self.ack)}, {payload})"
+
+
+@dataclass(frozen=True)
+class RetPdu:
+    """A selective-retransmission request (Figure 5).
+
+    Asks entity ``lsrc`` to rebroadcast the PDUs the sender found missing.
+    The requested range is ``ack[lsrc] <= seq < lseq`` — ``lseq`` is treated
+    as an *exclusive* upper bound: under failure condition (1) the triggering
+    PDU ``p`` itself arrived (and is stashed), so ``lseq = p.seq``; under
+    failure condition (2) ``lseq = q.ack[lsrc]`` is the first sequence number
+    the evidence does not cover.  Duplicate copies are filtered by the
+    acceptance condition at the receivers either way.
+
+    RET PDUs also piggyback the sender's full ``ack`` vector and free buffer
+    space, so they update knowledge like any other PDU (§4.3 shows them with
+    the same ACK/BUF fields).
+    """
+
+    cid: int
+    src: int
+    lsrc: int
+    lseq: int
+    ack: Tuple[int, ...]
+    buf: int
+
+    is_control = True
+
+    def __post_init__(self) -> None:
+        if self.lsrc < 0:
+            raise ValueError(f"lsrc must be a valid entity index, got {self.lsrc}")
+        if self.lseq < 1:
+            raise ValueError(f"lseq must be >= 1, got {self.lseq}")
+
+    @property
+    def requested_from(self) -> int:
+        """First sequence number requested (inclusive)."""
+        return self.ack[self.lsrc]
+
+    @property
+    def requested_upto(self) -> int:
+        """One past the last sequence number requested (exclusive)."""
+        return self.lseq
+
+    def wire_size(self) -> int:
+        return (_RET_FIXED_FIELDS + len(self.ack)) * _INT_BYTES
+
+    def __str__(self) -> str:
+        return (
+            f"RET(src=E{self.src}, lsrc=E{self.lsrc}, "
+            f"range=[{self.requested_from},{self.lseq}), ack={list(self.ack)})"
+        )
+
+
+@dataclass(frozen=True)
+class HeartbeatPdu:
+    """Unsequenced state-exchange PDU (quiescence extension, DESIGN.md §2).
+
+    ``ack`` has the usual meaning.  ``pack[j]`` is the sender's
+    pre-acknowledgment floor: the sender asserts it has *pre-acknowledged*
+    every PDU from entity ``j`` with a smaller sequence number.  Receivers
+    fold ``ack`` into their ``AL`` row and ``pack`` into their ``PAL`` row
+    for the sender, with element-wise max.  Not sent in strict paper mode.
+
+    ``probe`` marks a repeat transmission from an entity that is *stuck*
+    waiting for knowledge (its logs are not drained and nothing has changed
+    since its last heartbeat).  Heartbeats are unsequenced, so a lost one is
+    undetectable by the receiver; probes shift the retry burden to the
+    waiting side — every entity answers a probe with a fresh heartbeat,
+    which carries exactly the vectors the prober may have missed.
+    """
+
+    cid: int
+    src: int
+    ack: Tuple[int, ...]
+    pack: Tuple[int, ...]
+    buf: int
+    probe: bool = False
+
+    is_control = True
+
+    def __post_init__(self) -> None:
+        if len(self.ack) != len(self.pack):
+            raise ValueError("ack and pack vectors must have equal length")
+
+    def wire_size(self) -> int:
+        return (_HEARTBEAT_FIXED_FIELDS + 2 * len(self.ack)) * _INT_BYTES
+
+    def __str__(self) -> str:
+        return f"HB(src=E{self.src}, ack={list(self.ack)}, pack={list(self.pack)})"

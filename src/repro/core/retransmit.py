@@ -1,0 +1,118 @@
+"""Failure detection and recovery bookkeeping (§4.3).
+
+The engine detects loss through the two **failure (F) conditions**:
+
+1. On receipt of ``p`` from ``E_j``: if ``REQ_j < p.SEQ`` then the PDUs
+   ``g`` with ``REQ_j <= g.SEQ < p.SEQ`` are missing.
+2. On receipt of ``q`` from ``E_k``: if ``REQ_j < q.ACK_j`` for some
+   ``j != k`` then the PDUs ``g`` with ``REQ_j <= g.SEQ < q.ACK_j`` are
+   missing (``E_k`` accepted them; we did not).
+
+Detection is instantaneous, but the RET request itself travels the same
+lossy world, so this module also tracks *open gaps* per source and tells the
+engine when a RET should be re-issued (``ret_timeout``).  On the responding
+side, :class:`RetransmitSuppressor` rate-limits rebroadcasts of the same PDU
+so that several receivers missing the same PDU (a common pattern when one
+broadcast copy is dropped at several overrun buffers) do not trigger a NAK
+implosion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Gap:
+    """An open hole in the sequence space of one source."""
+
+    src: int
+    #: Highest sequence number (exclusive) evidence says we are missing.
+    upto: int
+    #: When the gap was first detected (simulated time).
+    detected_at: float
+    #: When a RET for this gap was last sent.
+    last_ret_at: float
+
+
+class GapTracker:
+    """Open gaps per source, with RET retry scheduling."""
+
+    def __init__(self, n: int):
+        self._gaps: Dict[int, Gap] = {}
+        self.n = n
+        #: Total gap-detection events (both F conditions), for metrics.
+        self.detections = 0
+
+    def note(self, src: int, upto: int, now: float) -> bool:
+        """Record evidence that PDUs from ``src`` below ``upto`` are missing.
+
+        Returns ``True`` if this is *new* evidence (a fresh gap, or a known
+        gap that grew), in which case the engine sends a RET immediately.
+        """
+        gap = self._gaps.get(src)
+        if gap is None:
+            self._gaps[src] = Gap(src=src, upto=upto, detected_at=now, last_ret_at=now)
+            self.detections += 1
+            return True
+        if upto > gap.upto:
+            gap.upto = upto
+            gap.last_ret_at = now
+            self.detections += 1
+            return True
+        return False
+
+    def close_below(self, src: int, req: int) -> None:
+        """Acceptance progressed: drop the gap once ``REQ`` passes it."""
+        gap = self._gaps.get(src)
+        if gap is not None and req >= gap.upto:
+            del self._gaps[src]
+
+    def get(self, src: int) -> Optional[Gap]:
+        return self._gaps.get(src)
+
+    def due(self, now: float, timeout: float) -> List[Gap]:
+        """Gaps whose last RET is older than ``timeout`` (re-request these)."""
+        overdue = []
+        for gap in self._gaps.values():
+            if now - gap.last_ret_at >= timeout:
+                overdue.append(gap)
+        return overdue
+
+    def mark_ret(self, src: int, now: float) -> None:
+        gap = self._gaps.get(src)
+        if gap is not None:
+            gap.last_ret_at = now
+
+    @property
+    def open_gaps(self) -> int:
+        return len(self._gaps)
+
+
+class RetransmitSuppressor:
+    """Rate-limits rebroadcasts of the same PDU on the responding source.
+
+    A source that just rebroadcast sequence number ``s`` ignores further
+    requests for ``s`` arriving within ``interval`` — the rebroadcast already
+    in flight will satisfy them.
+    """
+
+    def __init__(self, interval: float):
+        self.interval = interval
+        self._last_sent: Dict[int, float] = {}
+        #: Requests skipped thanks to suppression, for metrics.
+        self.suppressed = 0
+
+    def should_send(self, seq: int, now: float) -> bool:
+        last = self._last_sent.get(seq)
+        if last is not None and now - last < self.interval:
+            self.suppressed += 1
+            return False
+        self._last_sent[seq] = now
+        return True
+
+    def forget_below(self, seq: int) -> None:
+        """Prune entries for globally acknowledged PDUs."""
+        for s in [s for s in self._last_sent if s < seq]:
+            del self._last_sent[s]

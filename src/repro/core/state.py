@@ -1,0 +1,218 @@
+"""Knowledge state: the ``REQ``, ``AL``, ``PAL`` and ``BUF`` variables of §4.1.
+
+For an entity ``E_i`` in a cluster of ``n``:
+
+* ``REQ[j]`` — sequence number of the PDU ``E_i`` expects to receive next
+  from ``E_j`` (so ``E_i`` has accepted every PDU from ``j`` below it);
+* ``AL[j][k]`` — what ``E_i`` knows ``E_j`` expects next from ``E_k``
+  (learned from the ``ACK`` vectors ``j`` piggybacks);
+* ``PAL[j][k]`` — the sequence number below which ``E_i`` knows ``E_j`` has
+  *pre-acknowledged* PDUs from ``E_k``;
+* ``BUF[j]`` — free buffer units at ``E_j`` as last advertised.
+
+The derived minima drive the two-phase machinery:
+
+* ``minAL(k) = min_j AL[j][k]`` — every entity has accepted all PDUs from
+  ``k`` below this, so those PDUs satisfy the **PACK condition**;
+* ``minPAL(k) = min_j PAL[j][k]`` — every entity has pre-acknowledged all
+  PDUs from ``k`` below this, so those satisfy the **ACK condition**;
+* ``minBUF = min_j BUF[j]`` — feeds the flow condition.
+
+All updates are element-wise max: knowledge is monotone, and folding
+possibly-stale information (duplicates, reordered control PDUs) with max is
+always sound.
+
+The column minima are cached and maintained incrementally so that the
+per-PDU protocol work stays ``O(n)`` — the complexity Figure 8 measures.  A
+merge touches one row (``O(n)``) and only recomputes a column minimum when
+the cell it raised *was* that column's minimum.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: Buffer knowledge before any advertisement has been seen.  Optimistic so a
+#: cold-started cluster is not flow-blocked before the first exchange.
+INITIAL_BUF = 10 ** 9
+
+
+class KnowledgeState:
+    """Mutable knowledge matrices of one entity.
+
+    ``index`` is the owning entity's own position; its own rows are kept in
+    sync when it sends and self-accepts PDUs.
+    """
+
+    def __init__(self, n: int, index: int):
+        if n < 1:
+            raise ValueError(f"cluster size must be >= 1, got {n}")
+        if not 0 <= index < n:
+            raise ValueError(f"entity index {index} outside cluster of {n}")
+        self.n = n
+        self.index = index
+        #: Next sequence number expected from each source (starts at 1).
+        self.req: List[int] = [1] * n
+        #: AL[j][k]: what entity j expects next from k, as known here.
+        self.al: List[List[int]] = [[1] * n for _ in range(n)]
+        #: PAL[j][k]: j has pre-acknowledged PDUs from k below this.
+        self.pal: List[List[int]] = [[1] * n for _ in range(n)]
+        #: Last advertised free buffer units per entity.
+        self.buf: List[int] = [INITIAL_BUF] * n
+        #: Observers excluded from every minimum (suspected crashed — the
+        #: membership extension).  The owner can never exclude itself.
+        self.excluded: List[bool] = [False] * n
+        # Cached column minima (minAL_k / minPAL_k) and the cached minBUF.
+        self._min_al: List[int] = [1] * n
+        self._min_pal: List[int] = [1] * n
+        self._min_buf: int = INITIAL_BUF
+
+    # ------------------------------------------------------------------
+    # Updates (all monotone)
+    # ------------------------------------------------------------------
+    def advance_req(self, src: int, seq: int) -> None:
+        """Acceptance action: ``REQ_src := seq + 1`` (must be consecutive)."""
+        if seq != self.req[src]:
+            raise ValueError(
+                f"acceptance out of order: expected seq {self.req[src]} "
+                f"from E{src}, got {seq}"
+            )
+        self.req[src] = seq + 1
+
+    def merge_al(self, observer: int, ack: Sequence[int]) -> bool:
+        """Fold an observed ACK vector into ``AL[observer]``.
+
+        Returns ``True`` if any component advanced (so callers can re-check
+        the PACK condition only when something changed).
+        """
+        return self._merge(self.al, self._min_al, observer, ack)
+
+    def merge_pal(self, observer: int, pack: Sequence[int]) -> bool:
+        """Fold a pre-acknowledgment vector into ``PAL[observer]``."""
+        return self._merge(self.pal, self._min_pal, observer, pack)
+
+    def _merge(
+        self,
+        matrix: List[List[int]],
+        minima: List[int],
+        observer: int,
+        vector: Sequence[int],
+    ) -> bool:
+        row = matrix[observer]
+        changed = False
+        for k, value in enumerate(vector):
+            old = row[k]
+            if value <= old:
+                continue
+            row[k] = value
+            changed = True
+            # Raising a cell can only raise the column minimum if the cell
+            # held it; recompute that column (O(n), amortized rare).
+            if old == minima[k] and not self.excluded[observer]:
+                minima[k] = self._column_min(matrix, k)
+        return changed
+
+    def _column_min(self, matrix: List[List[int]], k: int) -> int:
+        return min(
+            row[k]
+            for row, excluded in zip(matrix, self.excluded)
+            if not excluded
+        )
+
+    def update_buf(self, observer: int, buf: int) -> None:
+        """Record the latest buffer advertisement (not monotone: buffers
+        fill and drain, so the newest value simply replaces the old one)."""
+        old = self.buf[observer]
+        self.buf[observer] = buf
+        if self.excluded[observer]:
+            return
+        if buf < self._min_buf:
+            self._min_buf = buf
+        elif old == self._min_buf:
+            self._min_buf = self._buf_min()
+
+    def _buf_min(self) -> int:
+        return min(
+            value
+            for value, excluded in zip(self.buf, self.excluded)
+            if not excluded
+        )
+
+    # ------------------------------------------------------------------
+    # Membership (crash-stop extension)
+    # ------------------------------------------------------------------
+    def set_excluded(self, observer: int, excluded: bool = True) -> None:
+        """Exclude a (suspected crashed) observer from every minimum.
+
+        Excluded rows are still merged — their knowledge was true when
+        sent, and re-inclusion (a slow entity turning out to be alive) must
+        resume from it — but they no longer gate the PACK/ACK conditions or
+        the flow window.  All cached minima are recomputed.
+        """
+        if observer == self.index:
+            raise ValueError("an entity cannot exclude itself")
+        if self.excluded[observer] == excluded:
+            return
+        self.excluded[observer] = excluded
+        for k in range(self.n):
+            self._min_al[k] = self._column_min(self.al, k)
+            self._min_pal[k] = self._column_min(self.pal, k)
+        self._min_buf = self._buf_min()
+
+    def live_observers(self) -> List[int]:
+        """Indices currently counted in the minima."""
+        return [j for j in range(self.n) if not self.excluded[j]]
+
+    def min_al_all_rows(self, src: int) -> int:
+        """``minAL_src`` over *every* row, excluded or not.
+
+        Used for pruning retransmission stores: a suspected entity may turn
+        out to be alive and come back asking, so nothing above what even the
+        suspects were last known to expect may be discarded.  O(n), called
+        only on the pruning path.
+        """
+        return min(row[src] for row in self.al)
+
+    # ------------------------------------------------------------------
+    # Derived minima
+    # ------------------------------------------------------------------
+    def min_al(self, src: int) -> int:
+        """``minAL_src``: every entity has accepted PDUs from ``src`` below
+        this sequence number (PACK threshold).  O(1) via the cache."""
+        return self._min_al[src]
+
+    def min_pal(self, src: int) -> int:
+        """``minPAL_src``: every entity has pre-acknowledged PDUs from
+        ``src`` below this sequence number (ACK threshold).  O(1)."""
+        return self._min_pal[src]
+
+    def min_buf(self) -> int:
+        """``minBUF``: the most constrained advertised buffer.  O(1)."""
+        return self._min_buf
+
+    def pack_vector(self) -> Tuple[int, ...]:
+        """This entity's pre-acknowledgment knowledge, ``(minAL_0 … minAL_{n-1})``.
+
+        Carried in heartbeat PDUs (quiescence extension): "I have
+        pre-acknowledged every PDU from ``k`` below ``pack[k]``".
+        """
+        return tuple(self.min_al(k) for k in range(self.n))
+
+    def req_vector(self) -> Tuple[int, ...]:
+        """Snapshot of ``REQ`` — the ACK vector for an outgoing PDU."""
+        return tuple(self.req)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep copy of the matrices for assertions and debugging."""
+        return {
+            "req": list(self.req),
+            "al": [row[:] for row in self.al],
+            "pal": [row[:] for row in self.pal],
+            "buf": list(self.buf),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KnowledgeState(E{self.index}, req={self.req})"

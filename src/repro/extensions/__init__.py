@@ -1,0 +1,23 @@
+"""Extensions beyond the paper's core protocol.
+
+The paper's concluding remarks and related-work pointers sketch directions
+it leaves open; this package implements two of them on top of the CO engine:
+
+* :mod:`repro.extensions.total_order` — a TO service (all entities deliver
+  in the *same* order) layered on CO delivery: acknowledged PDUs are ranked
+  by a deterministic key that extends causality-precedence, in the style of
+  the authors' own TO protocols [13, 14, 15];
+* :mod:`repro.extensions.selective_groups` — selective destinations
+  (ref [11], explicitly deferred by §4: "we do not consider selective group
+  communication in this paper"), via closed-group filtering over the
+  cluster-wide CO order.
+"""
+
+from repro.extensions.selective_groups import SelectiveBroadcastService
+from repro.extensions.total_order import TotalOrderEntity, total_order_key
+
+__all__ = [
+    "SelectiveBroadcastService",
+    "TotalOrderEntity",
+    "total_order_key",
+]

@@ -1,0 +1,123 @@
+"""Selective group communication (closed-group emulation of ref [11]).
+
+§4 scopes the CO protocol to PDUs "destined to all the entities in C" and
+defers selective destinations to the authors' selective-ordering work [11].
+This extension provides the service interface on top of the full-cluster CO
+order: every PDU still travels and is ordered cluster-wide (so causal
+chains that pass *through* non-members are preserved for free), but the
+application at each entity only sees messages addressed to it.
+
+That is the classic closed-group emulation: correct and simple, at the cost
+of non-members carrying traffic they never deliver.  The honest trade-off is
+documented in DESIGN.md; a destination-pruned protocol is the [11] line of
+work, out of scope for this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterable, List, Optional
+
+from repro.core.config import ProtocolConfig
+from repro.core.entity import DeliveredMessage
+from repro.core.service import CausalBroadcastService
+from repro.net.loss import LossModel
+from repro.net.topology import Topology
+
+
+@dataclass(frozen=True)
+class _Envelope:
+    """Cluster-wide payload wrapping the application data with destinations."""
+
+    dst: FrozenSet[int]
+    payload: Any
+
+
+class SelectiveBroadcastService:
+    """Causally ordered multicast to arbitrary destination subsets.
+
+    Built on :class:`~repro.core.service.CausalBroadcastService`; the same
+    causal order governs all messages regardless of destination set, so two
+    overlapping groups never see causally inverted deliveries.
+
+    >>> svc = SelectiveBroadcastService(n=4)
+    >>> svc.multicast(0, {1, 2}, "for two of you")
+    >>> svc.broadcast(0, "for everyone")
+    >>> svc.run_until_quiescent()
+    >>> [m.data for m in svc.delivered(3)]
+    ['for everyone']
+    """
+
+    def __init__(
+        self,
+        n: int,
+        config: Optional[ProtocolConfig] = None,
+        topology: Optional[Topology] = None,
+        loss: Optional[LossModel] = None,
+        buffer_capacity: int = 256,
+        seed: int = 0,
+    ):
+        self._service = CausalBroadcastService(
+            n=n,
+            config=config,
+            topology=topology,
+            loss=loss,
+            buffer_capacity=buffer_capacity,
+            seed=seed,
+        )
+
+    @property
+    def n(self) -> int:
+        return self._service.n
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def multicast(self, member: int, dst: Iterable[int], data: Any, size: int = 0) -> None:
+        """Send ``data`` from ``member`` to the entities in ``dst``.
+
+        The sender need not be in ``dst``; it only receives its own message
+        if it is.
+        """
+        destinations = frozenset(dst)
+        bad = [d for d in destinations if not 0 <= d < self.n]
+        if bad:
+            raise ValueError(f"destinations outside cluster: {bad}")
+        self._service.broadcast(member, _Envelope(destinations, data), size)
+
+    def broadcast(self, member: int, data: Any, size: int = 0) -> None:
+        """Send to the whole cluster (equivalent to the base service)."""
+        self.multicast(member, range(self.n), data, size)
+
+    # ------------------------------------------------------------------
+    # Running and receiving
+    # ------------------------------------------------------------------
+    def run_for(self, duration: float) -> float:
+        return self._service.run_for(duration)
+
+    def run_until_quiescent(self, max_time: float = 60.0) -> float:
+        return self._service.run_until_quiescent(max_time=max_time)
+
+    def delivered(self, member: int) -> List[DeliveredMessage]:
+        """Messages addressed to ``member``, unwrapped, in causal order."""
+        out = []
+        for message in self._service.delivered(member):
+            envelope = message.data
+            if member in envelope.dst:
+                out.append(
+                    DeliveredMessage(
+                        data=envelope.payload,
+                        src=message.src,
+                        seq=message.seq,
+                        delivered_at=message.delivered_at,
+                    )
+                )
+        return out
+
+    def delivered_payloads(self, member: int) -> List[Any]:
+        return [m.data for m in self.delivered(member)]
+
+    @property
+    def service(self) -> CausalBroadcastService:
+        """The underlying cluster-wide service."""
+        return self._service

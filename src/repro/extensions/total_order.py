@@ -1,0 +1,130 @@
+"""Total ordering on top of CO delivery.
+
+§1: "In the TO service, all the destinations receive PDUs in the same order
+in addition to the sending order."  The CO protocol deliberately provides
+less — concurrent PDUs may be delivered in different relative orders at
+different entities.  This extension recovers the TO service with no extra
+messages by ranking acknowledged PDUs deterministically.
+
+**The key.**  A first idea is ``rank(p) = (sum(p.ack), p.src, p.seq)``:
+Lemma 4.2 makes ``sum(ack)`` strictly monotone along causality.  But the
+lemma's monotonicity is exactly what PDU *loss* breaks (see DESIGN.md's
+correctness-completion note) — randomized soak testing found causally
+inverted TO deliveries under loss with that key.  The repaired key uses the
+**effective ACK vector**::
+
+    eff(p) = componentwise max of p.ack and eff(q) for every
+             acknowledged q with q ≺ p      (Theorem 4.1 decides ≺)
+
+``eff`` is well defined and identical at every entity, because by the time
+``p`` is acknowledged all of its causal predecessors have been acknowledged
+(everywhere, in PRL order), and it depends only on the PDUs' own fields.
+Strict monotonicity along ≺ holds unconditionally: for ``p ≺ q``,
+``eff(q)[p.src] >= q.ack[p.src] > p.seq = eff(p)[p.src]`` by Theorem 4.1,
+so ``rank(p) = (sum(eff(p)), p.src, p.seq)`` is a deterministic total order
+extending ``≺`` even across repaired losses.
+
+**The release rule.**  An acknowledged PDU may be delivered once no PDU
+that could still arrive can rank below it.  Successive PDUs from one source
+have strictly increasing ranks, so once some PDU from every source has been
+acknowledged with ``rank > rank(p)``, nothing ranked below ``p`` is
+outstanding and the holdback heap drains up to that frontier.
+
+**Liveness caveat.**  The frontier only advances while every source keeps
+emitting sequenced PDUs.  Like the paper's own acknowledgment phase, the TO
+layer is live under continuous traffic (the paper's evaluation workload);
+after the very last PDUs of a finite run a tail can remain held back.
+:attr:`TotalOrderEntity.undelivered_tail` exposes it, and tests assert
+agreement on the delivered prefix.  Corollary: do **not** pair TO with a
+purely *reactive* workload (send only in response to delivery) — nothing
+delivers until the frontier moves, and the frontier cannot move until
+someone sends: a deadlock by construction.  Keep an independent trickle of
+traffic per source, or use plain CO for reactive applications.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.core.causality import causally_precedes
+from repro.core.entity import COEntity
+from repro.core.pdu import DataPdu
+
+Rank = Tuple[int, int, int]
+
+
+def total_order_key(p: DataPdu) -> Rank:
+    """The naive rank ``(sum(ACK), SRC, SEQ)``.
+
+    Correct on loss-free executions (where Lemma 4.2 holds); the engine
+    uses the loss-proof effective-ACK rank instead.  Kept public because
+    the ablation tests compare the two.
+    """
+    return (sum(p.ack), p.src, p.seq)
+
+
+class TotalOrderEntity(COEntity):
+    """A CO engine whose deliveries additionally agree across all entities.
+
+    Drop-in replacement for :class:`~repro.core.entity.COEntity` (use as the
+    ``engine_factory`` of :func:`~repro.core.cluster.build_cluster`).
+    Delivery latency grows by the holdback wait; message complexity is
+    unchanged.  Computing the effective ACK vectors costs O(acked) per
+    acknowledgment — an extension convenience, not the paper's hot path.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: Acknowledged-but-unreleased PDUs, a heap ordered by rank.
+        self._holdback: List[Tuple[Rank, DataPdu]] = []
+        #: Highest rank acknowledged per source (the release frontier).
+        self._frontier: List[Rank] = [(0, -1, 0)] * self.n
+        #: Every acknowledged PDU with its effective ACK vector, in
+        #: acknowledgment order (which respects causality).
+        self._acked_pdus: List[DataPdu] = []
+        self._eff: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    def _effective_ack(self, p: DataPdu) -> Tuple[int, ...]:
+        """Repair ``p.ack`` against every acknowledged causal predecessor."""
+        eff = list(p.ack)
+        for q in self._acked_pdus:
+            if causally_precedes(q, p):
+                q_eff = self._eff[q.pdu_id]
+                for k in range(self.n):
+                    if q_eff[k] > eff[k]:
+                        eff[k] = q_eff[k]
+        return tuple(eff)
+
+    def _on_acknowledged(self, p: DataPdu) -> None:
+        eff = self._effective_ack(p)
+        self._eff[p.pdu_id] = eff
+        self._acked_pdus.append(p)
+        rank: Rank = (sum(eff), p.src, p.seq)
+        if rank > self._frontier[p.src]:
+            self._frontier[p.src] = rank
+        heapq.heappush(self._holdback, (rank, p))
+        self._release()
+
+    def _release(self) -> None:
+        """Deliver every held PDU ranked below the per-source frontier."""
+        floor = min(self._frontier)
+        while self._holdback and self._holdback[0][0] < floor:
+            _, p = heapq.heappop(self._holdback)
+            self._deliver(p)
+
+    @property
+    def undelivered_tail(self) -> int:
+        """Acknowledged PDUs still held back waiting for the frontier."""
+        return len(self._holdback)
+
+    @property
+    def quiescent(self) -> bool:
+        """The protocol machinery is drained.
+
+        The holdback tail is *not* part of quiescence: it is an inherent
+        property of rank-based total order on finite runs (see module
+        docstring), and making it block quiescence would turn every finite
+        TO run into a timeout.
+        """
+        return super().quiescent

@@ -1,0 +1,105 @@
+"""Protocol comparison harness.
+
+Runs the same workload, network and seed under several protocols and
+tabulates what each one actually guarantees — the programmatic form of the
+paper's §1/§5 qualitative comparison (and of
+``examples/lossy_network_demo.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.metrics.reporting import format_table
+from repro.ordering.checker import verify_run
+
+DEFAULT_PROTOCOLS = ("unordered", "po", "cbcast", "co")
+
+
+@dataclass
+class ProtocolRow:
+    """One protocol's outcome under the shared environment."""
+
+    protocol: str
+    messages_sent: int
+    expected_deliveries: int
+    deliveries: int
+    missing: int
+    causal_violations: int
+    fifo_violations: int
+    duplicates: int
+    stalled: int
+    completed: bool
+    mean_delivery_latency: float
+
+    def cells(self) -> List:
+        return [
+            self.protocol,
+            f"{self.deliveries}/{self.expected_deliveries}",
+            self.missing,
+            self.causal_violations,
+            self.fifo_violations,
+            self.stalled,
+            "yes" if self.completed else "no",
+            f"{self.mean_delivery_latency * 1e3:.2f}",
+        ]
+
+
+@dataclass
+class ComparisonReport:
+    """All rows plus a rendering helper."""
+
+    base: ExperimentConfig
+    rows: List[ProtocolRow] = field(default_factory=list)
+
+    def by_protocol(self, protocol: str) -> ProtocolRow:
+        for row in self.rows:
+            if row.protocol == protocol:
+                return row
+        raise KeyError(protocol)
+
+    def render(self) -> str:
+        headers = [
+            "protocol", "delivered", "missing", "causal", "fifo",
+            "stalled", "completed", "mean latency [ms]",
+        ]
+        title = (
+            f"workload={self.base.workload} n={self.base.n} "
+            f"loss={self.base.loss_rate:.0%} seed={self.base.seed}\n"
+        )
+        return format_table(headers, [r.cells() for r in self.rows], title=title)
+
+
+def compare_protocols(
+    base: ExperimentConfig,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+) -> ComparisonReport:
+    """Run ``base`` once per protocol and collect the guarantee scoreboard."""
+    report = ComparisonReport(base=base)
+    for protocol in protocols:
+        config = base.with_(protocol=protocol)
+        result = run_experiment(config)
+        run_report = verify_run(
+            result.cluster.trace, config.n, expect_all_delivered=False,
+        )
+        expected = run_report.messages_sent * config.n
+        stalled = sum(
+            getattr(engine, "stalled_messages", 0)
+            for engine in result.cluster.engines
+        )
+        report.rows.append(ProtocolRow(
+            protocol=protocol,
+            messages_sent=run_report.messages_sent,
+            expected_deliveries=expected,
+            deliveries=result.messages_delivered,
+            missing=expected - result.messages_delivered,
+            causal_violations=sum(len(v) for v in run_report.causality.values()),
+            fifo_violations=sum(len(v) for v in run_report.local_order.values()),
+            duplicates=sum(len(v) for v in run_report.duplicates.values()),
+            stalled=stalled,
+            completed=result.quiesced,
+            mean_delivery_latency=result.tap.mean,
+        ))
+    return report

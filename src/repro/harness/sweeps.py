@@ -1,0 +1,36 @@
+"""Parameter sweeps over a base experiment configuration."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+from repro.harness.runner import ExperimentConfig, ExperimentResult, run_experiment
+
+
+def sweep(
+    base: ExperimentConfig,
+    param: str,
+    values: Sequence[Any],
+    reseed: bool = False,
+) -> List[ExperimentResult]:
+    """Run ``base`` once per value of ``param``.
+
+    With ``reseed`` each point gets a distinct seed (``base.seed + index``)
+    — use it when the swept parameter changes how much randomness is drawn
+    and identical seeds would correlate the points.
+    """
+    results = []
+    for index, value in enumerate(values):
+        changes: Dict[str, Any] = {param: value}
+        if reseed:
+            changes["seed"] = base.seed + index
+        results.append(run_experiment(base.with_(**changes)))
+    return results
+
+
+def extract(
+    results: Iterable[ExperimentResult],
+    getter: Callable[[ExperimentResult], Any],
+) -> List[Any]:
+    """Pull one column out of a sweep's results."""
+    return [getter(result) for result in results]

@@ -1,0 +1,162 @@
+"""Per-PDU lifecycle reconstruction from a run trace.
+
+Figure 8's two curves are latencies over this lifecycle:
+
+* ``Tco`` — processing time per PDU inside a CO entity (we report the
+  modelled CPU service time from the hosts, and the benchmarks additionally
+  measure real Python time per PDU);
+* ``Tap`` — transmission delay between *application* entities: from the DT
+  request (``submit``) to delivery at a destination.
+
+§5's claim C2 concerns two other spans: acceptance → pre-acknowledgment
+(should be ≈ R) and acceptance → acknowledgment (≈ 2R).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.trace import TraceLog
+
+MessageId = Tuple[int, int]
+
+
+@dataclass
+class MessageLifecycle:
+    """Every timestamp in one data PDU's life, per entity where relevant."""
+
+    message: MessageId
+    submit_time: Optional[float] = None
+    broadcast_time: Optional[float] = None
+    accept_times: Dict[int, float] = field(default_factory=dict)
+    preack_times: Dict[int, float] = field(default_factory=dict)
+    ack_times: Dict[int, float] = field(default_factory=dict)
+    deliver_times: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def fully_delivered(self) -> bool:
+        return bool(self.deliver_times)
+
+    def delivery_latency(self, entity: int) -> Optional[float]:
+        """submit → delivery at ``entity`` (the Tap sample)."""
+        start = self.submit_time if self.submit_time is not None else self.broadcast_time
+        end = self.deliver_times.get(entity)
+        if start is None or end is None:
+            return None
+        return end - start
+
+    def max_delivery_latency(self) -> Optional[float]:
+        """submit → delivery at the slowest destination."""
+        if not self.deliver_times:
+            return None
+        start = self.submit_time if self.submit_time is not None else self.broadcast_time
+        if start is None:
+            return None
+        return max(self.deliver_times.values()) - start
+
+    def preack_after_accept(self, entity: int) -> Optional[float]:
+        a = self.accept_times.get(entity)
+        p = self.preack_times.get(entity)
+        if a is None or p is None:
+            return None
+        return p - a
+
+    def ack_after_accept(self, entity: int) -> Optional[float]:
+        a = self.accept_times.get(entity)
+        k = self.ack_times.get(entity)
+        if a is None or k is None:
+            return None
+        return k - a
+
+
+def collect_lifecycles(trace: TraceLog) -> Dict[MessageId, MessageLifecycle]:
+    """Walk a trace once and build the lifecycle of every data PDU.
+
+    ``submit`` records are matched to broadcasts in FIFO order per entity
+    (the engine transmits pending requests in submission order).
+    """
+    lifecycles: Dict[MessageId, MessageLifecycle] = {}
+    pending_submits: Dict[int, List[float]] = {}
+
+    def get(message: MessageId) -> MessageLifecycle:
+        lc = lifecycles.get(message)
+        if lc is None:
+            lc = MessageLifecycle(message)
+            lifecycles[message] = lc
+        return lc
+
+    for rec in trace:
+        category = rec.category
+        if category == "submit":
+            pending_submits.setdefault(rec.entity, []).append(rec.time)
+        elif category == "broadcast":
+            seq = rec.get("seq")
+            if seq is None:
+                continue
+            message = (rec.entity, seq)
+            lc = get(message)
+            if lc.broadcast_time is None:
+                lc.broadcast_time = rec.time
+                queue = pending_submits.get(rec.entity)
+                if queue:
+                    lc.submit_time = queue.pop(0)
+        elif category in ("accept", "preack", "ack", "deliver"):
+            message = (rec.get("src"), rec.get("seq"))
+            lc = get(message)
+            table = {
+                "accept": lc.accept_times,
+                "preack": lc.preack_times,
+                "ack": lc.ack_times,
+                "deliver": lc.deliver_times,
+            }[category]
+            table.setdefault(rec.entity, rec.time)
+    return lifecycles
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One latency observation with its message and entity."""
+
+    message: MessageId
+    entity: int
+    value: float
+
+
+def latency_samples(
+    lifecycles: Dict[MessageId, MessageLifecycle], kind: str
+) -> List[LatencySample]:
+    """Flatten lifecycles into samples of one latency ``kind``.
+
+    Kinds: ``delivery`` (submit→deliver, the Tap metric),
+    ``preack`` (accept→pre-ack), ``ack`` (accept→ack).
+    """
+    samples: List[LatencySample] = []
+    for message, lc in lifecycles.items():
+        if kind == "delivery":
+            for entity in lc.deliver_times:
+                value = lc.delivery_latency(entity)
+                if value is not None:
+                    samples.append(LatencySample(message, entity, value))
+        elif kind == "preack":
+            for entity in lc.preack_times:
+                value = lc.preack_after_accept(entity)
+                if value is not None:
+                    samples.append(LatencySample(message, entity, value))
+        elif kind == "ack":
+            for entity in lc.ack_times:
+                value = lc.ack_after_accept(entity)
+                if value is not None:
+                    samples.append(LatencySample(message, entity, value))
+        else:
+            raise ValueError(f"unknown latency kind: {kind}")
+    return samples
+
+
+def pdu_census(trace: TraceLog) -> Dict[str, int]:
+    """Counts of interesting trace events, for message-complexity claims."""
+    interesting = (
+        "broadcast", "accept", "drop", "duplicate", "gap",
+        "ret", "retransmit", "heartbeat", "deliver",
+    )
+    return {category: trace.count(category) for category in interesting}

@@ -1,0 +1,85 @@
+"""Plain-text report rendering.
+
+Every regenerated figure/table in this reproduction is emitted as aligned
+text — the environment has no plotting stack, and text diffs cleanly into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table.
+
+    >>> print(format_table(["n", "Tco"], [[2, 0.1], [4, 0.2]]))
+    n  Tco
+    -  ---
+    2  0.1
+    4  0.2
+    """
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, header has {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[Any],
+    series: Sequence[Sequence[Any]],
+    x_label: str,
+    series_labels: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Render one x column with several y columns (a text 'figure')."""
+    if any(len(ys) != len(xs) for ys in series):
+        raise ValueError("all series must have the same length as xs")
+    headers = [x_label, *series_labels]
+    rows = [[x, *(ys[i] for ys in series)] for i, x in enumerate(xs)]
+    return format_table(headers, rows, title=title)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """A quick horizontal ASCII bar chart for examples and demos."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(values) if values else 0.0
+    label_width = max((len(s) for s in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * (int(round(width * value / peak)) if peak > 0 else 0)
+        lines.append(f"{label.ljust(label_width)}  {bar} {_fmt(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Statistical summaries over metric samples (numpy-backed).
+
+Two consumers: the harness (summaries for report tables) and the shape
+assertions in benchmarks — Figure 8 claims *linear* growth in ``n``, which
+:func:`linear_fit` quantifies with a least-squares slope and R².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one sample set."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    def scaled(self, factor: float) -> "Summary":
+        """The same summary in different units (e.g. seconds → ms)."""
+        return Summary(
+            count=self.count,
+            mean=self.mean * factor,
+            p50=self.p50 * factor,
+            p95=self.p95 * factor,
+            minimum=self.minimum * factor,
+            maximum=self.maximum * factor,
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Summary statistics; an empty sample set yields all-zero (count 0)."""
+    if not samples:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    arr = np.asarray(samples, dtype=float)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y = slope * x + intercept`` with fit quality."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Fit a line through (xs, ys); used for the O(n) shape checks.
+
+    An R² close to 1 with positive slope supports "grows linearly"; the
+    benchmarks also compare against a quadratic fit where the claim is
+    specifically *not* superlinear.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a line")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(float(slope), float(intercept), r_squared)
+
+
+def growth_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """``(y_last / y_first) / (x_last / x_first)``: ≈1 for linear growth,
+    ≈x_ratio for quadratic, ≈0 for constant.  A coarse shape fingerprint
+    robust to noise in small sweeps."""
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    if ys[0] == 0 or xs[0] == 0:
+        raise ValueError("first sample must be non-zero")
+    return (ys[-1] / ys[0]) / (xs[-1] / xs[0])

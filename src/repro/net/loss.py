@@ -1,0 +1,140 @@
+"""Injectable loss models.
+
+Buffer overrun (:mod:`repro.net.buffers`) is the paper's *natural* loss
+mechanism, but controlled experiments need loss at a chosen rate or at a
+chosen PDU.  A :class:`LossModel` decides, per (src, dst, PDU), whether the
+network should discard the copy before it reaches the destination buffer.
+
+Models compose with :class:`CompositeLoss` (a copy is dropped if *any*
+component drops it).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Set, Tuple
+
+
+class LossModel:
+    """Interface: decide whether to drop one copy of a PDU."""
+
+    def should_drop(self, src: int, dst: int, pdu: Any, rng: random.Random) -> bool:
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    """The reliable medium: never drops."""
+
+    def should_drop(self, src: int, dst: int, pdu: Any, rng: random.Random) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Each copy is dropped independently with probability ``rate``.
+
+    ``protect_control=True`` exempts RET and heartbeat PDUs; the paper's
+    network is error-free (only data-plane receivers overrun), and protecting
+    control PDUs keeps loss-rate sweeps measuring recovery of *data* rather
+    than of the recovery machinery itself.  Set it to ``False`` to stress
+    the RET retry timers too.
+    """
+
+    def __init__(self, rate: float, protect_control: bool = False):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.protect_control = protect_control
+
+    def should_drop(self, src: int, dst: int, pdu: Any, rng: random.Random) -> bool:
+        if self.rate == 0.0:
+            return False
+        if self.protect_control and getattr(pdu, "is_control", False):
+            return False
+        return rng.random() < self.rate
+
+
+class BurstLoss(LossModel):
+    """Gilbert–Elliott two-state burst loss.
+
+    The channel for each (src, dst) pair alternates between a GOOD state
+    (loss probability ``good_loss``) and a BAD state (``bad_loss``), with
+    per-copy transition probabilities ``p_good_to_bad`` / ``p_bad_to_good``.
+    Models correlated overruns: once a receiver falls behind it stays behind
+    for a while.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.01,
+        p_bad_to_good: float = 0.2,
+        good_loss: float = 0.0,
+        bad_loss: float = 0.5,
+    ):
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("good_loss", good_loss),
+            ("bad_loss", bad_loss),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.good_loss = good_loss
+        self.bad_loss = bad_loss
+        self._bad: Dict[Tuple[int, int], bool] = {}
+
+    def should_drop(self, src: int, dst: int, pdu: Any, rng: random.Random) -> bool:
+        key = (src, dst)
+        bad = self._bad.get(key, False)
+        if bad:
+            if rng.random() < self.p_bad_to_good:
+                bad = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                bad = True
+        self._bad[key] = bad
+        rate = self.bad_loss if bad else self.good_loss
+        return rng.random() < rate
+
+
+class ScriptedLoss(LossModel):
+    """Drop exactly the copies named in advance — for scripted scenarios.
+
+    Targets are ``(src, seq, dst)`` triples matched against data PDUs; each
+    target fires once (retransmissions of the same PDU get through), which is
+    how the tests stage Figure 6's two failure-detection cases.
+    """
+
+    def __init__(self, targets: List[Tuple[int, int, int]]):
+        self._pending: Set[Tuple[int, int, int]] = set(targets)
+        self.fired: List[Tuple[int, int, int]] = []
+
+    def should_drop(self, src: int, dst: int, pdu: Any, rng: random.Random) -> bool:
+        seq = getattr(pdu, "seq", None)
+        if seq is None:
+            return False
+        key = (src, seq, dst)
+        if key in self._pending:
+            self._pending.discard(key)
+            self.fired.append(key)
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scripted drop has fired."""
+        return not self._pending
+
+
+class CompositeLoss(LossModel):
+    """Drop when any component model drops (union of loss processes)."""
+
+    def __init__(self, models: List[LossModel]):
+        self.models = list(models)
+
+    def should_drop(self, src: int, dst: int, pdu: Any, rng: random.Random) -> bool:
+        # Evaluate every component so stateful models (BurstLoss) advance
+        # their chains consistently regardless of short-circuiting.
+        verdicts = [m.should_drop(src, dst, pdu, rng) for m in self.models]
+        return any(verdicts)

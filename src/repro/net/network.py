@@ -1,0 +1,197 @@
+"""The multi-channel (MC) broadcast network.
+
+The MC service of §2.3 guarantees exactly one thing: every receipt log is
+**local-order-preserved** — PDUs from one source arrive at any destination in
+sending order.  It does *not* guarantee information preservation (receivers
+may lose PDUs) nor any cross-source ordering (different destinations may
+interleave sources differently).
+
+:class:`MCNetwork` realizes this: each broadcast fans out one copy per other
+entity, each copy travels its pair's propagation delay, an injectable
+:class:`~repro.net.loss.LossModel` may discard copies in flight, and arrival
+order per (src, dst) pair is clamped to FIFO.  Destination-side buffer
+overrun — the paper's primary loss mechanism — happens *after* arrival, in
+the entity host (:mod:`repro.core.cluster`), not here: the medium itself is
+error-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.net.loss import LossModel, NoLoss
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+from repro.sim.process import SimProcess
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+
+#: An attached receiver: called as ``sink(pdu)`` at arrival time.
+Sink = Callable[[Any], None]
+
+
+@dataclass
+class NetworkStats:
+    """Traffic counters for one run."""
+
+    broadcasts: int = 0
+    unicasts: int = 0
+    copies_sent: int = 0
+    copies_delivered: int = 0
+    copies_dropped: int = 0
+    data_pdus: int = 0
+    control_pdus: int = 0
+    bytes_sent: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+def pdu_wire_size(pdu: Any) -> int:
+    """Wire size of a PDU in bytes, if it knows how to report one."""
+    sizer = getattr(pdu, "wire_size", None)
+    if callable(sizer):
+        return int(sizer())
+    return 0
+
+
+class MCNetwork(SimProcess):
+    """Broadcast network with per-pair delays, FIFO links and injectable loss.
+
+    Entities register with :meth:`attach` before traffic starts.  The sender
+    does **not** receive its own copy through the network — the protocol
+    engines self-accept at send time, matching a host that hands its own
+    broadcast straight to its system entity.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: TraceLog,
+        topology: Topology,
+        loss: Optional[LossModel] = None,
+        rngs: Optional[RngRegistry] = None,
+        bandwidth_bytes_per_s: Optional[float] = None,
+        jitter: float = 0.0,
+    ):
+        """``bandwidth_bytes_per_s`` adds a serialisation delay of
+        ``wire_size / bandwidth`` per PDU at the sender's interface (all
+        copies of a broadcast share one serialisation — it is one frame on
+        the medium).  ``jitter`` adds an exponential random extra delay with
+        that mean per copy; arrival order per (src, dst) pair is still
+        clamped to FIFO, preserving the MC model's local-order guarantee."""
+        super().__init__(sim, trace, index=-1)
+        self.topology = topology
+        self.loss = loss if loss is not None else NoLoss()
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        self.jitter = jitter
+        registry = rngs or RngRegistry()
+        self._rng = registry.stream("network-loss")
+        self._jitter_rng = registry.stream("network-jitter")
+        self._sinks: Dict[int, Sink] = {}
+        # Last scheduled arrival time per (src, dst), to clamp links to FIFO
+        # even if a topology or future jitter model produced reordering.
+        self._last_arrival: Dict[Tuple[int, int], float] = {}
+        self._in_flight = 0
+        self.stats = NetworkStats()
+
+    @property
+    def in_flight(self) -> int:
+        """Copies currently travelling (scheduled but not yet arrived)."""
+        return self._in_flight
+
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+    @property
+    def max_delay(self) -> float:
+        """The paper's ``R``."""
+        return self.topology.max_delay
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, index: int, sink: Sink) -> None:
+        """Register the receive path of entity ``index``."""
+        if not 0 <= index < self.n:
+            raise ValueError(f"entity index {index} outside cluster of {self.n}")
+        if index in self._sinks:
+            raise ValueError(f"entity {index} already attached")
+        self._sinks[index] = sink
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def broadcast(self, src: int, pdu: Any) -> None:
+        """Fan a PDU out to every other attached entity."""
+        self.stats.broadcasts += 1
+        if getattr(pdu, "is_control", False):
+            self.stats.control_pdus += 1
+        else:
+            self.stats.data_pdus += 1
+        self.trace.record(
+            self.now, "broadcast", src,
+            kind=type(pdu).__name__, **_pdu_trace_fields(pdu),
+        )
+        for dst in range(self.n):
+            if dst == src:
+                continue
+            self._send_copy(src, dst, pdu)
+
+    def unicast(self, src: int, dst: int, pdu: Any) -> None:
+        """Send a PDU to a single destination (used by extensions)."""
+        if dst == src:
+            raise ValueError("unicast to self is not modelled")
+        self.stats.unicasts += 1
+        if getattr(pdu, "is_control", False):
+            self.stats.control_pdus += 1
+        else:
+            self.stats.data_pdus += 1
+        self._send_copy(src, dst, pdu)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _send_copy(self, src: int, dst: int, pdu: Any) -> None:
+        self.stats.copies_sent += 1
+        size = pdu_wire_size(pdu)
+        self.stats.bytes_sent += size
+        if self.loss.should_drop(src, dst, pdu, self._rng):
+            self.stats.copies_dropped += 1
+            fields = _pdu_trace_fields(pdu)
+            fields.setdefault("src", src)
+            self.trace.record(self.now, "drop", dst, reason="injected", **fields)
+            return
+        arrival = self.now + self.topology.delay(src, dst)
+        if self.bandwidth_bytes_per_s:
+            arrival += size / self.bandwidth_bytes_per_s
+        if self.jitter:
+            arrival += self._jitter_rng.expovariate(1.0 / self.jitter)
+        key = (src, dst)
+        last = self._last_arrival.get(key, 0.0)
+        if arrival < last:
+            arrival = last  # clamp: links are FIFO in the MC model
+        self._last_arrival[key] = arrival
+        self._in_flight += 1
+        self.sim.schedule_at(arrival, self._arrive, src, dst, pdu)
+
+    def _arrive(self, src: int, dst: int, pdu: Any) -> None:
+        self._in_flight -= 1
+        sink = self._sinks.get(dst)
+        if sink is None:
+            raise RuntimeError(f"PDU arrived at unattached entity {dst}")
+        self.stats.copies_delivered += 1
+        sink(pdu)
+
+
+def _pdu_trace_fields(pdu: Any) -> Dict[str, Any]:
+    fields = {}
+    for attr in ("src", "seq", "pdu_id"):
+        value = getattr(pdu, attr, None)
+        if value is not None:
+            fields[attr] = value
+    return fields

@@ -1,0 +1,31 @@
+"""The reliable network assumed by ISIS.
+
+§1: "The CBCAST protocol is implemented on the reliable transport service
+where every PDU is guaranteed to be delivered to the destination."  The
+reliable network is the MC network minus every loss mechanism: no injected
+loss, and the entity hosts built on it use unbounded buffers (see
+:func:`repro.core.cluster.build_cluster` and the CBCAST runner).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.network import MCNetwork
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+
+
+class ReliableNetwork(MCNetwork):
+    """An :class:`MCNetwork` that never loses a copy in flight."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: TraceLog,
+        topology: Topology,
+        rngs: Optional[RngRegistry] = None,
+    ):
+        super().__init__(sim, trace, topology, loss=None, rngs=rngs)

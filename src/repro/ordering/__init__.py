@@ -1,0 +1,40 @@
+"""Ordering oracles: independent verification of every run.
+
+The CO protocol decides causality from sequence numbers (Theorem 4.1).  To
+*verify* it we need machinery that does not share that code path:
+
+* :mod:`repro.ordering.vector_clock` — classic vector clocks (also the
+  substrate of the ISIS CBCAST baseline);
+* :mod:`repro.ordering.events` — reconstructs per-entity event sequences
+  (send / accept / deliver) from a run's trace;
+* :mod:`repro.ordering.happened_before` — builds the happened-before
+  relation over those events with vector clocks, yielding an oracle for the
+  causality-precedence relation ``p ≺ q``;
+* :mod:`repro.ordering.properties` — the paper's §2.2 log properties
+  (information-, local-order- and causality-preservation) as predicates over
+  delivery logs and an arbitrary precedence oracle;
+* :mod:`repro.ordering.checker` — one-call verification of a whole run,
+  used by the integration tests and the harness.
+"""
+
+from repro.ordering.checker import RunReport, verify_run
+from repro.ordering.events import ProtocolEvent, extract_events
+from repro.ordering.happened_before import CausalOrderOracle
+from repro.ordering.properties import (
+    causality_violations,
+    local_order_violations,
+    missing_deliveries,
+)
+from repro.ordering.vector_clock import VectorClock
+
+__all__ = [
+    "CausalOrderOracle",
+    "ProtocolEvent",
+    "RunReport",
+    "VectorClock",
+    "causality_violations",
+    "extract_events",
+    "local_order_violations",
+    "missing_deliveries",
+    "verify_run",
+]

@@ -1,0 +1,107 @@
+"""Event extraction: from a run's trace to protocol-level event sequences.
+
+The happened-before relation (§2.2, after Lamport) is defined over *sending*
+and *receipt* events.  In the CO protocol the receipt event that feeds
+causality is **acceptance** — an entity's ``ACK`` vector advances exactly
+when it accepts, so a PDU sent after an acceptance causally follows the
+accepted PDU.
+
+:func:`extract_events` walks a :class:`~repro.sim.trace.TraceLog` and
+produces, per entity, the time-ordered sequence of:
+
+* ``send`` events — the *first* broadcast of each data PDU (retransmissions
+  are the same sending event, not a new one);
+* ``accept`` events — acceptances of data PDUs (including self-acceptance);
+* ``deliver`` events — deliveries to the application.
+
+Message identity is the PDU id ``(src, seq)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.sim.trace import TraceLog
+
+MessageId = Tuple[int, int]
+
+#: Broadcast-record kinds that carry application-visible messages.  Control
+#: PDUs (RetPdu, HeartbeatPdu, PoRetPdu, ...) are knowledge, not messages.
+DATA_KINDS = frozenset({"DataPdu", "CbcastMessage", "PoPdu", "RawMessage", "TotalOrderPdu"})
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One protocol-level event at one entity."""
+
+    time: float
+    entity: int
+    kind: str  # "send" | "accept" | "deliver"
+    message: MessageId
+
+
+def extract_events(trace: TraceLog) -> List[ProtocolEvent]:
+    """All send/accept/deliver events of a run, in global time order.
+
+    Only *data* PDUs participate: control PDUs (RET, heartbeat) carry
+    knowledge but are not part of the application-visible causal structure.
+    Null data PDUs (sequenced confirmations) do participate — they occupy
+    sequence numbers and can carry causal chains.
+    """
+    events: List[ProtocolEvent] = []
+    first_broadcast: Set[MessageId] = set()
+    for rec in trace:
+        if rec.category == "broadcast":
+            if rec.get("kind") not in DATA_KINDS:
+                continue
+            message = (rec.entity, rec.get("seq"))
+            if message in first_broadcast:
+                continue  # retransmission: same sending event
+            first_broadcast.add(message)
+            events.append(ProtocolEvent(rec.time, rec.entity, "send", message))
+        elif rec.category == "accept":
+            message = (rec.get("src"), rec.get("seq"))
+            events.append(ProtocolEvent(rec.time, rec.entity, "accept", message))
+        elif rec.category == "deliver":
+            message = (rec.get("src"), rec.get("seq"))
+            events.append(ProtocolEvent(rec.time, rec.entity, "deliver", message))
+    return events
+
+
+def delivery_logs(trace: TraceLog, n: int) -> List[List[MessageId]]:
+    """Per-entity delivery sequences, in delivery order."""
+    logs: List[List[MessageId]] = [[] for _ in range(n)]
+    for rec in trace:
+        if rec.category == "deliver":
+            logs[rec.entity].append((rec.get("src"), rec.get("seq")))
+    return logs
+
+
+def sent_messages(trace: TraceLog, data_only: bool = True) -> List[MessageId]:
+    """Identities of all distinct data PDUs broadcast in a run.
+
+    With ``data_only`` (default) null confirmation PDUs are excluded, since
+    they are never delivered and hence irrelevant to delivery checks.  The
+    trace marks nullness on the ``accept`` records, so we consult those;
+    a PDU nobody accepted cannot be checked and is assumed non-null.
+    """
+    null_ids: Set[MessageId] = set()
+    nonnull_ids: Set[MessageId] = set()
+    order: List[MessageId] = []
+    seen: Set[MessageId] = set()
+    for rec in trace:
+        if rec.category == "accept":
+            message = (rec.get("src"), rec.get("seq"))
+            if rec.get("null"):
+                null_ids.add(message)
+            else:
+                nonnull_ids.add(message)
+        elif rec.category == "broadcast" and rec.get("kind") in DATA_KINDS:
+            message = (rec.entity, rec.get("seq"))
+            if message not in seen:
+                seen.add(message)
+                order.append(message)
+    if not data_only:
+        return order
+    return [m for m in order if m not in null_ids or m in nonnull_ids]

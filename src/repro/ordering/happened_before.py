@@ -1,0 +1,81 @@
+"""The happened-before / causality-precedence oracle.
+
+Given a run's protocol events (:mod:`repro.ordering.events`), the oracle
+computes the causality-precedence relation ``p ≺ q`` over messages *without
+looking at any ACK vector*, by running a vector clock over the event
+sequences:
+
+* each entity's clock ticks on every send;
+* accepting a message merges the sender's clock *as of that send*;
+* a message's timestamp is its sender's clock immediately after the send.
+
+Then ``p ≺ q  iff  VC(p) < VC(q)`` — the classic characterization.  This is
+deliberately a different algorithm from Theorem 4.1, so the two can be
+checked against each other (the ``c5-vs-isis`` design-decision test).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ordering.events import MessageId, ProtocolEvent
+from repro.ordering.vector_clock import VectorClock
+
+
+class CausalOrderOracle:
+    """Causality-precedence over the messages of one run.
+
+    Build from the run's events (already in global time order — the trace
+    guarantees it).  Events referencing a message whose ``send`` was never
+    observed are ignored (can happen when a trace is truncated mid-run).
+    """
+
+    def __init__(self, events: Sequence[ProtocolEvent], n: int):
+        self.n = n
+        self._stamps: Dict[MessageId, VectorClock] = {}
+        clocks: List[VectorClock] = [VectorClock.zero(n) for _ in range(n)]
+        for event in events:
+            if event.kind == "send":
+                clocks[event.entity] = clocks[event.entity].tick(event.entity)
+                self._stamps[event.message] = clocks[event.entity]
+            elif event.kind == "accept":
+                stamp = self._stamps.get(event.message)
+                if stamp is None:
+                    continue
+                if event.message[0] == event.entity:
+                    continue  # self-acceptance adds no knowledge
+                clocks[event.entity] = clocks[event.entity].merge(stamp)
+            # "deliver" events do not advance protocol-level causality:
+            # the ACK vectors reflect acceptance, not delivery.
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def stamp(self, message: MessageId) -> Optional[VectorClock]:
+        """The vector timestamp of a message, or ``None`` if never sent."""
+        return self._stamps.get(message)
+
+    def precedes(self, p: MessageId, q: MessageId) -> bool:
+        """Oracle verdict on ``p ≺ q``."""
+        sp, sq = self._stamps.get(p), self._stamps.get(q)
+        if sp is None or sq is None:
+            raise KeyError(f"unknown message: {p if sp is None else q}")
+        return sp < sq
+
+    def concurrent(self, p: MessageId, q: MessageId) -> bool:
+        """Oracle verdict on ``p ~ q`` (causality-coincident)."""
+        return not self.precedes(p, q) and not self.precedes(q, p) and p != q
+
+    def messages(self) -> List[MessageId]:
+        """All messages the oracle knows, in send order."""
+        return list(self._stamps)
+
+    def causal_pairs(self) -> Iterable[Tuple[MessageId, MessageId]]:
+        """Every ordered pair ``(p, q)`` with ``p ≺ q``.  O(m²)."""
+        ids = list(self._stamps)
+        for i, p in enumerate(ids):
+            for q in ids[i + 1:]:
+                if self.precedes(p, q):
+                    yield (p, q)
+                elif self.precedes(q, p):
+                    yield (q, p)

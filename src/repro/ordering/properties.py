@@ -1,0 +1,97 @@
+"""The paper's §2.2 log properties as checkable predicates.
+
+A receipt (here: delivery) log ``RL_i`` is
+
+* **information-preserved** — it contains every PDU destined to ``E_i``;
+* **local-order-preserved** — PDUs from each source appear in sending
+  (sequence-number) order;
+* **causality-preserved** — whenever ``p ≺ q``, ``p`` appears before ``q``.
+
+Each function returns the list of violations (empty = property holds), so
+test failures carry the offending pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Set, Tuple
+
+from repro.ordering.events import MessageId
+
+#: A precedence oracle: ``precedes(p, q)`` decides ``p ≺ q``.
+Precedence = Callable[[MessageId, MessageId], bool]
+
+
+def missing_deliveries(
+    log: Sequence[MessageId], expected: Sequence[MessageId]
+) -> List[MessageId]:
+    """Information preservation: expected messages absent from ``log``."""
+    present = set(log)
+    return [m for m in expected if m not in present]
+
+
+def duplicate_deliveries(log: Sequence[MessageId]) -> List[MessageId]:
+    """Messages delivered more than once (at-most-once violation)."""
+    seen: Set[MessageId] = set()
+    duplicates = []
+    for m in log:
+        if m in seen:
+            duplicates.append(m)
+        seen.add(m)
+    return duplicates
+
+
+def local_order_violations(
+    log: Sequence[MessageId],
+) -> List[Tuple[MessageId, MessageId]]:
+    """Local-order preservation: same-source pairs delivered out of
+    sequence-number order."""
+    last_seq: Dict[int, MessageId] = {}
+    violations = []
+    for m in log:
+        src, seq = m
+        prev = last_seq.get(src)
+        if prev is not None and seq < prev[1]:
+            violations.append((prev, m))
+        if prev is None or seq > prev[1]:
+            last_seq[src] = m
+    return violations
+
+
+def causality_violations(
+    log: Sequence[MessageId], precedes: Precedence
+) -> List[Tuple[MessageId, MessageId]]:
+    """Causality preservation: pairs delivered against ``≺``.
+
+    Returns pairs ``(q, p)`` where ``p ≺ q`` but ``q`` was delivered first.
+    O(m²) in the log length — verification machinery, not protocol.
+    """
+    violations = []
+    for i, earlier in enumerate(log):
+        for later in log[i + 1:]:
+            if precedes(later, earlier):
+                violations.append((earlier, later))
+    return violations
+
+
+def total_order_agreement(
+    logs: Sequence[Sequence[MessageId]],
+) -> List[Tuple[int, int, MessageId, MessageId]]:
+    """Pairs on which two logs disagree about relative delivery order.
+
+    Not a CO-service requirement (only the TO service demands it); used to
+    *demonstrate* that CO is weaker than TO, and by the total-order
+    extension's tests where the result must be empty.
+    """
+    disagreements = []
+    positions = []
+    for log in logs:
+        positions.append({m: k for k, m in enumerate(log)})
+    for i in range(len(logs)):
+        for j in range(i + 1, len(logs)):
+            common = [m for m in logs[i] if m in positions[j]]
+            for a in range(len(common)):
+                for b in range(a + 1, len(common)):
+                    p, q = common[a], common[b]
+                    if positions[j][p] > positions[j][q]:
+                        disagreements.append((i, j, p, q))
+    return disagreements

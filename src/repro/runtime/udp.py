@@ -1,0 +1,214 @@
+"""UDP transport: the CO protocol over real sockets.
+
+Each member binds one UDP socket; "broadcast" is n-1 unicasts to the other
+members' addresses (the paper's Ethernet would do this in one frame — UDP
+multicast could too, but unicast fan-out works everywhere, including the
+loopback tests).  PDUs travel as :mod:`repro.core.codec` bytes, so
+application payloads must be ``bytes``/``str``.
+
+UDP gives exactly the MC failure model for free: datagrams can be dropped
+(full socket buffers) and the protocol's own sequence numbers detect and
+repair it.  An extra ``loss_rate`` can inject drops for testing.
+
+Usage::
+
+    transport = UdpTransport(index=0, peers=["127.0.0.1:9001", ...])
+    # then host it exactly like LocalAsyncTransport via AsyncEntityHost —
+    # or use udp_cluster() to assemble a loopback group in one call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Awaitable, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.codec import CodecError, decode_pdu, encode_pdu
+from repro.core.config import ProtocolConfig
+from repro.core.entity import COEntity, DeliveredMessage
+from repro.runtime.host import AsyncEntityHost
+from repro.sim.trace import TraceLog
+
+Address = Tuple[str, int]
+Sink = Callable[[Any], Awaitable[None]]
+
+
+def _parse(address: str) -> Address:
+    host, _, port = address.rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
+class _Protocol(asyncio.DatagramProtocol):
+    def __init__(self, transport_owner: "UdpTransport"):
+        self._owner = transport_owner
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self._owner._on_datagram(data)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        self._owner.errors += 1
+
+
+class UdpTransport:
+    """One member's UDP endpoint.
+
+    ``peers`` lists every member's ``host:port`` in cluster order; entry
+    ``index`` is this member's own bind address.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        peers: Sequence[str],
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        if not 0 <= index < len(peers):
+            raise ValueError(f"index {index} outside peer list of {len(peers)}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.index = index
+        self.addresses: List[Address] = [_parse(p) for p in peers]
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self._sink: Optional[Sink] = None
+        self._udp: Optional[asyncio.transports.DatagramTransport] = None
+        self._dispatch: Optional["asyncio.Task"] = None
+        self._inbox: "asyncio.Queue[bytes]" = asyncio.Queue()
+        self.datagrams_sent = 0
+        self.datagrams_dropped = 0
+        self.decode_errors = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # Host interface (same shape as LocalAsyncTransport)
+    # ------------------------------------------------------------------
+    def attach(self, index: int, sink: Sink) -> None:
+        if index != self.index:
+            raise ValueError(
+                f"this endpoint is member {self.index}, cannot attach {index}"
+            )
+        if self._sink is not None:
+            raise ValueError("already attached")
+        self._sink = sink
+
+    async def start(self) -> None:
+        if self._sink is None:
+            raise RuntimeError("attach a sink before starting")
+        loop = asyncio.get_event_loop()
+        self._udp, _ = await loop.create_datagram_endpoint(
+            lambda: _Protocol(self), local_addr=self.addresses[self.index],
+        )
+        self._dispatch = asyncio.ensure_future(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        if self._dispatch is not None:
+            self._dispatch.cancel()
+            try:
+                await self._dispatch
+            except asyncio.CancelledError:
+                pass
+            self._dispatch = None
+        if self._udp is not None:
+            self._udp.close()
+            self._udp = None
+
+    def broadcast(self, src: int, pdu: Any) -> None:
+        """Encode once, unicast to every peer."""
+        payload = encode_pdu(pdu)
+        for dst, address in enumerate(self.addresses):
+            if dst == src:
+                continue
+            self.datagrams_sent += 1
+            if self.loss_rate and self._rng.random() < self.loss_rate:
+                self.datagrams_dropped += 1
+                continue
+            self._udp.sendto(payload, address)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _on_datagram(self, data: bytes) -> None:
+        self._inbox.put_nowait(data)
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            data = await self._inbox.get()
+            try:
+                pdu = decode_pdu(data)
+            except CodecError:
+                self.decode_errors += 1
+                continue
+            await self._sink(pdu)
+
+
+class UdpMember:
+    """One complete member: engine + host + UDP endpoint."""
+
+    def __init__(
+        self,
+        index: int,
+        peers: Sequence[str],
+        config: Optional[ProtocolConfig] = None,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+        trace: Optional[TraceLog] = None,
+    ):
+        self.config = config or ProtocolConfig(
+            tick_interval=2e-3, deferred_interval=4e-3, ret_timeout=10e-3,
+        )
+        self.trace = trace if trace is not None else TraceLog()
+        self.transport = UdpTransport(
+            index, peers, loss_rate=loss_rate, seed=seed + index,
+        )
+        self._clock: Callable[[], float] = lambda: 0.0
+        self.host = AsyncEntityHost(
+            index, len(peers), self.config, self.transport, self.trace,
+            clock=lambda: self._clock(),
+        )
+
+    @property
+    def engine(self) -> COEntity:
+        return self.host.engine
+
+    @property
+    def delivered(self) -> List[DeliveredMessage]:
+        return self.host.delivered
+
+    async def start(self) -> None:
+        self._clock = asyncio.get_event_loop().time
+        await self.transport.start()
+        self.host.start()
+
+    async def stop(self) -> None:
+        await self.host.stop()
+        await self.transport.stop()
+
+    def broadcast(self, data: Any, size: int = 0) -> None:
+        self.host.submit(data, size)
+
+
+async def udp_cluster(
+    n: int,
+    base_port: int = 19870,
+    config: Optional[ProtocolConfig] = None,
+    loss_rate: float = 0.0,
+    seed: int = 0,
+    shared_trace: bool = True,
+) -> List[UdpMember]:
+    """Assemble and start a loopback UDP cluster.
+
+    With ``shared_trace`` all members log into one TraceLog so the
+    happened-before oracle can verify the run (only meaningful when all
+    members live in one process, as in the tests).
+    """
+    peers = [f"127.0.0.1:{base_port + i}" for i in range(n)]
+    trace = TraceLog() if shared_trace else None
+    members = [
+        UdpMember(i, peers, config=config, loss_rate=loss_rate, seed=seed,
+                  trace=trace if shared_trace else None)
+        for i in range(n)
+    ]
+    for member in members:
+        await member.start()
+    return members

@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation kernel.
+
+The paper evaluated the CO protocol on Sun SPARC2 workstations connected by
+Ethernet.  This package is the substitute substrate: a classic discrete-event
+simulator with
+
+* a binary-heap event queue with deterministic tie-breaking
+  (:mod:`repro.sim.kernel`),
+* one-shot and periodic timers (:mod:`repro.sim.timers`),
+* named, independently seeded random streams (:mod:`repro.sim.rng`),
+* a structured trace log used by the verification oracles and the metrics
+  collectors (:mod:`repro.sim.trace`), and
+* a small process abstraction tying an object to a simulator
+  (:mod:`repro.sim.process`).
+
+Everything in the repository that "takes time" — propagation delay, per-PDU
+CPU service time, deferred-confirmation windows, retransmission timeouts —
+runs on this kernel, so a whole experiment is a single-threaded, perfectly
+reproducible computation.
+"""
+
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.process import SimProcess
+from repro.sim.rng import RngRegistry
+from repro.sim.timers import PeriodicTimer, Timer
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "EventHandle",
+    "PeriodicTimer",
+    "RngRegistry",
+    "SimProcess",
+    "Simulator",
+    "Timer",
+    "TraceLog",
+    "TraceRecord",
+]

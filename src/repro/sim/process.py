@@ -1,0 +1,39 @@
+"""Process abstraction: an object bound to a simulator and a trace log.
+
+Entities, network pipes and workload generators all inherit from
+:class:`SimProcess` to get consistent access to the clock, scheduling and
+tracing without each carrying its own plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.trace import TraceLog
+
+
+class SimProcess:
+    """Base class for simulated components.
+
+    Subclasses identify themselves with an integer ``index`` (the entity
+    number in the cluster; infrastructure components use ``-1``).
+    """
+
+    def __init__(self, sim: Simulator, trace: TraceLog, index: int = -1):
+        self.sim = sim
+        self.trace = trace
+        self.index = index
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule a callback ``delay`` time units from now."""
+        return self.sim.schedule(delay, callback, *args)
+
+    def record(self, category: str, **details: Any) -> None:
+        """Append a trace record stamped with this process's index."""
+        self.trace.record(self.sim.now, category, self.index, **details)

@@ -1,0 +1,142 @@
+"""Structured trace log.
+
+Every interesting thing that happens in a run — a PDU broadcast, an
+acceptance, a buffer overrun, a delivery — is appended to a
+:class:`TraceLog` as a :class:`TraceRecord`.  The trace serves three
+consumers:
+
+* the **verification oracles** in :mod:`repro.ordering`, which reconstruct
+  the happened-before relation and check the paper's log properties
+  (information-, local-order- and causality-preservation);
+* the **metrics collectors** in :mod:`repro.metrics`, which compute PDU
+  lifecycle latencies (acceptance → pre-ack → ack → delivery);
+* humans debugging a scenario (``log.format()`` pretty-prints a run).
+
+Records are plain data; categories are free-form strings but the protocol
+engines stick to the vocabulary in :data:`CATEGORIES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+#: Vocabulary of record categories emitted by the engines in this repository.
+CATEGORIES = (
+    "submit",        # application handed data to the service
+    "broadcast",     # a PDU was handed to the network
+    "arrive",        # a PDU reached an entity's receive buffer
+    "drop",          # a PDU was lost (buffer overrun or injected loss)
+    "accept",        # acceptance action ran (PDU entered RRL)
+    "duplicate",     # a retransmitted copy of an already-accepted PDU arrived
+    "stash",         # out-of-order PDU stashed for selective repeat
+    "gap",           # a failure condition detected missing PDUs
+    "ret",           # a RET (retransmission-request) PDU was sent
+    "retransmit",    # a source rebroadcast PDUs in response to a RET
+    "preack",        # a PDU moved to the pre-acknowledged log PRL
+    "ack",           # a PDU moved to the acknowledged log ARL
+    "deliver",       # a PDU's data was handed to the application
+    "heartbeat",     # a heartbeat control PDU was sent (quiescence extension)
+    "flow-blocked",  # the flow condition deferred a transmission
+    "suspect",       # an entity was suspected crashed (membership extension)
+    "unsuspect",     # a suspected entity spoke and was re-included
+    "crash",         # a host was crashed by the experiment script
+)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One event in a run.
+
+    ``entity`` is the index of the entity the event happened *at* (or the
+    sender for ``broadcast``); ``details`` carries category-specific keys
+    such as ``src``, ``seq``, ``pdu_id``.
+    """
+
+    time: float
+    category: str
+    entity: int
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.details.get(key, default)
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"[{self.time:12.6f}] E{self.entity:<3d} {self.category:<12s} {parts}"
+
+
+class TraceLog:
+    """An append-only sequence of :class:`TraceRecord`.
+
+    The log preserves insertion order, which equals simulated-time order
+    because the kernel is single-threaded and monotonic.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, time: float, category: str, entity: int, **details: Any) -> None:
+        """Append a record (no-op when the log is disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time, category, entity, details))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> Tuple[TraceRecord, ...]:
+        return tuple(self._records)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        entity: Optional[int] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Records matching all the given filters, in time order."""
+        out = []
+        for rec in self._records:
+            if category is not None and rec.category != category:
+                continue
+            if entity is not None and rec.entity != entity:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, category: str, entity: Optional[int] = None) -> int:
+        """Number of records in a category (optionally for one entity)."""
+        return len(self.select(category=category, entity=entity))
+
+    def first(self, category: str, **match: Any) -> Optional[TraceRecord]:
+        """The earliest record of ``category`` whose details contain ``match``."""
+        for rec in self._records:
+            if rec.category != category:
+                continue
+            if all(rec.details.get(k) == v for k, v in match.items()):
+                return rec
+        return None
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Human-readable dump of the first ``limit`` records."""
+        records = self._records if limit is None else self._records[:limit]
+        return "\n".join(str(rec) for rec in records)
+
+    def clear(self) -> None:
+        self._records.clear()

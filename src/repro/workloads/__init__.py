@@ -1,0 +1,45 @@
+"""Application workloads.
+
+The paper's evaluation workload is "each application entity sends data
+transmission requests to the CO entity continuously like the file transfer"
+(§5) — :class:`ContinuousWorkload`.  The others exercise paths the paper's
+measurement does not: idle-then-burst traffic (deferred confirmation and
+quiescence), Poisson arrivals, and the CSCW-style request-reply pattern of
+§1's motivation, which manufactures the cross-entity causal chains that make
+causal ordering observable at all.
+
+:mod:`repro.workloads.scenarios` additionally scripts the paper's worked
+traces (Figs. 2, 3, 6 and the Table 1 / Fig. 7 example) PDU by PDU.
+"""
+
+from repro.workloads.adversarial import (
+    ChainWorkload,
+    HotspotWorkload,
+    StormWorkload,
+)
+from repro.workloads.generators import (
+    BurstyWorkload,
+    ContinuousWorkload,
+    PoissonWorkload,
+    RequestReplyWorkload,
+    Workload,
+)
+from repro.workloads.scenarios import (
+    ScriptedCluster,
+    run_fig2_scenario,
+    run_fig7_example,
+)
+
+__all__ = [
+    "BurstyWorkload",
+    "ChainWorkload",
+    "ContinuousWorkload",
+    "HotspotWorkload",
+    "PoissonWorkload",
+    "RequestReplyWorkload",
+    "ScriptedCluster",
+    "StormWorkload",
+    "Workload",
+    "run_fig2_scenario",
+    "run_fig7_example",
+]

@@ -1,0 +1,100 @@
+"""Adversarial workloads: the shapes that stress specific protocol paths.
+
+* :class:`ChainWorkload` — a token circles the cluster; every broadcast is
+  causally after every earlier one (maximal causal depth, zero
+  concurrency).  Stresses CPI ordering and makes any causal inversion
+  certain to be visible.
+* :class:`StormWorkload` — everyone transmits a batch at the same instant.
+  Maximal burst pressure on receive buffers and the flow window.
+* :class:`HotspotWorkload` — one entity produces almost all traffic while
+  the others only confirm.  Stresses the deferred-confirmation path (the
+  quiet entities' ACKs gate the hot sender's window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cluster import Cluster
+from repro.core.entity import DeliveredMessage
+from repro.sim.rng import RngRegistry
+from repro.workloads.generators import Workload
+
+
+@dataclass
+class ChainWorkload(Workload):
+    """A causal token ring of ``hops`` broadcasts.
+
+    Entity 0 broadcasts ``token:0``; whoever the schedule names next
+    broadcasts ``token:k`` only *after delivering* ``token:k-1`` — so
+    ``token:0 ≺ token:1 ≺ … `` is a single chain.
+    """
+
+    hops: int = 10
+    hop_delay: float = 1e-4
+
+    def install(self, cluster: Cluster, rngs: RngRegistry) -> None:
+        n = cluster.n
+
+        def on_delivery(entity: int, message: DeliveredMessage) -> None:
+            data = message.data
+            if not isinstance(data, str) or not data.startswith("token:"):
+                return
+            k = int(data.split(":")[1])
+            nxt = k + 1
+            if nxt >= self.hops:
+                return
+            if nxt % n == entity:
+                cluster.sim.schedule(
+                    self.hop_delay, cluster.submit, entity, f"token:{nxt}", 0,
+                )
+
+        for i, host in enumerate(cluster.hosts):
+            host.add_delivery_listener(
+                lambda message, entity=i: on_delivery(entity, message)
+            )
+        cluster.sim.schedule_at(0.0, cluster.submit, 0, "token:0", 0)
+
+    @property
+    def expected_messages(self) -> int:
+        return self.hops
+
+
+@dataclass
+class StormWorkload(Workload):
+    """Every entity submits ``batch`` messages at t=0, back to back."""
+
+    batch: int = 10
+    payload_size: int = 256
+
+    def install(self, cluster: Cluster, rngs: RngRegistry) -> None:
+        for i in range(cluster.n):
+            for k in range(self.batch):
+                cluster.sim.schedule_at(
+                    0.0, cluster.submit, i, f"storm-{i}-{k}", self.payload_size,
+                )
+
+    @property
+    def expected_messages(self) -> int:
+        return None  # batch * n; n unknown here
+
+
+@dataclass
+class HotspotWorkload(Workload):
+    """Entity 0 streams; the others each send a single trickle message."""
+
+    hot_messages: int = 30
+    hot_interval: float = 2e-4
+    payload_size: int = 256
+
+    def install(self, cluster: Cluster, rngs: RngRegistry) -> None:
+        for k in range(self.hot_messages):
+            cluster.sim.schedule_at(
+                self.hot_interval * k, cluster.submit, 0,
+                f"hot-{k}", self.payload_size,
+            )
+        for i in range(1, cluster.n):
+            cluster.sim.schedule_at(
+                self.hot_interval * self.hot_messages / 2 + i * 1e-5,
+                cluster.submit, i, f"trickle-{i}", self.payload_size,
+            )

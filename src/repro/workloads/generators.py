@@ -1,0 +1,157 @@
+"""Workload generators.
+
+A :class:`Workload` installs itself on a built cluster: it schedules DT
+requests (and, for reactive workloads, delivery-triggered replies) on the
+cluster's simulator.  All randomness comes from the cluster-independent
+:class:`~repro.sim.rng.RngRegistry` streams, so workloads are reproducible
+and independent of protocol internals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.cluster import Cluster
+from repro.core.entity import DeliveredMessage
+from repro.sim.rng import RngRegistry
+
+
+class Workload:
+    """Interface: schedule application traffic on a cluster."""
+
+    def install(self, cluster: Cluster, rngs: RngRegistry) -> None:
+        raise NotImplementedError
+
+    @property
+    def expected_messages(self) -> Optional[int]:
+        """Total DT requests the workload will make, if statically known."""
+        return None
+
+
+@dataclass
+class ContinuousWorkload(Workload):
+    """The paper's evaluation workload: every entity streams like a file
+    transfer — ``messages_per_entity`` submissions at a fixed ``interval``.
+
+    A per-entity phase offset staggers the senders so they do not all hit
+    the network at the same instant (on real hardware clock skew does this).
+    """
+
+    messages_per_entity: int = 50
+    interval: float = 1e-3
+    payload_size: int = 512
+    stagger: float = 1e-4
+
+    def install(self, cluster: Cluster, rngs: RngRegistry) -> None:
+        for i in range(cluster.n):
+            for k in range(self.messages_per_entity):
+                at = self.stagger * i + self.interval * k
+                cluster.sim.schedule_at(
+                    at, cluster.submit, i, f"cont-{i}-{k}", self.payload_size,
+                )
+
+    @property
+    def expected_messages(self) -> Optional[int]:
+        return None  # depends on cluster size; see per-entity count
+
+
+@dataclass
+class PoissonWorkload(Workload):
+    """Each entity submits with exponential inter-arrival times."""
+
+    rate_per_entity: float = 500.0
+    duration: float = 0.1
+    payload_size: int = 256
+
+    def install(self, cluster: Cluster, rngs: RngRegistry) -> None:
+        for i in range(cluster.n):
+            rng = rngs.stream(f"poisson-{i}")
+            t = rng.expovariate(self.rate_per_entity)
+            k = 0
+            while t < self.duration:
+                cluster.sim.schedule_at(
+                    t, cluster.submit, i, f"poi-{i}-{k}", self.payload_size,
+                )
+                t += rng.expovariate(self.rate_per_entity)
+                k += 1
+
+
+@dataclass
+class BurstyWorkload(Workload):
+    """Alternating bursts and silences.
+
+    Bursts stress receive buffers (the natural overrun path); silences
+    exercise deferred confirmation and quiescence.
+    """
+
+    bursts: int = 4
+    burst_size: int = 10
+    intra_burst_interval: float = 5e-5
+    silence: float = 10e-3
+    payload_size: int = 256
+
+    def install(self, cluster: Cluster, rngs: RngRegistry) -> None:
+        t = 0.0
+        for b in range(self.bursts):
+            sender = b % cluster.n
+            for k in range(self.burst_size):
+                cluster.sim.schedule_at(
+                    t, cluster.submit, sender, f"burst-{b}-{k}", self.payload_size,
+                )
+                t += self.intra_burst_interval
+            t += self.silence
+
+    @property
+    def expected_messages(self) -> Optional[int]:
+        return self.bursts * self.burst_size
+
+
+@dataclass
+class RequestReplyWorkload(Workload):
+    """CSCW-style causal chains: members react to what they see.
+
+    Entity 0 issues ``requests`` root messages; every *other* entity replies
+    (with probability ``reply_probability``) a beat after delivery, up to
+    ``max_depth`` reply generations.  Replies are causally *after* what they
+    answer, so any protocol that breaks causal order will visibly deliver an
+    answer before its question.
+    """
+
+    requests: int = 5
+    request_interval: float = 4e-3
+    reply_probability: float = 1.0
+    reply_delay: float = 2e-4
+    max_depth: int = 1
+    payload_size: int = 128
+
+    def install(self, cluster: Cluster, rngs: RngRegistry) -> None:
+        rng = rngs.stream("request-reply")
+        counter = itertools.count()
+
+        def react(entity: int, message: DeliveredMessage) -> None:
+            payload = message.data
+            if not isinstance(payload, str) or not payload.startswith(("req:", "rep:")):
+                return
+            depth = payload.count("|")
+            if depth >= self.max_depth:
+                return
+            if message.src == entity:
+                return
+            if rng.random() > self.reply_probability:
+                return
+            reply = f"rep:{entity}.{next(counter)}|{payload}"
+            cluster.sim.schedule(
+                self.reply_delay, cluster.submit, entity, reply, self.payload_size,
+            )
+
+        for i, host in enumerate(cluster.hosts):
+            host.add_delivery_listener(
+                lambda message, entity=i: react(entity, message)
+            )
+        for k in range(self.requests):
+            cluster.sim.schedule_at(
+                self.request_interval * k, cluster.submit, 0,
+                f"req:{k}", self.payload_size,
+            )

@@ -1,0 +1,86 @@
+"""Shared test fixtures and helpers."""
+
+from typing import Any, List, Optional
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.entity import COEntity, DeliveredMessage
+from repro.core.pdu import DataPdu, HeartbeatPdu, RetPdu
+from repro.sim.trace import TraceLog
+
+
+class EngineDriver:
+    """Drives one sans-I/O CO engine by hand in unit tests.
+
+    Captures everything the engine sends (``driver.sent``, with typed
+    accessors) and delivers (``driver.delivered``), and provides a manual
+    clock (``driver.clock``).
+    """
+
+    def __init__(self, index: int, n: int, config: Optional[ProtocolConfig] = None,
+                 trace: Optional[TraceLog] = None, buf: int = 10 ** 6):
+        self.clock = 0.0
+        self.trace = trace if trace is not None else TraceLog()
+        self.sent: List[Any] = []
+        self.delivered: List[DeliveredMessage] = []
+        self.engine = COEntity(
+            index, n,
+            config or ProtocolConfig(),
+            clock=lambda: self.clock,
+            trace=self.trace,
+            advertised_buf=lambda: buf,
+        )
+        self.engine.bind(send=self.sent.append, deliver=self.delivered.append)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def submit(self, data, size=0) -> Optional[DataPdu]:
+        before = len(self.sent)
+        self.engine.submit(data, size)
+        fresh = [p for p in self.sent[before:] if isinstance(p, DataPdu)]
+        return fresh[0] if fresh else None
+
+    def receive(self, pdu) -> None:
+        self.engine.on_pdu(pdu)
+
+    def tick(self, dt: float = 0.0) -> None:
+        self.clock += dt
+        self.engine.on_tick()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def data_sent(self) -> List[DataPdu]:
+        return [p for p in self.sent if isinstance(p, DataPdu)]
+
+    @property
+    def rets_sent(self) -> List[RetPdu]:
+        return [p for p in self.sent if isinstance(p, RetPdu)]
+
+    @property
+    def heartbeats_sent(self) -> List[HeartbeatPdu]:
+        return [p for p in self.sent if isinstance(p, HeartbeatPdu)]
+
+    @property
+    def delivered_payloads(self) -> List[Any]:
+        return [m.data for m in self.delivered]
+
+
+def make_pdu(src: int, seq: int, ack, data: Any = "payload", buf: int = 10 ** 6) -> DataPdu:
+    """A hand-built data PDU for feeding an engine."""
+    return DataPdu(cid=1, src=src, seq=seq, ack=tuple(ack), buf=buf, data=data)
+
+
+@pytest.fixture
+def driver():
+    """A 3-entity cluster's engine at index 0."""
+    return EngineDriver(0, 3)
+
+
+@pytest.fixture
+def driver4():
+    """A 4-entity cluster's engine at index 0."""
+    return EngineDriver(0, 4)

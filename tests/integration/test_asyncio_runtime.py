@@ -1,0 +1,163 @@
+"""Integration tests for the asyncio runtime.
+
+Real event loop, real wall-clock timers, nondeterministic scheduling — so
+the assertions are about outcomes (delivery, ordering, recovery), never
+timings.  The shared trace still feeds the happened-before oracle.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.ordering.checker import verify_run
+from repro.runtime import AsyncCluster, LocalAsyncTransport
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAsyncCluster:
+    def test_single_broadcast_delivered_everywhere(self):
+        async def scenario():
+            cluster = AsyncCluster(n=3, seed=1)
+            await cluster.start()
+            try:
+                cluster.broadcast(0, "hello")
+                await cluster.quiesce()
+            finally:
+                await cluster.stop()
+            return cluster
+
+        cluster = run(scenario())
+        for member in range(3):
+            assert [m.data for m in cluster.delivered(member)] == ["hello"]
+
+    def test_concurrent_senders_all_delivered(self):
+        async def scenario():
+            cluster = AsyncCluster(n=4, seed=2)
+            await cluster.start()
+            try:
+                for round_ in range(5):
+                    for member in range(4):
+                        cluster.broadcast(member, f"m{member}.{round_}")
+                await cluster.quiesce()
+            finally:
+                await cluster.stop()
+            return cluster
+
+        cluster = run(scenario())
+        for member in range(4):
+            assert len(cluster.delivered(member)) == 20
+        verify_run(cluster.trace, 4).assert_ok()
+
+    def test_loss_is_recovered_on_the_real_clock(self):
+        async def scenario():
+            cluster = AsyncCluster(n=3, loss_rate=0.15, seed=3)
+            await cluster.start()
+            try:
+                for k in range(10):
+                    cluster.broadcast(k % 3, f"x{k}")
+                await cluster.quiesce(timeout=30.0)
+            finally:
+                await cluster.stop()
+            return cluster
+
+        cluster = run(scenario())
+        assert cluster.transport.copies_dropped > 0
+        for member in range(3):
+            assert len(cluster.delivered(member)) == 10
+        verify_run(cluster.trace, 3).assert_ok()
+
+    def test_causal_chain_ordered_everywhere(self):
+        async def scenario():
+            cluster = AsyncCluster(n=3, seed=4)
+            await cluster.start()
+            try:
+                cluster.broadcast(0, "question")
+                await cluster.quiesce()
+                cluster.broadcast(1, "answer")
+                await cluster.quiesce()
+            finally:
+                await cluster.stop()
+            return cluster
+
+        cluster = run(scenario())
+        for member in range(3):
+            payloads = [m.data for m in cluster.delivered(member)]
+            assert payloads.index("question") < payloads.index("answer")
+
+    def test_delivery_listener(self):
+        async def scenario():
+            cluster = AsyncCluster(n=2, seed=5)
+            seen = []
+            cluster.hosts[1].add_delivery_listener(lambda m: seen.append(m.data))
+            await cluster.start()
+            try:
+                cluster.broadcast(0, "ping")
+                await cluster.quiesce()
+            finally:
+                await cluster.stop()
+            return seen
+
+        assert run(scenario()) == ["ping"]
+
+    def test_needs_two_members(self):
+        with pytest.raises(ValueError):
+            AsyncCluster(n=1)
+
+
+class TestLocalAsyncTransport:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalAsyncTransport(2, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            LocalAsyncTransport(2, delay=-1.0)
+
+    def test_unattached_member_rejected_at_start(self):
+        async def scenario():
+            transport = LocalAsyncTransport(2)
+
+            async def sink(pdu):
+                pass
+
+            transport.attach(0, sink)
+            with pytest.raises(RuntimeError):
+                await transport.start()
+
+        run(scenario())
+
+    def test_duplicate_attach_rejected(self):
+        transport = LocalAsyncTransport(2)
+
+        async def sink(pdu):
+            pass
+
+        transport.attach(0, sink)
+        with pytest.raises(ValueError):
+            transport.attach(0, sink)
+
+    def test_fifo_per_pair(self):
+        async def scenario():
+            transport = LocalAsyncTransport(2)
+            received = []
+
+            async def sink(pdu):
+                received.append(pdu)
+
+            async def drop(pdu):
+                pass
+
+            transport.attach(0, drop)
+            transport.attach(1, sink)
+            await transport.start()
+            for k in range(50):
+                transport.broadcast(0, k)
+            while not transport.idle:
+                await asyncio.sleep(0.001)
+            await asyncio.sleep(0.01)
+            await transport.stop()
+            return received
+
+        received = run(scenario())
+        assert received == sorted(received)

@@ -1,0 +1,114 @@
+"""Integration tests comparing CO against the baselines — §5's arguments as
+executable checks."""
+
+from repro.core.cluster import build_cluster
+from repro.harness import ExperimentConfig, run_experiment
+from repro.net.loss import BernoulliLoss
+from repro.ordering.checker import count_causal_anomalies, verify_run
+from repro.sim.rng import RngRegistry
+from repro.workloads.generators import RequestReplyWorkload
+
+
+class TestCbcastComparison:
+    def test_cbcast_correct_on_reliable_network(self):
+        result = run_experiment(ExperimentConfig(
+            protocol="cbcast", n=4, messages_per_entity=15, seed=1,
+        ))
+        result.report.assert_ok()
+
+    def test_cbcast_stalls_under_loss_co_does_not(self):
+        co = run_experiment(ExperimentConfig(
+            protocol="co", n=4, messages_per_entity=15,
+            loss_rate=0.05, seed=2,
+        ))
+        cbcast = run_experiment(ExperimentConfig(
+            protocol="cbcast", n=4, messages_per_entity=15,
+            loss_rate=0.05, seed=2, max_time=2.0,
+        ))
+        assert co.quiesced
+        assert co.messages_delivered == 4 * 60
+        assert not cbcast.quiesced
+        assert cbcast.messages_delivered < co.messages_delivered
+        stalled = sum(
+            getattr(e, "stalled_messages", 0) for e in cbcast.cluster.engines
+        )
+        assert stalled > 0
+
+    def test_cbcast_delivers_faster_without_atomicity(self):
+        co = run_experiment(ExperimentConfig(
+            protocol="co", n=4, messages_per_entity=10, seed=3,
+        ))
+        cbcast = run_experiment(ExperimentConfig(
+            protocol="cbcast", n=4, messages_per_entity=10, seed=3,
+        ))
+        assert cbcast.tap.mean < co.tap.mean
+
+
+class TestPoComparison:
+    def _request_reply_cluster(self, factory, seed):
+        from repro.baselines.po_protocol import PoEntity
+
+        cluster = build_cluster(
+            4,
+            engine_factory=factory,
+            loss=BernoulliLoss(0.25, protect_control=True),
+            rngs=RngRegistry(seed),
+        )
+        RequestReplyWorkload(requests=10, max_depth=2).install(
+            cluster, RngRegistry(seed),
+        )
+        try:
+            cluster.run_until_quiescent(max_time=10.0)
+        except TimeoutError:
+            pass
+        return cluster
+
+    def test_po_violates_causality_where_co_does_not(self):
+        from repro.baselines.po_protocol import PoEntity
+        from repro.core.cluster import default_engine_factory
+
+        # Hunt a seed where heavy loss reorders the relay chain for PO.
+        po_anomalies = 0
+        for seed in range(6):
+            cluster = self._request_reply_cluster(PoEntity, seed)
+            po_anomalies += count_causal_anomalies(cluster.trace, 4)
+        assert po_anomalies > 0, "PO under heavy loss should show causal inversions"
+
+        for seed in range(6):
+            cluster = self._request_reply_cluster(default_engine_factory, seed)
+            assert count_causal_anomalies(cluster.trace, 4) == 0
+
+    def test_po_preserves_local_order(self):
+        from repro.baselines.po_protocol import PoEntity
+
+        cluster = self._request_reply_cluster(PoEntity, 42)
+        report = verify_run(cluster.trace, 4, expect_all_delivered=False)
+        assert not report.local_order
+        assert not report.duplicates
+
+
+class TestUnorderedComparison:
+    def test_unordered_loses_messages_under_loss(self):
+        result = run_experiment(ExperimentConfig(
+            protocol="unordered", n=4, messages_per_entity=20,
+            loss_rate=0.15, seed=5,
+        ))
+        sent = result.report.messages_sent
+        assert result.messages_delivered < sent * 4  # information lost
+
+    def test_co_delivers_everything_same_conditions(self):
+        result = run_experiment(ExperimentConfig(
+            protocol="co", n=4, messages_per_entity=20,
+            loss_rate=0.15, seed=5,
+        ))
+        assert result.messages_delivered == result.report.messages_sent * 4
+
+
+class TestTrafficComparison:
+    def test_co_header_is_linear_in_n(self):
+        small = run_experiment(ExperimentConfig(n=3, messages_per_entity=5, seed=6))
+        large = run_experiment(ExperimentConfig(n=9, messages_per_entity=5, seed=6))
+        per_pdu_small = small.network["bytes_sent"] / small.network["copies_sent"]
+        per_pdu_large = large.network["bytes_sent"] / large.network["copies_sent"]
+        # Payload dominates, but the header grows with n.
+        assert per_pdu_large > per_pdu_small

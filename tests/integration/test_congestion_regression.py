@@ -1,0 +1,78 @@
+"""Regression tests for congestion pathologies found during development.
+
+Each of these configurations once deadlocked or live-locked the protocol:
+
+1. a sender whose window was shut by stale BUF advertisements and who had
+   no reason to speak (fixed: pending data makes the entity *needy*, so it
+   probes and receives fresh advertisements);
+2. probe/answer traffic saturating receivers slower than the probe rate,
+   whose full buffers advertised BUF=0 forever (fixed: exponential probe
+   backoff, reset on progress);
+3. the sender's own stale BUF advertisement constraining its own window
+   (fixed: minBUF excludes the self entry).
+"""
+
+import pytest
+
+from repro.core.cluster import CpuModel, build_cluster
+from repro.ordering.checker import verify_run
+
+
+def test_slow_cpu_small_buffer_burst_recovers():
+    """The full pathology: service time ~ probe interval, 6-unit buffers,
+    a burst bigger than the buffer.  Must quiesce with everything
+    delivered, not livelock in a heartbeat storm."""
+    cpu = CpuModel(base=2e-3, per_entity=0.0)
+    cluster = build_cluster(3, buffer_capacity=6, cpu=cpu)
+    for k in range(8):
+        cluster.submit(0, f"m{k}")
+    cluster.run_until_quiescent(max_time=60.0)
+    report = verify_run(cluster.trace, 3)
+    report.assert_ok()
+    assert report.deliveries == [8] * 3
+    # The run must actually have exercised overrun loss.
+    assert sum(h.buffer.stats.overruns for h in cluster.hosts) > 0
+
+
+def test_probe_backoff_caps_control_traffic():
+    """While blocked, probes must thin out instead of hammering receivers."""
+    cpu = CpuModel(base=2e-3, per_entity=0.0)
+    cluster = build_cluster(3, buffer_capacity=6, cpu=cpu)
+    for k in range(6):
+        cluster.submit(0, f"m{k}")
+    cluster.run_until_quiescent(max_time=60.0)
+    heartbeats = sum(e.counters.sent_heartbeats for e in cluster.engines)
+    elapsed = cluster.sim.now
+    # Without backoff this scenario produced a heartbeat every deferred
+    # interval (2 ms) per entity for the whole run — hundreds per second.
+    assert heartbeats < 3 * elapsed / 2e-3, (
+        f"{heartbeats} heartbeats in {elapsed:.3f}s looks like a storm"
+    )
+
+
+def test_all_senders_blocked_simultaneously():
+    """Symmetric window exhaustion: every entity fills its window at once;
+    confirmations must still circulate and unblock everyone."""
+    from repro.core.config import ProtocolConfig
+
+    cluster = build_cluster(4, config=ProtocolConfig(window=1))
+    for i in range(4):
+        for k in range(5):
+            cluster.submit(i, f"m{i}.{k}")
+    cluster.run_until_quiescent(max_time=60.0)
+    report = verify_run(cluster.trace, 4)
+    report.assert_ok()
+    assert report.deliveries == [20] * 4
+
+
+def test_sustained_overload_eventually_drains():
+    """Offered load far above service capacity for a while, then silence:
+    the queue must drain and every message must be delivered."""
+    cpu = CpuModel(base=5e-4, per_entity=0.0)
+    cluster = build_cluster(3, buffer_capacity=12, cpu=cpu)
+    for k in range(30):
+        cluster.sim.schedule_at(k * 1e-4, cluster.submit, k % 3, f"m{k}", 0)
+    cluster.run_until_quiescent(max_time=120.0)
+    report = verify_run(cluster.trace, 3)
+    report.assert_ok()
+    assert report.deliveries == [30] * 3

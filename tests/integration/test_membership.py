@@ -1,0 +1,176 @@
+"""Integration tests for the crash-stop membership extension.
+
+The paper assumes a fixed cluster; the extension (DESIGN.md §6 /
+``ProtocolConfig.suspect_timeout``) lets survivors keep delivering when an
+entity crash-stops: silent entities are *suspected* and excluded from every
+knowledge minimum, their PDUs are re-served by live holders, and delivery
+comes to mean "accepted by every live member".
+"""
+
+import pytest
+
+from repro.core.cluster import build_cluster
+from repro.core.config import ProtocolConfig
+from repro.net.loss import BernoulliLoss, ScriptedLoss
+from repro.ordering.checker import verify_run
+from repro.sim.rng import RngRegistry
+
+CFG = ProtocolConfig(suspect_timeout=0.02)
+
+
+def survivors_report(cluster, n):
+    report = verify_run(cluster.trace, n, expect_all_delivered=False)
+    report.assert_ok()
+    return report
+
+
+class TestCrashStop:
+    def test_survivors_quiesce_and_deliver_everything(self):
+        cluster = build_cluster(3, config=CFG)
+        for k in range(5):
+            cluster.submit(0, f"pre-{k}")
+            cluster.submit(1, f"one-{k}")
+        cluster.run_for(0.01)
+        cluster.crash(0)
+        for k in range(5):
+            cluster.submit(1, f"post-{k}")
+            cluster.submit(2, f"two-{k}")
+        cluster.run_until_quiescent(max_time=30.0)
+        report = survivors_report(cluster, 3)
+        # Survivors delivered all 20 messages, including the crashed
+        # entity's pre-crash broadcasts.
+        assert report.deliveries[1] == 20
+        assert report.deliveries[2] == 20
+
+    def test_survivors_suspect_the_crashed_entity(self):
+        cluster = build_cluster(3, config=CFG)
+        cluster.submit(0, "hello")
+        cluster.run_for(0.005)
+        cluster.crash(0)
+        cluster.submit(1, "keepalive")
+        cluster.run_until_quiescent(max_time=30.0)
+        for host in cluster.hosts[1:]:
+            assert host.engine.suspected == {0}
+        assert cluster.trace.count("suspect") >= 2
+
+    def test_without_timeout_crash_stalls_cluster(self):
+        # The paper's fixed-membership model: a crash blocks acknowledgment
+        # of everything the dead entity never confirmed.
+        cluster = build_cluster(3)  # no suspect_timeout
+        cluster.run_for(0.001)
+        cluster.crash(0)
+        cluster.submit(1, "doomed")
+        with pytest.raises(TimeoutError):
+            cluster.run_until_quiescent(max_time=0.5)
+
+    def test_peer_assisted_retransmission(self):
+        # E0's last PDU reaches E1 but is dropped on its way to E2; E0 then
+        # crashes.  E2 must obtain the PDU from E1.
+        loss = ScriptedLoss([(0, 1, 2)])
+        cluster = build_cluster(3, config=CFG, loss=loss)
+        cluster.submit(0, "only-E1-got-this")
+        # Crash right after the copies hit the wire (arrival is at 200 us),
+        # before E0 could answer any retransmission request itself.
+        cluster.run_for(0.0005)
+        cluster.crash(0)
+        cluster.submit(1, "traffic-1")
+        cluster.submit(2, "traffic-2")
+        cluster.run_until_quiescent(max_time=30.0)
+        assert loss.exhausted
+        payloads_e2 = [m.data for m in cluster.delivered(2)]
+        assert "only-E1-got-this" in payloads_e2
+        assisted = [
+            r for r in cluster.trace.select("retransmit")
+            if r.get("on_behalf_of") == 0
+        ]
+        assert assisted
+        survivors_report(cluster, 3)
+
+    def test_survivor_pair_agrees_on_acknowledged_set(self):
+        cluster = build_cluster(4, config=CFG, rngs=RngRegistry(5))
+        for k in range(6):
+            cluster.submit(k % 4, f"m{k}")
+        cluster.run_for(0.008)
+        cluster.crash(3)
+        for k in range(6):
+            cluster.submit(k % 3, f"post-{k}")
+        cluster.run_until_quiescent(max_time=30.0)
+        ack_sets = [
+            {p.pdu_id for p in host.engine.arl}
+            for host in cluster.hosts
+            if not host.crashed
+        ]
+        assert all(s == ack_sets[0] for s in ack_sets)
+        survivors_report(cluster, 4)
+
+    def test_crash_under_loss(self):
+        cluster = build_cluster(
+            4, config=CFG,
+            loss=BernoulliLoss(0.08, protect_control=True),
+            rngs=RngRegistry(9),
+        )
+        for k in range(8):
+            cluster.submit(k % 4, f"m{k}")
+        cluster.run_for(0.01)
+        cluster.crash(2)
+        for k in range(8):
+            cluster.submit(k % 2, f"post-{k}")
+        cluster.run_until_quiescent(max_time=60.0)
+        survivors_report(cluster, 4)
+
+    def test_two_entity_cluster_survives_solo(self):
+        cluster = build_cluster(2, config=CFG)
+        cluster.submit(0, "together")
+        cluster.run_until_quiescent(max_time=10.0)
+        cluster.crash(1)
+        cluster.submit(0, "alone")
+        cluster.run_until_quiescent(max_time=10.0)
+        assert [m.data for m in cluster.delivered(0)] == ["together", "alone"]
+
+
+class TestSlownessIsRevocable:
+    def test_slow_entity_is_unsuspected_on_return(self):
+        # Entity 1's host pauses (no ticks -> no keepalives): the others
+        # suspect it.  When it resumes, its first keepalive re-includes it
+        # and everything still delivers everywhere.
+        cluster = build_cluster(3, config=CFG)
+        cluster.submit(0, "early")
+        cluster.run_until_quiescent(max_time=10.0)
+        cluster.hosts[1].stop()        # pause: alive but silent
+        cluster.run_for(0.06)
+        assert 1 in cluster.engines[0].suspected
+        assert 1 in cluster.engines[2].suspected
+        cluster.hosts[1].start()       # resume
+        cluster.run_for(0.06)
+        assert cluster.trace.count("unsuspect") > 0
+        assert cluster.engines[0].suspected == set()
+        cluster.submit(1, "i-am-back")
+        cluster.run_until_quiescent(max_time=10.0)
+        for i in range(3):
+            assert [m.data for m in cluster.delivered(i)] == ["early", "i-am-back"]
+        report = verify_run(cluster.trace, 3)
+        report.assert_ok()
+
+    def test_mutual_suspicion_resolves(self):
+        # Entities are born silent; before any keepalive has circulated a
+        # suspicion can fire, but traffic re-includes everyone and the
+        # keepalives prevent fresh false suspicion afterwards.
+        cluster = build_cluster(3, config=CFG)
+        cluster.run_for(0.1)
+        for k in range(4):
+            cluster.submit(k % 3, f"m{k}")
+        cluster.run_until_quiescent(max_time=10.0)
+        report = verify_run(cluster.trace, 3)
+        report.assert_ok()
+        assert report.deliveries == [4, 4, 4]
+        for engine in cluster.engines:
+            assert engine.suspected == set()
+
+    def test_keepalives_prevent_false_suspicion_during_idle(self):
+        cluster = build_cluster(3, config=CFG)
+        cluster.submit(0, "warmup")
+        cluster.run_until_quiescent(max_time=10.0)
+        # A long healthy silence: keepalives keep everyone un-suspected.
+        cluster.run_for(0.2)
+        for engine in cluster.engines:
+            assert engine.suspected == set()

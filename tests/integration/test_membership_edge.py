@@ -1,0 +1,104 @@
+"""Edge cases of the membership extension: multiple crashes, crash during
+recovery, crash of the only source, and documented limitations."""
+
+import pytest
+
+from repro.core.cluster import build_cluster
+from repro.core.config import ProtocolConfig
+from repro.net.loss import ScriptedLoss
+from repro.ordering.checker import verify_run
+from repro.sim.rng import RngRegistry
+
+CFG = ProtocolConfig(suspect_timeout=0.02)
+
+
+class TestMultipleCrashes:
+    def test_two_sequential_crashes_leave_survivors_consistent(self):
+        cluster = build_cluster(5, config=CFG, rngs=RngRegistry(1))
+        for k in range(5):
+            cluster.submit(k % 5, f"pre-{k}")
+        cluster.run_until_quiescent(max_time=30.0)
+        cluster.crash(4)
+        for k in range(4):
+            cluster.submit(k, f"mid-{k}")
+        cluster.run_until_quiescent(max_time=30.0)
+        cluster.crash(3)
+        for k in range(3):
+            cluster.submit(k, f"post-{k}")
+        cluster.run_until_quiescent(max_time=30.0)
+        report = verify_run(cluster.trace, 5, expect_all_delivered=False)
+        report.assert_ok()
+        # The three survivors delivered all 12 messages.
+        for i in range(3):
+            assert len(cluster.delivered(i)) == 12
+
+    def test_simultaneous_crashes(self):
+        cluster = build_cluster(5, config=CFG, rngs=RngRegistry(2))
+        for k in range(5):
+            cluster.submit(k % 5, f"m{k}")
+        cluster.run_until_quiescent(max_time=30.0)
+        cluster.crash(3)
+        cluster.crash(4)
+        for k in range(3):
+            cluster.submit(k, f"after-{k}")
+        cluster.run_until_quiescent(max_time=30.0)
+        report = verify_run(cluster.trace, 5, expect_all_delivered=False)
+        report.assert_ok()
+        for i in range(3):
+            assert len(cluster.delivered(i)) == 8
+
+
+class TestCrashDuringRecovery:
+    def test_source_crashes_while_its_loss_is_being_repaired(self):
+        # E0's PDU to E2 is lost; E0 crashes before E2's RET can be served
+        # by E0, so a peer must serve it — while other traffic flows.
+        loss = ScriptedLoss([(0, 2, 2)])
+        cluster = build_cluster(3, config=CFG, loss=loss)
+        cluster.submit(0, "one")
+        cluster.run_until_quiescent(max_time=10.0)
+        cluster.submit(0, "two")            # this copy to E2 is dropped
+        cluster.run_for(0.0005)
+        cluster.crash(0)
+        cluster.submit(1, "carry-on")
+        cluster.run_until_quiescent(max_time=30.0)
+        for i in (1, 2):
+            payloads = [m.data for m in cluster.delivered(i)]
+            assert payloads.count("two") == 1
+        verify_run(cluster.trace, 3, expect_all_delivered=False).assert_ok()
+
+
+class TestDocumentedLimitations:
+    def test_pdu_nobody_received_is_not_delivered(self):
+        # E0's broadcast is dropped to *everyone*, then E0 crashes: the
+        # message is gone.  Survivors must agree it never happened and
+        # still quiesce.
+        loss = ScriptedLoss([(0, 1, 1), (0, 1, 2)])
+        cluster = build_cluster(3, config=CFG, loss=loss)
+        cluster.submit(0, "ghost")
+        cluster.run_for(0.0005)
+        cluster.crash(0)
+        cluster.submit(1, "real")
+        cluster.run_until_quiescent(max_time=30.0)
+        for i in (1, 2):
+            payloads = [m.data for m in cluster.delivered(i)]
+            assert "ghost" not in payloads
+            assert "real" in payloads
+
+    def test_crashed_entity_keeps_its_own_deliveries(self):
+        cluster = build_cluster(3, config=CFG)
+        cluster.submit(0, "before")
+        cluster.run_until_quiescent(max_time=10.0)
+        pre_crash = len(cluster.delivered(2))
+        cluster.crash(2)
+        cluster.submit(0, "after")
+        cluster.run_until_quiescent(max_time=30.0)
+        # The corpse's delivery log is frozen, not rolled back.
+        assert len(cluster.delivered(2)) == pre_crash
+
+    def test_crash_is_idempotent(self):
+        cluster = build_cluster(2, config=CFG)
+        cluster.crash(1)
+        cluster.crash(1)
+        cluster.submit(0, "solo")
+        cluster.run_until_quiescent(max_time=10.0)
+        assert [m.data for m in cluster.delivered(0)] == ["solo"]

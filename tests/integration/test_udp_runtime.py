@@ -1,0 +1,149 @@
+"""Integration tests: the CO protocol over real UDP sockets on loopback.
+
+These exercise the full stack — engine, codec, datagram sockets — with
+wall-clock timers.  Assertions are about outcomes only; each test uses its
+own port range so parallel pytest workers cannot collide.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.ordering.checker import verify_run
+from repro.runtime.udp import UdpMember, UdpTransport, udp_cluster
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def quiesce(members, timeout=20.0):
+    async def wait():
+        streak = 0
+        while True:
+            quiet = all(m.engine.quiescent for m in members)
+            if quiet:
+                streak += 1
+                if streak >= 2:
+                    return
+            else:
+                streak = 0
+            await asyncio.sleep(0.02)
+
+    await asyncio.wait_for(wait(), timeout=timeout)
+
+
+async def stop_all(members):
+    for member in members:
+        await member.stop()
+
+
+class TestUdpCluster:
+    def test_broadcast_over_real_sockets(self):
+        async def scenario():
+            members = await udp_cluster(3, base_port=19900, seed=1)
+            try:
+                members[0].broadcast(b"over the wire")
+                await quiesce(members)
+            finally:
+                await stop_all(members)
+            return members
+
+        members = run(scenario())
+        for member in members:
+            payloads = [m.data for m in member.delivered]
+            assert payloads == [b"over the wire"]
+
+    def test_concurrent_senders(self):
+        async def scenario():
+            members = await udp_cluster(3, base_port=19910, seed=2)
+            try:
+                for k in range(6):
+                    members[k % 3].broadcast(f"m{k}".encode())
+                await quiesce(members)
+            finally:
+                await stop_all(members)
+            return members
+
+        members = run(scenario())
+        for member in members:
+            assert len(member.delivered) == 6
+        verify_run(members[0].trace, 3).assert_ok()
+
+    def test_injected_datagram_loss_recovered(self):
+        async def scenario():
+            members = await udp_cluster(
+                3, base_port=19920, seed=3, loss_rate=0.15,
+            )
+            try:
+                for k in range(8):
+                    members[k % 3].broadcast(f"x{k}".encode())
+                await quiesce(members, timeout=30.0)
+            finally:
+                await stop_all(members)
+            return members
+
+        members = run(scenario())
+        dropped = sum(m.transport.datagrams_dropped for m in members)
+        assert dropped > 0
+        for member in members:
+            assert len(member.delivered) == 8
+        verify_run(members[0].trace, 3).assert_ok()
+
+    def test_causal_order_over_udp(self):
+        async def scenario():
+            members = await udp_cluster(3, base_port=19930, seed=4)
+            try:
+                members[0].broadcast(b"cause")
+                await quiesce(members)
+                members[1].broadcast(b"effect")
+                await quiesce(members)
+            finally:
+                await stop_all(members)
+            return members
+
+        members = run(scenario())
+        for member in members:
+            payloads = [m.data for m in member.delivered]
+            assert payloads.index(b"cause") < payloads.index(b"effect")
+
+    def test_garbage_datagrams_ignored(self):
+        async def scenario():
+            members = await udp_cluster(2, base_port=19940, seed=5)
+            try:
+                # Fire junk at member 1's socket.
+                loop = asyncio.get_event_loop()
+                junk_transport, _ = await loop.create_datagram_endpoint(
+                    asyncio.DatagramProtocol, local_addr=("127.0.0.1", 0),
+                )
+                junk_transport.sendto(b"\xff\x00garbage", ("127.0.0.1", 19941))
+                junk_transport.sendto(b"", ("127.0.0.1", 19941))
+                members[0].broadcast(b"real")
+                await quiesce(members)
+                junk_transport.close()
+            finally:
+                await stop_all(members)
+            return members
+
+        members = run(scenario())
+        assert members[1].transport.decode_errors >= 1
+        assert [m.data for m in members[1].delivered] == [b"real"]
+
+
+class TestUdpTransportValidation:
+    def test_index_bounds(self):
+        with pytest.raises(ValueError):
+            UdpTransport(index=2, peers=["127.0.0.1:1", "127.0.0.1:2"])
+
+    def test_loss_rate_bounds(self):
+        with pytest.raises(ValueError):
+            UdpTransport(index=0, peers=["127.0.0.1:1", "127.0.0.1:2"], loss_rate=1.0)
+
+    def test_attach_own_index_only(self):
+        transport = UdpTransport(index=0, peers=["127.0.0.1:1", "127.0.0.1:2"])
+
+        async def sink(pdu):
+            pass
+
+        with pytest.raises(ValueError):
+            transport.attach(1, sink)

@@ -1,0 +1,173 @@
+"""Stateful property testing of one CO engine.
+
+A hypothesis rule machine plays "the rest of the cluster" against a single
+engine: submitting data, delivering in-order / out-of-order / duplicate
+PDUs, heartbeats, RETs and ticks in arbitrary interleavings.  After every
+step a battery of structural invariants must hold — the kind of thing a
+single crafted unit test cannot sweep.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.causality import is_causality_preserved
+from repro.core.config import ProtocolConfig
+from repro.core.pdu import DataPdu, HeartbeatPdu, RetPdu
+from tests.conftest import EngineDriver
+
+N = 3
+OTHERS = (1, 2)
+
+
+class EngineMachine(RuleBasedStateMachine):
+    """Feeds one engine (index 0 of a 3-cluster) consistent peer traffic.
+
+    The machine maintains the peers' true state: each peer's send counter
+    and acceptance vector.  Peer PDUs are generated from that state, so the
+    engine sees a *plausible* (if adversarially interleaved and lossy)
+    execution: per-source sequence numbers are dense, ACK vectors are
+    monotone per sender and never claim unsent PDUs.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.driver = EngineDriver(0, N, ProtocolConfig())
+        self.engine = self.driver.engine
+        #: Peer j's sent PDUs (so retransmissions use identical copies).
+        self.peer_sent = {j: [] for j in OTHERS}
+        #: Peer j's acceptance vector (its REQ), kept monotone.
+        self.peer_req = {j: [1] * N for j in OTHERS}
+        self.delivered_before = 0
+
+    # ------------------------------------------------------------------
+    # Peer behaviour
+    # ------------------------------------------------------------------
+    def _peer_pdu(self, j: int) -> DataPdu:
+        seq = len(self.peer_sent[j]) + 1
+        req = self.peer_req[j]
+        ack = list(req)
+        ack[j] = seq            # engine convention: own ACK entry == SEQ
+        req[j] = seq + 1        # self-acceptance after the snapshot
+        pdu = DataPdu(
+            cid=1, src=j, seq=seq, ack=tuple(ack),
+            buf=10 ** 6, data=f"p{j}.{seq}",
+        )
+        self.peer_sent[j].append(pdu)
+        return pdu
+
+    def _advance_peer_knowledge(self, j: int) -> None:
+        """Peer j accepts something it has not yet accepted, if possible."""
+        req = self.peer_req[j]
+        # It can accept from entity 0 (whatever our engine has sent) or
+        # from the other peer (whatever that peer has sent).
+        for k in range(N):
+            if k == j:
+                continue
+            limit = (
+                self.engine.sl.next_seq if k == 0 else len(self.peer_sent[k]) + 1
+            )
+            if req[k] < limit:
+                req[k] += 1
+                return
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule(payload=st.integers(0, 9))
+    def submit(self, payload):
+        if self.engine.pending_requests < 20:
+            self.engine.submit(f"app-{payload}")
+
+    @rule(j=st.sampled_from(OTHERS))
+    def peer_sends_in_order(self, j):
+        pdu = self._peer_pdu(j)
+        self.driver.receive(pdu)
+
+    @rule(j=st.sampled_from(OTHERS))
+    def peer_learns_something(self, j):
+        self._advance_peer_knowledge(j)
+
+    @rule(j=st.sampled_from(OTHERS), skip=st.integers(1, 3))
+    def peer_sends_with_gap(self, j, skip):
+        """Lose `skip` PDUs from peer j, deliver the next one (F1 path)."""
+        for _ in range(skip):
+            self._peer_pdu(j)           # sent but "lost"
+        pdu = self._peer_pdu(j)
+        self.driver.receive(pdu)
+
+    @rule(j=st.sampled_from(OTHERS), back=st.integers(1, 5))
+    def peer_retransmits_old_pdu(self, j, back):
+        sent = self.peer_sent[j]
+        if sent:
+            self.driver.receive(sent[max(0, len(sent) - back)])
+
+    @rule(j=st.sampled_from(OTHERS))
+    def peer_heartbeats(self, j):
+        req = tuple(self.peer_req[j])
+        self.driver.receive(HeartbeatPdu(
+            cid=1, src=j, ack=req, pack=(1,) * N, buf=10 ** 6,
+        ))
+
+    @rule(j=st.sampled_from(OTHERS), upto=st.integers(1, 10))
+    def peer_requests_retransmission(self, j, upto):
+        self.driver.receive(RetPdu(
+            cid=1, src=j, lsrc=0, lseq=upto, ack=tuple(self.peer_req[j]),
+            buf=10 ** 6,
+        ))
+
+    @rule(dt=st.sampled_from([1e-4, 2e-3, 1e-2]))
+    def tick(self, dt):
+        self.driver.tick(dt)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def prl_is_causality_preserved(self):
+        assert is_causality_preserved(self.engine.prl)
+
+    @invariant()
+    def delivery_count_is_monotone(self):
+        assert len(self.driver.delivered) >= self.delivered_before
+        self.delivered_before = len(self.driver.delivered)
+
+    @invariant()
+    def deliveries_never_exceed_acceptances(self):
+        assert self.engine.counters.delivered <= self.engine.counters.accepted
+
+    @invariant()
+    def req_never_exceeds_peer_truth(self):
+        for j in OTHERS:
+            assert self.engine.state.req[j] <= len(self.peer_sent[j]) + 1
+
+    @invariant()
+    def minima_never_exceed_own_row(self):
+        state = self.engine.state
+        for k in range(N):
+            assert state.min_al(k) <= state.al[0][k]
+            assert state.min_pal(k) <= state.pal[0][k]
+
+    @invariant()
+    def preack_floors_bounded_by_req(self):
+        # Nothing can be pre-acknowledged before being accepted.
+        for j in range(N):
+            assert self.engine._preack_floor[j] <= self.engine.state.req[j]
+
+    @invariant()
+    def no_delivered_duplicates(self):
+        seen = [(m.src, m.seq) for m in self.driver.delivered]
+        assert len(seen) == len(set(seen))
+
+    @invariant()
+    def per_source_delivery_is_fifo(self):
+        last = {}
+        for m in self.driver.delivered:
+            assert last.get(m.src, 0) < m.seq
+            last[m.src] = m.seq
+
+
+EngineMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None,
+)
+TestEngineMachine = EngineMachine.TestCase

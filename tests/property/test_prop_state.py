@@ -1,0 +1,81 @@
+"""Property-based tests for the knowledge matrices.
+
+The incremental min caches must agree with brute-force recomputation after
+*any* sequence of merges — the caches are what keep per-PDU work at O(n),
+so a stale cache would silently corrupt the PACK/ACK conditions.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.state import KnowledgeState
+
+
+@st.composite
+def merge_sequences(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    ops = draw(st.lists(
+        st.tuples(
+            st.sampled_from(["al", "pal", "buf"]),
+            st.integers(min_value=0, max_value=n - 1),
+            st.lists(st.integers(min_value=1, max_value=50), min_size=n, max_size=n),
+        ),
+        min_size=1, max_size=40,
+    ))
+    return n, ops
+
+
+@settings(max_examples=150, deadline=None)
+@given(merge_sequences())
+def test_min_caches_always_match_bruteforce(seq):
+    n, ops = seq
+    st_ = KnowledgeState(n, 0)
+    for kind, observer, vector in ops:
+        if kind == "al":
+            st_.merge_al(observer, vector)
+        elif kind == "pal":
+            st_.merge_pal(observer, vector)
+        else:
+            st_.update_buf(observer, vector[0])
+        for k in range(n):
+            assert st_.min_al(k) == min(row[k] for row in st_.al)
+            assert st_.min_pal(k) == min(row[k] for row in st_.pal)
+        assert st_.min_buf() == min(st_.buf)
+
+
+@settings(max_examples=100, deadline=None)
+@given(merge_sequences())
+def test_al_pal_matrices_are_monotone(seq):
+    n, ops = seq
+    st_ = KnowledgeState(n, 0)
+    previous_al = [row[:] for row in st_.al]
+    previous_pal = [row[:] for row in st_.pal]
+    for kind, observer, vector in ops:
+        if kind == "al":
+            st_.merge_al(observer, vector)
+        elif kind == "pal":
+            st_.merge_pal(observer, vector)
+        else:
+            st_.update_buf(observer, vector[0])
+        for i in range(n):
+            for j in range(n):
+                assert st_.al[i][j] >= previous_al[i][j]
+                assert st_.pal[i][j] >= previous_pal[i][j]
+        previous_al = [row[:] for row in st_.al]
+        previous_pal = [row[:] for row in st_.pal]
+
+
+@settings(max_examples=100, deadline=None)
+@given(merge_sequences())
+def test_merge_returns_changed_flag_correctly(seq):
+    n, ops = seq
+    st_ = KnowledgeState(n, 0)
+    for kind, observer, vector in ops:
+        if kind == "buf":
+            continue
+        merge = st_.merge_al if kind == "al" else st_.merge_pal
+        matrix = st_.al if kind == "al" else st_.pal
+        before = [row[:] for row in matrix]
+        changed = merge(observer, vector)
+        assert changed == (matrix != before)
+        # Re-merging the same vector is always a no-op.
+        assert merge(observer, vector) is False

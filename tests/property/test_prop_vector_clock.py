@@ -1,0 +1,56 @@
+"""Property-based tests for vector clocks."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ordering.vector_clock import VectorClock
+
+
+def clocks(n=4):
+    return st.builds(
+        VectorClock,
+        st.lists(st.integers(min_value=0, max_value=20), min_size=n, max_size=n),
+    )
+
+
+@given(clocks(), clocks())
+def test_merge_is_upper_bound(a, b):
+    m = a | b
+    assert a <= m and b <= m
+
+
+@given(clocks(), clocks())
+def test_merge_commutative(a, b):
+    assert (a | b) == (b | a)
+
+
+@given(clocks(), clocks(), clocks())
+def test_merge_associative(a, b, c):
+    assert ((a | b) | c) == (a | (b | c))
+
+
+@given(clocks())
+def test_merge_idempotent(a):
+    assert (a | a) == a
+
+
+@given(clocks(), st.integers(min_value=0, max_value=3))
+def test_tick_strictly_advances(a, i):
+    assert a < a.tick(i)
+
+
+@given(clocks(), clocks())
+def test_exactly_one_relation_holds(a, b):
+    relations = [a < b, b < a, a == b, a.concurrent_with(b)]
+    assert sum(relations) == 1
+
+
+@given(clocks(), clocks(), clocks())
+def test_happened_before_transitive(a, b, c):
+    if a < b and b < c:
+        assert a < c
+
+
+@given(clocks())
+def test_not_less_than_self(a):
+    assert not a < a
+    assert a <= a

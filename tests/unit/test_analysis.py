@@ -1,0 +1,118 @@
+"""Unit tests for the trace-analysis package."""
+
+import pytest
+
+from repro.analysis.causal_graph import build_causal_graph, causal_graph_stats
+from repro.analysis.summary import summarize_run
+from repro.analysis.timeline import entity_timeline, message_timeline
+from repro.core.cluster import build_cluster
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+from repro.workloads.generators import RequestReplyWorkload
+
+
+@pytest.fixture(scope="module")
+def chain_cluster():
+    """A run with real causal chains (request-reply workload)."""
+    cluster = build_cluster(3, rngs=RngRegistry(4))
+    RequestReplyWorkload(requests=3, max_depth=1).install(cluster, RngRegistry(4))
+    cluster.run_until_quiescent(max_time=20.0)
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def independent_cluster():
+    """A run with concurrent, causally independent senders."""
+    cluster = build_cluster(3, rngs=RngRegistry(5))
+    for i in range(3):
+        cluster.submit(i, f"solo-{i}")
+    cluster.run_until_quiescent(max_time=20.0)
+    return cluster
+
+
+class TestCausalGraph:
+    def test_graph_has_all_messages(self, chain_cluster):
+        graph = build_causal_graph(chain_cluster.trace, 3)
+        # 3 requests + 2 replies each = 9 messages.
+        assert graph.number_of_nodes() == 9
+
+    def test_graph_is_a_dag(self, chain_cluster):
+        import networkx as nx
+
+        graph = build_causal_graph(chain_cluster.trace, 3, reduce=False)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_reduction_has_fewer_or_equal_edges(self, chain_cluster):
+        full = build_causal_graph(chain_cluster.trace, 3, reduce=False)
+        reduced = build_causal_graph(chain_cluster.trace, 3, reduce=True)
+        assert reduced.number_of_edges() <= full.number_of_edges()
+        assert reduced.number_of_nodes() == full.number_of_nodes()
+
+    def test_nodes_carry_stamps(self, chain_cluster):
+        graph = build_causal_graph(chain_cluster.trace, 3)
+        for _, data in graph.nodes(data=True):
+            assert len(data["stamp"]) == 3
+
+    def test_request_reply_is_deeper_than_independent(
+        self, chain_cluster, independent_cluster,
+    ):
+        chain_stats = causal_graph_stats(chain_cluster.trace, 3)
+        solo_stats = causal_graph_stats(independent_cluster.trace, 3)
+        assert chain_stats.depth > solo_stats.depth
+        assert solo_stats.concurrency_ratio > chain_stats.concurrency_ratio
+
+    def test_independent_sends_are_all_roots(self, independent_cluster):
+        stats = causal_graph_stats(independent_cluster.trace, 3)
+        assert stats.messages == 3
+        assert stats.roots == 3
+        assert stats.depth == 1
+        assert stats.concurrency_ratio == 1.0
+
+    def test_empty_trace(self):
+        stats = causal_graph_stats(TraceLog(), 3)
+        assert stats.messages == 0
+        assert stats.depth == 0
+
+    def test_describe_mentions_counts(self, chain_cluster):
+        text = causal_graph_stats(chain_cluster.trace, 3).describe()
+        assert "9 messages" in text
+
+
+class TestTimeline:
+    def test_message_timeline_covers_lifecycle(self, independent_cluster):
+        text = message_timeline(independent_cluster.trace, src=0, seq=1)
+        for word in ("broadcast", "accept", "preack", "ack", "deliver"):
+            assert word in text
+
+    def test_message_timeline_unknown_message(self, independent_cluster):
+        text = message_timeline(independent_cluster.trace, src=0, seq=999)
+        assert "no events" in text
+
+    def test_entity_timeline_filters(self, independent_cluster):
+        text = entity_timeline(
+            independent_cluster.trace, 1, categories=("deliver",),
+        )
+        assert text.count("deliver") == 3
+        assert "accept" not in text
+
+    def test_entity_timeline_limit(self, independent_cluster):
+        text = entity_timeline(independent_cluster.trace, 0, limit=2)
+        assert len(text.splitlines()) == 3  # header + 2 records
+
+    def test_entity_timeline_empty(self):
+        assert "no events" in entity_timeline(TraceLog(), 0)
+
+
+class TestSummary:
+    def test_summary_is_ok_for_clean_run(self, chain_cluster):
+        summary = summarize_run(chain_cluster.trace, 3)
+        assert summary.ok
+        assert summary.census["deliver"] == 27  # 9 messages x 3 entities
+        assert summary.delivery_latency.count == 27
+
+    def test_render_contains_sections(self, chain_cluster):
+        text = summarize_run(chain_cluster.trace, 3).render()
+        assert "traffic" in text
+        assert "latency" in text
+        assert "verification" in text
+        assert "[OK]" in text

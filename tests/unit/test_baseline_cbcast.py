@@ -1,0 +1,101 @@
+"""Unit tests for the ISIS CBCAST baseline."""
+
+from repro.baselines.isis_cbcast import CbcastEntity, CbcastMessage
+from repro.core.entity import DeliveredMessage
+
+
+class Driver:
+    def __init__(self, index, n):
+        self.sent = []
+        self.delivered = []
+        self.engine = CbcastEntity(index, n)
+        self.engine.bind(send=self.sent.append, deliver=self.delivered.append)
+
+
+def test_submit_stamps_and_self_delivers():
+    d = Driver(0, 3)
+    d.engine.submit("a")
+    assert len(d.sent) == 1
+    assert d.sent[0].vt == (1, 0, 0)
+    assert [m.data for m in d.delivered] == ["a"]
+
+
+def test_seq_is_own_vt_component():
+    d = Driver(1, 3)
+    d.engine.submit("a")
+    d.engine.submit("b")
+    assert d.sent[1].seq == 2
+    assert d.sent[1].pdu_id == (1, 2)
+
+
+def test_in_order_message_delivered():
+    d = Driver(0, 3)
+    d.engine.on_pdu(CbcastMessage(1, (0, 1, 0), "x"))
+    assert [m.data for m in d.delivered] == ["x"]
+    assert d.engine.vc.as_tuple() == (0, 1, 0)
+
+
+def test_missing_causal_past_delays_delivery():
+    d = Driver(0, 3)
+    # m2 from E1 presupposes m1 from E2 (vt[2] == 1).
+    m2 = CbcastMessage(1, (0, 1, 1), "m2")
+    d.engine.on_pdu(m2)
+    assert d.delivered == []
+    assert d.engine.stalled_messages == 1
+    m1 = CbcastMessage(2, (0, 0, 1), "m1")
+    d.engine.on_pdu(m1)
+    assert [m.data for m in d.delivered] == ["m1", "m2"]
+    assert d.engine.quiescent
+
+
+def test_fifo_gap_delays_delivery():
+    d = Driver(0, 2)
+    d.engine.on_pdu(CbcastMessage(1, (0, 2), "second"))
+    assert d.delivered == []
+    d.engine.on_pdu(CbcastMessage(1, (0, 1), "first"))
+    assert [m.data for m in d.delivered] == ["first", "second"]
+
+
+def test_delay_queue_chain_drains():
+    d = Driver(0, 2)
+    d.engine.on_pdu(CbcastMessage(1, (0, 3), "c"))
+    d.engine.on_pdu(CbcastMessage(1, (0, 2), "b"))
+    assert d.delivered == []
+    d.engine.on_pdu(CbcastMessage(1, (0, 1), "a"))
+    assert [m.data for m in d.delivered] == ["a", "b", "c"]
+
+
+def test_lost_message_stalls_forever():
+    """§5: virtual clocks cannot detect loss — the queue just waits."""
+    d = Driver(0, 2)
+    d.engine.on_pdu(CbcastMessage(1, (0, 2), "after-hole"))
+    d.engine.on_tick()   # no recovery machinery exists
+    assert d.engine.stalled_messages == 1
+    assert not d.engine.quiescent
+
+
+def test_comparisons_counted():
+    d = Driver(0, 4)
+    d.engine.on_pdu(CbcastMessage(1, (0, 1, 0, 0), "x"))
+    assert d.engine.comparisons >= 4
+
+
+def test_wire_size_linear_in_n():
+    small = CbcastMessage(0, (1, 0), "x", data_size=0)
+    large = CbcastMessage(0, (1,) + (0,) * 9, "x", data_size=0)
+    assert large.wire_size() - small.wire_size() == 8 * 4
+
+
+def test_causal_relay_scenario():
+    # E0 broadcasts a; E1 sees it and broadcasts b; E2 receives b BEFORE a
+    # and must hold it.
+    e0, e1, e2 = Driver(0, 3), Driver(1, 3), Driver(2, 3)
+    e0.engine.submit("a")
+    a = e0.sent[0]
+    e1.engine.on_pdu(a)
+    e1.engine.submit("b")
+    b = e1.sent[0]
+    e2.engine.on_pdu(b)
+    assert e2.delivered == []          # b waits for a
+    e2.engine.on_pdu(a)
+    assert [m.data for m in e2.delivered] == ["a", "b"]

@@ -1,0 +1,99 @@
+"""Unit tests for the PO (FIFO) and unordered baselines."""
+
+from repro.baselines.po_protocol import PoEntity, PoPdu, PoRetPdu
+from repro.baselines.unordered import RawMessage, UnorderedEntity
+
+
+class Driver:
+    def __init__(self, engine_cls, index, n, **kw):
+        self.clock = 0.0
+        self.sent = []
+        self.delivered = []
+        self.engine = engine_cls(index, n, clock=lambda: self.clock, **kw)
+        self.engine.bind(send=self.sent.append, deliver=self.delivered.append)
+
+
+class TestPoEntity:
+    def test_submit_self_delivers(self):
+        d = Driver(PoEntity, 0, 3)
+        d.engine.submit("a")
+        assert [m.data for m in d.delivered] == ["a"]
+        assert d.sent[0].seq == 1
+
+    def test_in_order_delivery_immediate(self):
+        d = Driver(PoEntity, 0, 3)
+        d.engine.on_pdu(PoPdu(1, 1, "x"))
+        assert [m.data for m in d.delivered] == ["x"]
+
+    def test_gap_stashes_and_naks(self):
+        d = Driver(PoEntity, 0, 3)
+        d.engine.on_pdu(PoPdu(1, 2, "second"))
+        assert d.delivered == []
+        naks = [p for p in d.sent if isinstance(p, PoRetPdu)]
+        assert len(naks) == 1
+        assert naks[0].lsrc == 1 and naks[0].from_seq == 1 and naks[0].upto == 2
+
+    def test_recovery_drains_stash(self):
+        d = Driver(PoEntity, 0, 3)
+        d.engine.on_pdu(PoPdu(1, 2, "b"))
+        d.engine.on_pdu(PoPdu(1, 1, "a"))
+        assert [m.data for m in d.delivered] == ["a", "b"]
+        assert d.engine.quiescent
+
+    def test_duplicate_ignored(self):
+        d = Driver(PoEntity, 0, 3)
+        d.engine.on_pdu(PoPdu(1, 1, "x"))
+        d.engine.on_pdu(PoPdu(1, 1, "x"))
+        assert len(d.delivered) == 1
+
+    def test_nak_answered_by_source(self):
+        d = Driver(PoEntity, 0, 3)
+        d.engine.submit("a")
+        d.engine.submit("b")
+        before = len(d.sent)
+        d.engine.on_pdu(PoRetPdu(src=1, lsrc=0, from_seq=1, upto=3))
+        resent = [p for p in d.sent[before:] if isinstance(p, PoPdu)]
+        assert [p.seq for p in resent] == [1, 2]
+        assert d.engine.retransmissions == 2
+
+    def test_nak_for_other_source_ignored(self):
+        d = Driver(PoEntity, 0, 3)
+        d.engine.submit("a")
+        before = len(d.sent)
+        d.engine.on_pdu(PoRetPdu(src=1, lsrc=2, from_seq=1, upto=2))
+        assert len(d.sent) == before
+
+    def test_nak_retry_on_tick(self):
+        d = Driver(PoEntity, 0, 3, nak_timeout=0.5)
+        d.engine.on_pdu(PoPdu(1, 3, "late"))
+        naks = lambda: [p for p in d.sent if isinstance(p, PoRetPdu)]
+        assert len(naks()) == 1
+        d.clock = 1.0
+        d.engine.on_tick()
+        assert len(naks()) == 2
+
+    def test_no_causal_ordering_across_sources(self):
+        # PO delivers per-source FIFO immediately — a causally-later PDU from
+        # another source is delivered before its predecessor arrives.
+        d = Driver(PoEntity, 0, 3)
+        d.engine.on_pdu(PoPdu(2, 1, "reply"))
+        d.engine.on_pdu(PoPdu(1, 1, "original"))
+        assert [m.data for m in d.delivered] == ["reply", "original"]
+
+
+class TestUnorderedEntity:
+    def test_delivers_everything_in_arrival_order(self):
+        d = Driver(UnorderedEntity, 0, 3)
+        d.engine.on_pdu(RawMessage(1, 2, "b"))
+        d.engine.on_pdu(RawMessage(1, 1, "a"))
+        assert [m.data for m in d.delivered] == ["b", "a"]
+
+    def test_submit_broadcasts_and_self_delivers(self):
+        d = Driver(UnorderedEntity, 0, 3)
+        d.engine.submit("x")
+        assert len(d.sent) == 1
+        assert [m.data for m in d.delivered] == ["x"]
+
+    def test_always_quiescent(self):
+        d = Driver(UnorderedEntity, 0, 3)
+        assert d.engine.quiescent

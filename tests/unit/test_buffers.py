@@ -1,0 +1,87 @@
+"""Unit tests for the overrun receive buffer."""
+
+import pytest
+
+from repro.net.buffers import ReceiveBuffer
+
+
+def test_offer_and_pop_fifo():
+    buf = ReceiveBuffer(capacity_units=3)
+    assert buf.offer("a") and buf.offer("b") and buf.offer("c")
+    assert buf.pop() == "a"
+    assert buf.pop() == "b"
+    assert buf.pop() == "c"
+
+
+def test_overrun_drops_new_arrival():
+    buf = ReceiveBuffer(capacity_units=2)
+    assert buf.offer("a") and buf.offer("b")
+    assert not buf.offer("c")
+    assert buf.pop() == "a"  # the old content survives
+
+
+def test_units_per_pdu():
+    buf = ReceiveBuffer(capacity_units=5, units_per_pdu=2)
+    assert buf.capacity_pdus == 2
+    assert buf.offer("a") and buf.offer("b")
+    assert not buf.offer("c")
+    assert buf.free_units == 1
+
+
+def test_free_units_track_occupancy():
+    buf = ReceiveBuffer(capacity_units=4, units_per_pdu=2)
+    assert buf.free_units == 4
+    buf.offer("a")
+    assert buf.free_units == 2
+    buf.pop()
+    assert buf.free_units == 4
+
+
+def test_stats():
+    buf = ReceiveBuffer(capacity_units=1)
+    buf.offer("a")
+    buf.offer("b")
+    assert buf.stats.offered == 2
+    assert buf.stats.accepted == 1
+    assert buf.stats.overruns == 1
+    assert buf.stats.high_water_units == 1
+
+
+def test_high_water_tracks_peak_not_current():
+    buf = ReceiveBuffer(capacity_units=4)
+    buf.offer("a")
+    buf.offer("b")
+    buf.pop()
+    buf.pop()
+    assert buf.stats.high_water_units == 2
+    assert len(buf) == 0
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        ReceiveBuffer(capacity_units=1).pop()
+
+
+def test_peek():
+    buf = ReceiveBuffer(capacity_units=2)
+    assert buf.peek() is None
+    buf.offer("a")
+    assert buf.peek() == "a"
+    assert len(buf) == 1  # peek does not consume
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ReceiveBuffer(capacity_units=0)
+    with pytest.raises(ValueError):
+        ReceiveBuffer(capacity_units=4, units_per_pdu=0)
+    with pytest.raises(ValueError):
+        ReceiveBuffer(capacity_units=1, units_per_pdu=2)
+
+
+def test_clear():
+    buf = ReceiveBuffer(capacity_units=2)
+    buf.offer("a")
+    buf.clear()
+    assert buf.empty
+    assert buf.free_units == 2

@@ -1,0 +1,98 @@
+"""Unit tests for the run-verification checker itself.
+
+The checker guards every integration test, so it gets direct tests: it must
+*fail* on traces with planted violations, not just pass on good ones.
+"""
+
+import pytest
+
+from repro.core.errors import DeliveryOrderError
+from repro.ordering.checker import count_causal_anomalies, verify_run
+from repro.sim.trace import TraceLog
+
+
+def clean_trace():
+    """E0 sends m1; E1 relays m2; both delivered causally at everyone."""
+    t = TraceLog()
+    t.record(0.0, "broadcast", 0, kind="DataPdu", seq=1)
+    t.record(0.0, "accept", 0, src=0, seq=1, null=False)
+    t.record(0.1, "accept", 1, src=0, seq=1, null=False)
+    t.record(0.2, "broadcast", 1, kind="DataPdu", seq=1)
+    t.record(0.2, "accept", 1, src=1, seq=1, null=False)
+    t.record(0.3, "accept", 0, src=1, seq=1, null=False)
+    for entity in (0, 1):
+        t.record(0.4, "deliver", entity, src=0, seq=1)
+        t.record(0.5, "deliver", entity, src=1, seq=1)
+    return t
+
+
+def test_clean_trace_passes():
+    report = verify_run(clean_trace(), 2)
+    assert report.ok
+    report.assert_ok()
+    assert report.messages_sent == 2
+    assert report.deliveries == [2, 2]
+
+
+def test_causality_violation_detected():
+    t = clean_trace()
+    # Entity 0 also delivers them inverted at a third entity... plant an
+    # inversion by appending a reversed pair at a new entity index.
+    t.record(0.6, "deliver", 1, src=1, seq=1)  # duplicate to keep it simple
+    report = verify_run(t, 2)
+    assert not report.ok
+    assert report.duplicates
+    with pytest.raises(DeliveryOrderError):
+        report.assert_ok()
+
+
+def test_inverted_delivery_is_causality_violation():
+    t = TraceLog()
+    t.record(0.0, "broadcast", 0, kind="DataPdu", seq=1)
+    t.record(0.0, "accept", 0, src=0, seq=1, null=False)
+    t.record(0.1, "accept", 1, src=0, seq=1, null=False)
+    t.record(0.2, "broadcast", 1, kind="DataPdu", seq=1)
+    t.record(0.2, "accept", 1, src=1, seq=1, null=False)
+    t.record(0.3, "accept", 2, src=1, seq=1, null=False)
+    t.record(0.4, "accept", 2, src=0, seq=1, null=False)
+    # Entity 2 delivers the *reply* before the message it answers.
+    t.record(0.5, "deliver", 2, src=1, seq=1)
+    t.record(0.6, "deliver", 2, src=0, seq=1)
+    report = verify_run(t, 3, expect_all_delivered=False)
+    assert report.causality == {2: [((1, 1), (0, 1))]}
+    assert count_causal_anomalies(t, 3) == 1
+
+
+def test_missing_delivery_detected():
+    t = clean_trace()
+    t.record(0.7, "broadcast", 0, kind="DataPdu", seq=2)
+    t.record(0.7, "accept", 0, src=0, seq=2, null=False)
+    report = verify_run(t, 2)
+    assert not report.ok
+    assert (0, 2) in report.missing[0]
+    assert (0, 2) in report.missing[1]
+
+
+def test_missing_not_flagged_when_relaxed():
+    t = clean_trace()
+    t.record(0.7, "broadcast", 0, kind="DataPdu", seq=2)
+    t.record(0.7, "accept", 0, src=0, seq=2, null=False)
+    report = verify_run(t, 2, expect_all_delivered=False)
+    assert report.ok
+
+
+def test_fifo_violation_detected():
+    t = TraceLog()
+    t.record(0.0, "broadcast", 0, kind="DataPdu", seq=1)
+    t.record(0.1, "broadcast", 0, kind="DataPdu", seq=2)
+    t.record(0.2, "deliver", 1, src=0, seq=2)
+    t.record(0.3, "deliver", 1, src=0, seq=1)
+    report = verify_run(t, 2, expect_all_delivered=False)
+    assert report.local_order[1]
+    # Same-source inversion is both a FIFO and a causality violation.
+    assert report.causality[1]
+
+
+def test_summary_format():
+    summary = verify_run(clean_trace(), 2).summary()
+    assert "[OK]" in summary and "sent=2" in summary

@@ -1,0 +1,119 @@
+"""Unit tests for hosts, the CPU model and cluster assembly."""
+
+import pytest
+
+from repro.core.cluster import CpuModel, build_cluster
+from repro.core.config import ProtocolConfig
+from repro.core.errors import ConfigurationError
+from repro.net.topology import Topology
+
+
+def test_cpu_model_linear_in_n():
+    cpu = CpuModel(base=10e-6, per_entity=2e-6)
+    assert cpu.service_time(None, 4) == pytest.approx(18e-6)
+    assert cpu.service_time(None, 8) - cpu.service_time(None, 4) == pytest.approx(8e-6)
+
+
+def test_build_cluster_requires_two_entities():
+    with pytest.raises(ConfigurationError):
+        build_cluster(1)
+
+
+def test_build_cluster_topology_size_checked():
+    with pytest.raises(ConfigurationError):
+        build_cluster(3, topology=Topology.uniform(4, 1e-4))
+
+
+def test_single_broadcast_delivered_everywhere():
+    cluster = build_cluster(3)
+    cluster.submit(0, "hello")
+    cluster.run_until_quiescent(max_time=5.0)
+    for i in range(3):
+        assert [m.data for m in cluster.delivered(i)] == ["hello"]
+
+
+def test_sender_also_delivers_to_itself():
+    cluster = build_cluster(2)
+    cluster.submit(1, "self-included")
+    cluster.run_until_quiescent(max_time=5.0)
+    assert cluster.delivered(1)[0].data == "self-included"
+    assert cluster.delivered(1)[0].src == 1
+
+
+def test_delivery_metadata():
+    cluster = build_cluster(3)
+    cluster.submit(2, "x")
+    cluster.run_until_quiescent(max_time=5.0)
+    message = cluster.delivered(0)[0]
+    assert message.src == 2
+    assert message.seq == 1
+    assert message.delivered_at > 0
+
+
+def test_hosts_process_serially_with_service_time():
+    cpu = CpuModel(base=1e-3, per_entity=0.0)
+    cluster = build_cluster(2, cpu=cpu)
+    cluster.submit(0, "a")
+    cluster.submit(0, "b")
+    cluster.run_until_quiescent(max_time=10.0)
+    host = cluster.hosts[1]
+    assert host.pdus_processed >= 2
+    assert host.mean_service_time >= 1e-3
+
+
+def test_delivery_listener_invoked():
+    cluster = build_cluster(2)
+    seen = []
+    cluster.hosts[1].add_delivery_listener(lambda m: seen.append(m.data))
+    cluster.submit(0, "ping")
+    cluster.run_until_quiescent(max_time=5.0)
+    assert seen == ["ping"]
+
+
+def test_run_for_advances_time():
+    cluster = build_cluster(2)
+    t = cluster.run_for(0.5)
+    assert t == pytest.approx(0.5)
+
+
+def test_quiescence_timeout_raises():
+    # Strict paper mode cannot acknowledge the tail of a finite workload.
+    cluster = build_cluster(3, config=ProtocolConfig(strict_paper_mode=True))
+    cluster.submit(0, "stuck")
+    with pytest.raises(TimeoutError):
+        cluster.run_until_quiescent(max_time=0.5)
+
+
+def test_engines_share_protocol_config():
+    config = ProtocolConfig(window=3)
+    cluster = build_cluster(3, config=config)
+    assert all(e.config.window == 3 for e in cluster.engines)
+
+
+def test_undersized_buffer_rejected():
+    # The flow condition divides minBUF by 2nH: buffers below that block
+    # all transmission, so the builder refuses them.
+    with pytest.raises(ConfigurationError):
+        build_cluster(3, buffer_capacity=5)
+
+
+def test_buffer_overrun_happens_with_small_buffers():
+    # A slow CPU and a burst larger than the buffer must overrun.
+    cpu = CpuModel(base=5e-3, per_entity=0.0)
+    cluster = build_cluster(3, buffer_capacity=6, cpu=cpu)
+    for k in range(12):
+        cluster.submit(0, f"burst-{k}")
+    cluster.run_for(0.05)
+    overruns = sum(h.buffer.stats.overruns for h in cluster.hosts)
+    assert overruns > 0
+    assert cluster.trace.count("drop") >= overruns
+
+
+def test_overrun_losses_are_recovered():
+    cpu = CpuModel(base=2e-3, per_entity=0.0)
+    cluster = build_cluster(3, buffer_capacity=6, cpu=cpu)
+    for k in range(8):
+        cluster.submit(0, f"m{k}")
+    cluster.run_until_quiescent(max_time=60.0)
+    for i in range(3):
+        assert len(cluster.delivered(i)) == 8

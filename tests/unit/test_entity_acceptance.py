@@ -1,0 +1,113 @@
+"""Unit tests for the acceptance action and the two-phase machinery
+(§4.2, §4.4, §4.5) driven PDU by PDU."""
+
+from repro.core.config import DeliveryLevel, ProtocolConfig
+from tests.conftest import EngineDriver, make_pdu
+
+
+def test_in_order_pdu_accepted(driver):
+    driver.receive(make_pdu(1, 1, (1, 1, 1), data="m"))
+    assert driver.engine.state.req[1] == 2
+    assert driver.engine.rrl.total == 1
+    assert driver.engine.counters.accepted == 1
+
+
+def test_duplicate_discarded(driver):
+    p = make_pdu(1, 1, (1, 1, 1))
+    driver.receive(p)
+    driver.receive(p)
+    assert driver.engine.counters.accepted == 1
+    assert driver.engine.counters.duplicates == 1
+    assert driver.engine.rrl.total == 1
+
+
+def test_acceptance_merges_al_row(driver):
+    driver.receive(make_pdu(1, 1, (4, 1, 3)))
+    assert driver.engine.state.al[1] == [4, 1, 3]
+
+
+def test_acceptance_updates_buf(driver):
+    driver.receive(make_pdu(1, 1, (1, 1, 1), buf=77))
+    assert driver.engine.state.buf[1] == 77
+
+
+def test_own_al_row_mirrors_req(driver):
+    driver.receive(make_pdu(1, 1, (1, 1, 1)))
+    driver.receive(make_pdu(2, 1, (1, 1, 1)))
+    assert driver.engine.state.al[0] == driver.engine.state.req
+
+
+def test_not_delivered_before_acknowledgment(driver):
+    """On acceptance an entity 'does not yet know if another entity has also
+    received p' — no delivery yet (§4.2)."""
+    driver.receive(make_pdu(1, 1, (1, 1, 1), data="early"))
+    assert driver.delivered == []
+
+
+def test_preack_needs_evidence_from_everyone(driver):
+    driver.receive(make_pdu(1, 1, (1, 1, 1), data="m"))      # accept
+    # Evidence from E1 alone (its own next PDU) is not enough.
+    driver.receive(make_pdu(1, 2, (1, 2, 1)))
+    assert len(driver.engine.prl) == 0
+    # E2's PDU confirms it also accepted (1,1): ack[1] == 2 everywhere now.
+    driver.receive(make_pdu(2, 1, (1, 2, 1)))
+    # minAL_1 = min(own req=3?, ...) -- own row req[1]=3 after two accepts;
+    # AL[1][1]=2 from E1's second PDU; AL[2][1]=2 from E2's PDU.
+    assert (1, 1) in [p.pdu_id for p in driver.engine.prl]
+
+
+def test_full_two_phase_delivery_via_heartbeats(driver):
+    from repro.core.pdu import HeartbeatPdu
+
+    driver.receive(make_pdu(1, 1, (1, 1, 1), data="m"))
+    # Everyone (including us, via self state) has accepted; simulate the two
+    # heartbeat rounds a live cluster would run.
+    hb = lambda src, ack, pack: HeartbeatPdu(cid=1, src=src, ack=ack, pack=pack, buf=10**6)
+    driver.receive(hb(1, (1, 2, 1), (1, 1, 1)))
+    driver.receive(hb(2, (1, 2, 1), (1, 1, 1)))
+    assert [p.pdu_id for p in driver.engine.prl] == [(1, 1)]
+    assert driver.delivered == []   # pre-acked, not yet acked
+    driver.receive(hb(1, (1, 2, 1), (1, 2, 1)))
+    driver.receive(hb(2, (1, 2, 1), (1, 2, 1)))
+    assert driver.delivered_payloads == ["m"]
+    assert driver.engine.counters.acknowledged == 1
+
+
+def test_delivery_at_preack_level_ablation():
+    from repro.core.pdu import HeartbeatPdu
+
+    drv = EngineDriver(0, 3, ProtocolConfig(delivery_level=DeliveryLevel.PREACKNOWLEDGED))
+    drv.receive(make_pdu(1, 1, (1, 1, 1), data="m"))
+    hb = lambda src, ack, pack: HeartbeatPdu(cid=1, src=src, ack=ack, pack=pack, buf=10**6)
+    drv.receive(hb(1, (1, 2, 1), (1, 1, 1)))
+    drv.receive(hb(2, (1, 2, 1), (1, 1, 1)))
+    # Delivered at pre-ack: one network round earlier than the default.
+    assert drv.delivered_payloads == ["m"]
+
+
+def test_null_pdus_never_delivered(driver):
+    from repro.core.pdu import HeartbeatPdu
+
+    null = make_pdu(1, 1, (1, 1, 1), data=None)
+    driver.receive(null)
+    hb = lambda src, ack, pack: HeartbeatPdu(cid=1, src=src, ack=ack, pack=pack, buf=10**6)
+    for pack in ((1, 1, 1), (1, 2, 1)):
+        driver.receive(hb(1, (1, 2, 1), pack))
+        driver.receive(hb(2, (1, 2, 1), pack))
+    assert driver.engine.counters.acknowledged == 1
+    assert driver.delivered == []
+
+
+def test_own_pdu_echo_treated_as_duplicate(driver):
+    driver.submit("mine")
+    echo = make_pdu(0, 1, (1, 1, 1))
+    driver.receive(echo)
+    assert driver.engine.counters.duplicates == 1
+    assert driver.engine.state.req[0] == 2  # unchanged by the echo
+
+
+def test_heard_from_tracks_other_entities(driver):
+    driver.receive(make_pdu(1, 1, (1, 1, 1)))
+    assert driver.engine._heard_from == {1}
+    driver.submit("x")  # transmission resets the set
+    assert driver.engine._heard_from == set()

@@ -1,0 +1,130 @@
+"""Unit tests for deferred confirmation, heartbeats and strict paper mode."""
+
+from repro.core.config import ConfirmationMode, ProtocolConfig
+from repro.core.pdu import HeartbeatPdu
+from tests.conftest import EngineDriver, make_pdu
+
+
+def test_heartbeat_after_hearing_from_all(driver):
+    """Deferred confirmation: send after receiving from every entity (§5)."""
+    driver.receive(make_pdu(1, 1, (1, 1, 1)))
+    assert driver.heartbeats_sent == []
+    driver.receive(make_pdu(2, 1, (1, 1, 1)))
+    assert len(driver.heartbeats_sent) == 1
+    hb = driver.heartbeats_sent[0]
+    assert hb.ack == (1, 2, 2)
+
+
+def test_heartbeat_after_timer(driver):
+    driver.receive(make_pdu(1, 1, (1, 1, 1)))
+    driver.tick(dt=driver.engine.config.deferred_interval + 1e-9)
+    assert len(driver.heartbeats_sent) == 1
+
+
+def test_no_heartbeat_without_news(driver):
+    driver.tick(dt=1.0)
+    driver.tick(dt=1.0)
+    assert driver.heartbeats_sent == []
+
+
+def test_pending_data_takes_priority_over_heartbeat(driver):
+    driver.engine.submit("queued")  # sent immediately; resets heard_from
+    driver.receive(make_pdu(1, 1, (2, 1, 1)))
+    driver.receive(make_pdu(2, 1, (2, 1, 1)))
+    # Hearing from all with no *pending* data sends a heartbeat...
+    assert len(driver.heartbeats_sent) == 1
+    # ...but with data pending, the data PDU is the confirmation.
+    driver.engine._pending.append(("later", 0))
+    driver.receive(make_pdu(1, 2, (2, 2, 1)))
+    driver.receive(make_pdu(2, 2, (2, 2, 2)))
+    assert len(driver.data_sent) == 2
+    assert len(driver.heartbeats_sent) == 1  # unchanged
+
+
+def test_data_pdu_resets_confirmation_state(driver):
+    driver.receive(make_pdu(1, 1, (1, 1, 1)))
+    driver.submit("x")  # carries ack (1->2) for E1's PDU
+    driver.tick(dt=driver.engine.config.deferred_interval + 1e-9)
+    # Nothing new since the data PDU went out, but the engine still holds
+    # undrained state (its own PDU and E1's await pre-ack), so the timer
+    # emits a *probe* heartbeat rather than staying silent.
+    assert [hb.probe for hb in driver.heartbeats_sent] == [True]
+
+
+def test_immediate_mode_confirms_every_receipt():
+    drv = EngineDriver(0, 3, ProtocolConfig(confirmation=ConfirmationMode.IMMEDIATE))
+    drv.receive(make_pdu(1, 1, (1, 1, 1)))
+    drv.receive(make_pdu(2, 1, (1, 1, 1)))
+    drv.receive(make_pdu(1, 2, (1, 2, 1)))
+    assert len(drv.heartbeats_sent) == 3
+
+
+def test_strict_mode_sends_sequenced_null():
+    drv = EngineDriver(0, 3, ProtocolConfig(strict_paper_mode=True))
+    drv.receive(make_pdu(1, 1, (1, 1, 1)))
+    drv.receive(make_pdu(2, 1, (1, 1, 1)))
+    assert drv.heartbeats_sent == []
+    nulls = [p for p in drv.data_sent if p.is_null]
+    assert len(nulls) == 1
+    assert nulls[0].seq == 1
+    assert nulls[0].ack == (1, 2, 2)
+    assert drv.engine.counters.sent_null == 1
+
+
+def test_strict_mode_null_respects_flow_when_not_forced():
+    config = ProtocolConfig(strict_paper_mode=True, window=1)
+    drv = EngineDriver(0, 3, config)
+    drv.submit("a")  # fills the window
+    drv.receive(make_pdu(1, 1, (1, 1, 1)))
+    drv.receive(make_pdu(2, 1, (1, 1, 1)))
+    # Window full -> the unforced confirmation is skipped...
+    assert drv.engine.counters.sent_null == 0
+    # ...but the deferred timer forces it through.
+    drv.tick(dt=config.deferred_interval + 1e-9)
+    assert drv.engine.counters.sent_null == 1
+
+
+def test_probe_flag_on_stuck_resend(driver):
+    # Heard-from-all confirmations are fresh, not probes.
+    driver.receive(make_pdu(1, 1, (1, 1, 1)))
+    driver.receive(make_pdu(2, 1, (1, 1, 1)))
+    assert [hb.probe for hb in driver.heartbeats_sent] == [False]
+    # Timer-driven repeats while state remains undrained are probes, with
+    # exponential backoff between them.
+    interval = driver.engine.config.deferred_interval + 1e-9
+    driver.tick(dt=interval)
+    driver.tick(dt=interval)        # within backoff: suppressed
+    driver.tick(dt=interval)
+    assert [hb.probe for hb in driver.heartbeats_sent] == [False, True, True]
+
+
+def test_probe_answered_with_fresh_heartbeat(driver):
+    # A drained entity answers a probe so the prober can catch up.
+    probe = HeartbeatPdu(cid=1, src=2, ack=(1, 1, 1), pack=(1, 1, 1), buf=10**6, probe=True)
+    driver.clock = 1.0  # past the rate limit
+    driver.receive(probe)
+    assert len(driver.heartbeats_sent) == 1
+    assert driver.heartbeats_sent[0].probe is False
+
+
+def test_stale_peer_answered(driver):
+    driver.receive(make_pdu(1, 1, (1, 1, 1)))
+    driver.sent.clear()
+    # E2's heartbeat shows it has not seen E1's PDU; we answer with ours.
+    stale = HeartbeatPdu(cid=1, src=2, ack=(1, 1, 1), pack=(1, 1, 1), buf=10**6)
+    driver.clock = 1.0
+    driver.receive(stale)
+    assert len(driver.heartbeats_sent) == 1
+
+
+def test_up_to_date_heartbeat_not_answered(driver):
+    fresh = HeartbeatPdu(cid=1, src=2, ack=(1, 1, 1), pack=(1, 1, 1), buf=10**6)
+    driver.clock = 1.0
+    driver.receive(fresh)
+    assert driver.heartbeats_sent == []
+
+
+def test_heartbeat_merges_pal(driver):
+    hb = HeartbeatPdu(cid=1, src=1, ack=(1, 1, 1), pack=(1, 3, 2), buf=10**6)
+    driver.receive(hb)
+    assert driver.engine.state.pal[1] == [1, 3, 2]

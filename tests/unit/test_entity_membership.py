@@ -1,0 +1,134 @@
+"""Engine-level unit tests for the crash-stop membership extension."""
+
+from repro.core.config import ProtocolConfig
+from repro.core.pdu import HeartbeatPdu, RetPdu
+from tests.conftest import EngineDriver, make_pdu
+
+CFG = ProtocolConfig(suspect_timeout=0.05)
+
+
+def make_driver():
+    return EngineDriver(0, 3, CFG)
+
+
+def hb(src, ack, pack, probe=False):
+    return HeartbeatPdu(cid=1, src=src, ack=ack, pack=pack, buf=10**6, probe=probe)
+
+
+def test_silent_entity_suspected_after_timeout():
+    drv = make_driver()
+    drv.clock = 0.03
+    drv.receive(make_pdu(1, 1, (1, 1, 1)))   # E1 spoke recently; E2 never
+    drv.clock = 0.06
+    drv.tick()
+    assert drv.engine.suspected == {2}
+    assert drv.trace.count("suspect") == 1
+
+
+def test_recent_speaker_not_suspected():
+    drv = make_driver()
+    drv.clock = 0.04
+    drv.receive(make_pdu(2, 1, (1, 1, 1)))
+    drv.clock = 0.06
+    drv.tick()
+    assert 2 not in drv.engine.suspected
+
+
+def test_any_pdu_unsuspects():
+    drv = make_driver()
+    drv.clock = 0.06
+    drv.tick()
+    assert drv.engine.suspected == {1, 2}
+    drv.receive(hb(1, (1, 1, 1), (1, 1, 1)))
+    assert drv.engine.suspected == {2}
+    drv.receive(make_pdu(2, 1, (1, 1, 1)))
+    assert drv.engine.suspected == set()
+    assert drv.trace.count("unsuspect") == 2
+
+
+def test_exclusion_unblocks_preack():
+    drv = make_driver()
+    drv.receive(make_pdu(1, 1, (1, 1, 1), data="m"))
+    # Only E1 confirms (its own later PDU); E2 is dead and silent.
+    drv.clock = 0.03
+    drv.receive(make_pdu(1, 2, (1, 2, 1)))
+    assert drv.engine.prl == []          # blocked on E2's confirmation
+    drv.clock = 0.06
+    drv.tick()
+    assert drv.engine.suspected == {2}
+    assert [p.pdu_id for p in drv.engine.prl] == [(1, 1)]
+
+
+def test_exclusion_unblocks_delivery():
+    drv = make_driver()
+    drv.receive(make_pdu(1, 1, (1, 1, 1), data="m"))
+    drv.receive(hb(1, (1, 2, 1), (1, 1, 1)))
+    drv.receive(hb(1, (1, 2, 1), (1, 2, 1)))
+    assert drv.delivered == []           # still waiting on E2
+    drv.clock = 0.06
+    drv.tick()
+    assert drv.delivered_payloads == ["m"]
+
+
+def test_peer_assist_serves_suspected_sources_pdus():
+    drv = make_driver()
+    drv.receive(make_pdu(2, 1, (1, 1, 1), data="from-the-dead"))
+    drv.clock = 0.06
+    drv.tick()                            # E2 (and E1) now suspected
+    assert 2 in drv.engine.suspected
+    before = len(drv.data_sent)
+    ret = RetPdu(cid=1, src=1, lsrc=2, lseq=2, ack=(1, 1, 1), buf=10**6)
+    drv.receive(ret)
+    served = drv.data_sent[before:]
+    assert [p.pdu_id for p in served] == [(2, 1)]
+
+
+def test_peer_assist_only_for_suspected_sources():
+    drv = EngineDriver(0, 3, ProtocolConfig())   # no membership extension
+    drv.receive(make_pdu(2, 1, (1, 1, 1), data="x"))
+    before = len(drv.data_sent)
+    ret = RetPdu(cid=1, src=1, lsrc=2, lseq=2, ack=(1, 1, 1), buf=10**6)
+    drv.receive(ret)
+    assert len(drv.data_sent) == before   # not our PDU, source not suspected
+
+
+def test_keepalive_emitted_during_idle():
+    drv = make_driver()
+    drv.clock = 0.026                     # past suspect_timeout / 2
+    drv.tick()
+    assert len(drv.heartbeats_sent) == 1
+    assert drv.heartbeats_sent[0].probe is False
+
+
+def test_no_keepalive_without_membership_extension():
+    drv = EngineDriver(0, 3, ProtocolConfig())
+    drv.clock = 10.0
+    drv.tick()
+    assert drv.heartbeats_sent == []
+
+
+def test_confirmation_trigger_ignores_suspects():
+    drv = make_driver()
+    drv.clock = 0.06
+    drv.tick()                            # suspect both peers
+    drv.sent.clear()
+    drv.receive(make_pdu(1, 1, (1, 1, 1)))   # E1 returns and speaks
+    # Heard from every *live* peer (E1 alone; E2 still suspected):
+    # the deferred-confirmation heartbeat fires without waiting for E2.
+    assert 2 in drv.engine.suspected
+    assert len(drv.heartbeats_sent) >= 1
+
+
+def test_flow_window_ignores_suspects():
+    config = ProtocolConfig(suspect_timeout=0.05, window=2)
+    drv = EngineDriver(0, 3, config)
+    drv.submit("a")
+    drv.submit("b")
+    assert drv.submit("c") is None        # window full, nobody confirmed
+    # E1 confirms; E2 is dead.  Suspecting E2 must reopen the window.
+    drv.receive(make_pdu(1, 1, (3, 1, 1)))
+    assert drv.engine.pending_requests == 1
+    drv.clock = 0.06
+    drv.tick()
+    assert drv.engine.pending_requests == 0
+    assert [p.data for p in drv.data_sent] == ["a", "b", "c"]

@@ -1,0 +1,78 @@
+"""Unit tests for the §4.2 flow condition."""
+
+from repro.core.config import ProtocolConfig
+from repro.core.flow import FlowController
+from repro.core.state import KnowledgeState
+
+
+def make(n=4, window=8, units_per_pdu=1):
+    config = ProtocolConfig(window=window, units_per_pdu=units_per_pdu)
+    state = KnowledgeState(n, 0)
+    return FlowController(config, state), state
+
+
+def test_initial_window_allows_first_pdu():
+    flow, _ = make()
+    decision = flow.check(1)
+    assert decision.allowed
+    assert decision.window_base == 1
+
+
+def test_window_limit():
+    flow, state = make(window=4)
+    # minAL_0 is 1; seq 1..4 allowed, 5 not.
+    assert flow.check(4).allowed
+    decision = flow.check(5)
+    assert not decision.allowed
+    assert decision.reason == "window-full"
+
+
+def test_window_slides_with_min_al():
+    flow, state = make(window=4)
+    for observer in range(4):
+        state.merge_al(observer, (3, 1, 1, 1))  # everyone accepted seqs 1-2
+    assert flow.check(6).allowed
+    assert not flow.check(7).allowed
+
+
+def test_buffer_bound_tightens_window():
+    flow, state = make(n=4, window=8)
+    # minBUF / (H * 2n) = 16 / 8 = 2 -> effective window 2.
+    for j in range(4):
+        state.update_buf(j, 16)
+    assert flow.effective_window() == 2
+    assert flow.check(2).allowed
+    decision = flow.check(3)
+    assert not decision.allowed
+
+
+def test_exhausted_buffer_blocks_everything():
+    flow, state = make(n=4)
+    for j in range(4):
+        state.update_buf(j, 3)  # 3 // 8 == 0
+    decision = flow.check(1)
+    assert not decision.allowed
+    assert decision.reason == "buffer-exhausted"
+
+
+def test_units_per_pdu_in_divisor():
+    flow, state = make(n=2, window=8, units_per_pdu=4)
+    for j in range(2):
+        state.update_buf(j, 32)
+    # 32 / (4 * 2 * 2) = 2
+    assert flow.effective_window() == 2
+
+
+def test_in_flight_counts_unconfirmed_own_pdus():
+    flow, state = make()
+    state.advance_req(0, 1)
+    state.advance_req(0, 2)   # we sent/self-accepted 2 PDUs
+    assert flow.in_flight() == 2
+    for observer in range(4):
+        state.merge_al(observer, (2, 1, 1, 1))  # seq 1 accepted everywhere
+    assert flow.in_flight() == 1
+
+
+def test_decision_reason_ok():
+    flow, _ = make()
+    assert flow.check(1).reason == "ok"

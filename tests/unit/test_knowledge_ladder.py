@@ -1,0 +1,83 @@
+"""Unit tests for the epistemic receipt-ladder analysis."""
+
+import pytest
+
+from repro.analysis.knowledge import LEVELS, ladder_spans, receipt_ladder
+from repro.core.cluster import build_cluster
+from repro.metrics.collector import collect_lifecycles, latency_samples
+from repro.metrics.stats import summarize
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    c = build_cluster(3)
+    for k in range(4):
+        c.submit(k % 3, f"m{k}")
+    c.run_until_quiescent(max_time=20.0)
+    return c
+
+
+class TestReceiptLadder:
+    def test_every_entity_climbs_all_levels(self, cluster):
+        ladder = receipt_ladder(cluster.trace, src=0, seq=1)
+        assert ladder.complete(3)
+        for entity in range(3):
+            times = ladder.times[entity]
+            assert set(times) >= set(LEVELS[:-1])  # null PDUs never deliver
+
+    def test_levels_are_ordered_in_time(self, cluster):
+        ladder = receipt_ladder(cluster.trace, src=0, seq=1)
+        for entity, times in ladder.times.items():
+            present = [times[lvl] for lvl in LEVELS if lvl in times]
+            assert present == sorted(present)
+
+    def test_level_at_threshold_times(self, cluster):
+        ladder = receipt_ladder(cluster.trace, src=0, seq=1)
+        accept_time = ladder.times[1]["accepted"]
+        assert ladder.level_at(1, accept_time - 1e-9) is None
+        assert ladder.level_at(1, accept_time) == "accepted"
+        end = max(ladder.times[1].values())
+        assert ladder.level_at(1, end) in ("acknowledged", "delivered")
+
+    def test_latency_between_levels(self, cluster):
+        ladder = receipt_ladder(cluster.trace, src=0, seq=1)
+        span = ladder.latency(2, "accepted", "acknowledged")
+        assert span is not None and span > 0
+        assert ladder.latency(2, "accepted", "accepted") == 0.0
+
+    def test_latency_missing_level_is_none(self, cluster):
+        ladder = receipt_ladder(cluster.trace, src=0, seq=999)
+        assert ladder.latency(0, "accepted", "acknowledged") is None
+
+    def test_render_table(self, cluster):
+        text = receipt_ladder(cluster.trace, src=0, seq=1).render(3)
+        assert "receipt ladder" in text
+        assert "E2" in text
+
+
+class TestLadderSpans:
+    def test_spans_positive(self, cluster):
+        spans = ladder_spans(cluster.trace, 3)
+        assert spans["accept_to_preack"]
+        assert spans["preack_to_ack"]
+        assert all(v >= 0 for vs in spans.values() for v in vs)
+
+    def test_agrees_with_metrics_collector(self, cluster):
+        """Two independent reconstructions of the same spans must agree."""
+        spans = ladder_spans(cluster.trace, 3)
+        lifecycles = collect_lifecycles(cluster.trace)
+        collector_preack = sorted(
+            s.value for s in latency_samples(lifecycles, "preack")
+        )
+        assert sorted(spans["accept_to_preack"]) == pytest.approx(collector_preack)
+        collector_ack_total = summarize(
+            [s.value for s in latency_samples(lifecycles, "ack")]
+        )
+        ladder_total = summarize([
+            a + b for a, b in zip(
+                sorted(spans["accept_to_preack"]),
+                sorted(spans["preack_to_ack"]),
+            )
+        ])
+        # Same number of observations either way.
+        assert collector_ack_total.count == len(spans["preack_to_ack"])

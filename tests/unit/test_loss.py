@@ -1,0 +1,123 @@
+"""Unit tests for the loss models."""
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.net.loss import (
+    BernoulliLoss,
+    BurstLoss,
+    CompositeLoss,
+    NoLoss,
+    ScriptedLoss,
+)
+
+
+@dataclass
+class FakePdu:
+    seq: int = 1
+    is_control: bool = False
+
+
+def test_no_loss_never_drops():
+    model = NoLoss()
+    rng = random.Random(0)
+    assert not any(model.should_drop(0, 1, FakePdu(), rng) for _ in range(100))
+
+
+def test_bernoulli_zero_rate():
+    model = BernoulliLoss(0.0)
+    rng = random.Random(0)
+    assert not any(model.should_drop(0, 1, FakePdu(), rng) for _ in range(100))
+
+
+def test_bernoulli_one_rate():
+    model = BernoulliLoss(1.0)
+    rng = random.Random(0)
+    assert all(model.should_drop(0, 1, FakePdu(), rng) for _ in range(100))
+
+
+def test_bernoulli_rate_roughly_respected():
+    model = BernoulliLoss(0.3)
+    rng = random.Random(42)
+    drops = sum(model.should_drop(0, 1, FakePdu(), rng) for _ in range(5000))
+    assert 0.25 < drops / 5000 < 0.35
+
+
+def test_bernoulli_protect_control():
+    model = BernoulliLoss(1.0, protect_control=True)
+    rng = random.Random(0)
+    assert not model.should_drop(0, 1, FakePdu(is_control=True), rng)
+    assert model.should_drop(0, 1, FakePdu(is_control=False), rng)
+
+
+def test_bernoulli_validates_rate():
+    with pytest.raises(ValueError):
+        BernoulliLoss(1.5)
+    with pytest.raises(ValueError):
+        BernoulliLoss(-0.1)
+
+
+def test_scripted_loss_fires_once_per_target():
+    model = ScriptedLoss([(0, 3, 1)])
+    rng = random.Random(0)
+    assert not model.should_drop(0, 2, FakePdu(seq=2), rng)
+    assert model.should_drop(0, 1, FakePdu(seq=3), rng)   # the target
+    assert not model.should_drop(0, 1, FakePdu(seq=3), rng)  # retransmission passes
+    assert model.exhausted
+    assert model.fired == [(0, 3, 1)]
+
+
+def test_scripted_loss_ignores_seqless_pdus():
+    model = ScriptedLoss([(0, 1, 1)])
+
+    class NoSeq:
+        pass
+
+    assert not model.should_drop(0, 1, NoSeq(), random.Random(0))
+    assert not model.exhausted
+
+
+def test_scripted_loss_distinguishes_destinations():
+    model = ScriptedLoss([(0, 1, 2)])
+    rng = random.Random(0)
+    assert not model.should_drop(0, 1, FakePdu(seq=1), rng)  # dst=1, not targeted
+    assert model.should_drop(0, 2, FakePdu(seq=1), rng)
+
+
+def test_burst_loss_statistical_behaviour():
+    model = BurstLoss(p_good_to_bad=0.05, p_bad_to_good=0.2, good_loss=0.0, bad_loss=1.0)
+    rng = random.Random(7)
+    outcomes = [model.should_drop(0, 1, FakePdu(), rng) for _ in range(5000)]
+    drops = sum(outcomes)
+    assert 0 < drops < 5000
+    # Losses should be bursty: the drop-after-drop rate must exceed the
+    # overall drop rate.
+    pairs = sum(1 for a, b in zip(outcomes, outcomes[1:]) if a and b)
+    rate = drops / len(outcomes)
+    conditional = pairs / max(1, drops)
+    assert conditional > rate
+
+
+def test_burst_loss_per_pair_state():
+    model = BurstLoss(p_good_to_bad=1.0, p_bad_to_good=0.0, bad_loss=1.0)
+    rng = random.Random(0)
+    model.should_drop(0, 1, FakePdu(), rng)
+    # Pair (0,1) is now BAD; pair (0,2) starts fresh in GOOD and transitions
+    # independently.
+    assert (0, 1) in model._bad
+
+
+def test_burst_loss_validation():
+    with pytest.raises(ValueError):
+        BurstLoss(p_good_to_bad=2.0)
+
+
+def test_composite_loss_union():
+    model = CompositeLoss([NoLoss(), BernoulliLoss(1.0)])
+    assert model.should_drop(0, 1, FakePdu(), random.Random(0))
+
+
+def test_composite_loss_empty():
+    assert not CompositeLoss([]).should_drop(0, 1, FakePdu(), random.Random(0))

@@ -1,0 +1,129 @@
+"""Unit tests for bandwidth and jitter modelling, and CID demultiplexing."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.cluster import build_cluster
+from repro.core.config import ProtocolConfig
+from repro.net.network import MCNetwork
+from repro.net.topology import Topology
+from repro.ordering.checker import verify_run
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+from tests.conftest import EngineDriver, make_pdu
+
+
+@dataclass(frozen=True)
+class Pdu:
+    src: int
+    seq: int
+    size: int = 1000
+    is_control: bool = False
+
+    def wire_size(self) -> int:
+        return self.size
+
+
+def build_net(**kw):
+    sim = Simulator()
+    net = MCNetwork(sim, TraceLog(), Topology.uniform(2, 1e-3), **kw)
+    arrivals = []
+    net.attach(0, lambda p: None)
+    net.attach(1, lambda p: arrivals.append((sim.now, p)))
+    return sim, net, arrivals
+
+
+class TestBandwidth:
+    def test_serialisation_delay_added(self):
+        sim, net, arrivals = build_net(bandwidth_bytes_per_s=1e6)
+        net.broadcast(0, Pdu(0, 1, size=1000))   # 1 ms on a 1 MB/s link
+        sim.run()
+        assert arrivals[0][0] == pytest.approx(1e-3 + 1e-3)
+
+    def test_no_bandwidth_means_no_delay(self):
+        sim, net, arrivals = build_net()
+        net.broadcast(0, Pdu(0, 1, size=10 ** 6))
+        sim.run()
+        assert arrivals[0][0] == pytest.approx(1e-3)
+
+    def test_larger_pdus_arrive_later(self):
+        sim, net, arrivals = build_net(bandwidth_bytes_per_s=1e6)
+        net.broadcast(0, Pdu(0, 1, size=100))
+        net.broadcast(0, Pdu(0, 2, size=10_000))
+        sim.run()
+        assert arrivals[1][0] - arrivals[0][0] > 5e-3
+
+
+class TestJitter:
+    def test_jitter_requires_non_negative(self):
+        with pytest.raises(ValueError):
+            build_net(jitter=-1.0)
+
+    def test_jitter_preserves_fifo(self):
+        sim, net, arrivals = build_net(jitter=5e-3, rngs=RngRegistry(3))
+        for seq in range(1, 30):
+            net.broadcast(0, Pdu(0, seq, size=10))
+        sim.run()
+        seqs = [p.seq for _, p in arrivals]
+        assert seqs == sorted(seqs), "jitter broke per-pair FIFO"
+        times = [t for t, _ in arrivals]
+        assert times == sorted(times)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def run(seed):
+            sim, net, arrivals = build_net(jitter=1e-3, rngs=RngRegistry(seed))
+            for seq in range(1, 6):
+                net.broadcast(0, Pdu(0, seq))
+            sim.run()
+            return [t for t, _ in arrivals]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_protocol_correct_over_jittery_network(self):
+        rngs = RngRegistry(5)
+        sim = Simulator()
+        trace = TraceLog()
+        net = MCNetwork(
+            sim, trace, Topology.uniform(3, 2e-4),
+            rngs=rngs, jitter=4e-4, bandwidth_bytes_per_s=5e6,
+        )
+        from repro.core.cluster import Cluster, CpuModel, EntityHost, buffer_free_fn
+        from repro.core.entity import COEntity
+        from repro.net.buffers import ReceiveBuffer
+
+        config = ProtocolConfig()
+        hosts = []
+        for i in range(3):
+            buffer = ReceiveBuffer(256)
+            engine = COEntity(i, 3, config, clock=lambda: sim.now, trace=trace,
+                              advertised_buf=buffer_free_fn(buffer))
+            hosts.append(EntityHost(sim, trace, i, engine, net, buffer,
+                                    CpuModel(), config.tick_interval))
+        cluster = Cluster(sim, trace, net, hosts, config)
+        cluster.start()
+        for k in range(9):
+            cluster.submit(k % 3, f"m{k}")
+        cluster.run_until_quiescent(max_time=30.0)
+        verify_run(trace, 3).assert_ok()
+
+
+class TestClusterId:
+    def test_foreign_cluster_pdus_ignored(self):
+        driver = EngineDriver(0, 3)
+        foreign = make_pdu(1, 1, (1, 1, 1))
+        foreign = type(foreign)(
+            cid=999, src=1, seq=1, ack=(1, 1, 1), buf=10**6, data="alien",
+        )
+        driver.receive(foreign)
+        assert driver.engine.counters.foreign_cluster == 1
+        assert driver.engine.counters.accepted == 0
+        assert driver.engine.state.req[1] == 1
+
+    def test_own_cluster_pdus_processed(self):
+        driver = EngineDriver(0, 3)
+        driver.receive(make_pdu(1, 1, (1, 1, 1)))
+        assert driver.engine.counters.foreign_cluster == 0
+        assert driver.engine.counters.accepted == 1

@@ -1,0 +1,95 @@
+"""Unit tests for trace -> event extraction and the happened-before oracle."""
+
+from repro.ordering.events import delivery_logs, extract_events, sent_messages
+from repro.ordering.happened_before import CausalOrderOracle
+from repro.sim.trace import TraceLog
+
+
+def relay_trace():
+    """E0 sends m1; E1 accepts it then sends m2; E2 accepts both and
+    delivers them in causal order."""
+    t = TraceLog()
+    t.record(0.0, "broadcast", 0, kind="DataPdu", seq=1)
+    t.record(0.0, "accept", 0, src=0, seq=1, null=False)      # self-accept
+    t.record(1.0, "accept", 1, src=0, seq=1, null=False)
+    t.record(1.1, "broadcast", 1, kind="DataPdu", seq=1)
+    t.record(1.1, "accept", 1, src=1, seq=1, null=False)
+    t.record(2.0, "accept", 2, src=0, seq=1, null=False)
+    t.record(2.1, "accept", 2, src=1, seq=1, null=False)
+    t.record(3.0, "deliver", 2, src=0, seq=1)
+    t.record(3.1, "deliver", 2, src=1, seq=1)
+    return t
+
+
+def test_extract_events_kinds_and_order():
+    events = extract_events(relay_trace())
+    kinds = [(e.kind, e.entity, e.message) for e in events]
+    assert kinds[0] == ("send", 0, (0, 1))
+    assert ("deliver", 2, (1, 1)) in kinds
+    assert len(events) == 9
+
+
+def test_retransmissions_are_one_send_event():
+    t = TraceLog()
+    t.record(0.0, "broadcast", 0, kind="DataPdu", seq=1)
+    t.record(1.0, "broadcast", 0, kind="DataPdu", seq=1)   # retransmission
+    events = extract_events(t)
+    assert len([e for e in events if e.kind == "send"]) == 1
+
+
+def test_control_broadcasts_excluded():
+    t = TraceLog()
+    t.record(0.0, "broadcast", 0, kind="RetPdu")
+    t.record(0.0, "broadcast", 0, kind="HeartbeatPdu")
+    assert extract_events(t) == []
+
+
+def test_delivery_logs_per_entity():
+    logs = delivery_logs(relay_trace(), 3)
+    assert logs[0] == [] and logs[1] == []
+    assert logs[2] == [(0, 1), (1, 1)]
+
+
+def test_sent_messages_excludes_null():
+    t = TraceLog()
+    t.record(0.0, "broadcast", 0, kind="DataPdu", seq=1)
+    t.record(0.0, "accept", 0, src=0, seq=1, null=True)    # null confirmation
+    t.record(0.1, "broadcast", 0, kind="DataPdu", seq=2)
+    t.record(0.1, "accept", 0, src=0, seq=2, null=False)
+    assert sent_messages(t) == [(0, 2)]
+    assert sent_messages(t, data_only=False) == [(0, 1), (0, 2)]
+
+
+class TestOracle:
+    def test_relay_precedence(self):
+        oracle = CausalOrderOracle(extract_events(relay_trace()), 3)
+        assert oracle.precedes((0, 1), (1, 1))
+        assert not oracle.precedes((1, 1), (0, 1))
+
+    def test_concurrent_sends(self):
+        t = TraceLog()
+        t.record(0.0, "broadcast", 0, kind="DataPdu", seq=1)
+        t.record(0.0, "broadcast", 1, kind="DataPdu", seq=1)
+        oracle = CausalOrderOracle(extract_events(t), 2)
+        assert oracle.concurrent((0, 1), (1, 1))
+
+    def test_same_source_order(self):
+        t = TraceLog()
+        t.record(0.0, "broadcast", 0, kind="DataPdu", seq=1)
+        t.record(0.1, "broadcast", 0, kind="DataPdu", seq=2)
+        oracle = CausalOrderOracle(extract_events(t), 2)
+        assert oracle.precedes((0, 1), (0, 2))
+
+    def test_unknown_message_raises(self):
+        oracle = CausalOrderOracle([], 2)
+        import pytest
+        with pytest.raises(KeyError):
+            oracle.precedes((0, 1), (0, 2))
+
+    def test_causal_pairs(self):
+        oracle = CausalOrderOracle(extract_events(relay_trace()), 3)
+        assert ((0, 1), (1, 1)) in list(oracle.causal_pairs())
+
+    def test_stamp_none_for_unknown(self):
+        oracle = CausalOrderOracle([], 2)
+        assert oracle.stamp((9, 9)) is None

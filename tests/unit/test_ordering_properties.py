@@ -1,0 +1,70 @@
+"""Unit tests for the §2.2 log-property checkers."""
+
+from repro.ordering.properties import (
+    causality_violations,
+    duplicate_deliveries,
+    local_order_violations,
+    missing_deliveries,
+    total_order_agreement,
+)
+
+M = lambda src, seq: (src, seq)
+
+
+def test_missing_deliveries():
+    log = [M(0, 1), M(1, 1)]
+    expected = [M(0, 1), M(1, 1), M(2, 1)]
+    assert missing_deliveries(log, expected) == [M(2, 1)]
+    assert missing_deliveries(expected, expected) == []
+
+
+def test_duplicate_deliveries():
+    assert duplicate_deliveries([M(0, 1), M(0, 1)]) == [M(0, 1)]
+    assert duplicate_deliveries([M(0, 1), M(0, 2)]) == []
+
+
+def test_local_order_violations():
+    good = [M(0, 1), M(1, 1), M(0, 2)]
+    assert local_order_violations(good) == []
+    bad = [M(0, 2), M(0, 1)]
+    assert local_order_violations(bad) == [(M(0, 2), M(0, 1))]
+
+
+def test_local_order_is_per_source():
+    # Interleaving across sources is never a FIFO violation.
+    assert local_order_violations([M(1, 2), M(0, 1), M(1, 3)]) == []
+
+
+def test_causality_violations_with_oracle():
+    precedes = lambda p, q: p == M(0, 1) and q == M(1, 1)
+    assert causality_violations([M(0, 1), M(1, 1)], precedes) == []
+    assert causality_violations([M(1, 1), M(0, 1)], precedes) == [(M(1, 1), M(0, 1))]
+
+
+def test_causality_violations_empty_relation():
+    never = lambda p, q: False
+    assert causality_violations([M(0, 1), M(1, 1), M(2, 1)], never) == []
+
+
+def test_total_order_agreement_detects_swap():
+    logs = [
+        [M(0, 1), M(1, 1)],
+        [M(1, 1), M(0, 1)],
+    ]
+    disagreements = total_order_agreement(logs)
+    assert len(disagreements) == 1
+    i, j, p, q = disagreements[0]
+    assert (i, j) == (0, 1)
+
+
+def test_total_order_agreement_ignores_uncommon_messages():
+    logs = [
+        [M(0, 1), M(1, 1)],
+        [M(0, 1)],           # never saw (1,1): prefix agreement only
+    ]
+    assert total_order_agreement(logs) == []
+
+
+def test_total_order_agreement_identical_logs():
+    log = [M(0, 1), M(1, 1), M(0, 2)]
+    assert total_order_agreement([log, list(log), list(log)]) == []

@@ -1,0 +1,102 @@
+"""Unit tests for the PDU formats of Figures 4 and 5."""
+
+import pytest
+
+from repro.core.pdu import DataPdu, HeartbeatPdu, RetPdu
+
+
+def make_data(**kw):
+    defaults = dict(cid=1, src=0, seq=1, ack=(1, 1, 1), buf=100, data="x", data_size=3)
+    defaults.update(kw)
+    return DataPdu(**defaults)
+
+
+class TestDataPdu:
+    def test_pdu_id(self):
+        assert make_data(src=2, seq=7).pdu_id == (2, 7)
+
+    def test_null_pdu(self):
+        assert make_data(data=None, data_size=0).is_null
+        assert not make_data().is_null
+
+    def test_is_not_control(self):
+        assert make_data().is_control is False
+
+    def test_wire_size_scales_with_cluster_size(self):
+        small = make_data(ack=(1, 1), data_size=0)
+        large = make_data(ack=(1,) * 10, data_size=0)
+        assert large.wire_size() - small.wire_size() == 8 * 4
+
+    def test_wire_size_includes_payload(self):
+        assert make_data(data_size=100).wire_size() == make_data(data_size=0).wire_size() + 100
+
+    def test_seq_must_start_at_one(self):
+        with pytest.raises(ValueError):
+            make_data(seq=0)
+
+    def test_ack_entries_start_at_one(self):
+        with pytest.raises(ValueError):
+            make_data(ack=(1, 0, 1))
+
+    def test_negative_src_rejected(self):
+        with pytest.raises(ValueError):
+            make_data(src=-1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_data().seq = 5
+
+    def test_str_mentions_fields(self):
+        text = str(make_data(src=1, seq=3))
+        assert "E1" in text and "3" in text
+
+
+class TestRetPdu:
+    def make(self, **kw):
+        defaults = dict(cid=1, src=2, lsrc=0, lseq=5, ack=(3, 1, 1), buf=10)
+        defaults.update(kw)
+        return RetPdu(**defaults)
+
+    def test_requested_range(self):
+        ret = self.make()
+        assert ret.requested_from == 3
+        assert ret.requested_upto == 5
+
+    def test_is_control(self):
+        assert self.make().is_control is True
+
+    def test_wire_size(self):
+        assert self.make().wire_size() == (5 + 3) * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(lsrc=-1)
+        with pytest.raises(ValueError):
+            self.make(lseq=0)
+
+    def test_str(self):
+        assert "RET" in str(self.make())
+
+
+class TestHeartbeatPdu:
+    def make(self, **kw):
+        defaults = dict(cid=1, src=0, ack=(2, 2, 2), pack=(1, 1, 1), buf=50)
+        defaults.update(kw)
+        return HeartbeatPdu(**defaults)
+
+    def test_is_control(self):
+        assert self.make().is_control is True
+
+    def test_probe_defaults_false(self):
+        assert self.make().probe is False
+        assert self.make(probe=True).probe is True
+
+    def test_vector_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(pack=(1, 1))
+
+    def test_wire_size_carries_two_vectors(self):
+        assert self.make().wire_size() == (3 + 6) * 4
+
+    def test_str(self):
+        assert "HB" in str(self.make())

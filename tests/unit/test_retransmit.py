@@ -1,0 +1,91 @@
+"""Unit tests for gap tracking and retransmission suppression."""
+
+from repro.core.retransmit import GapTracker, RetransmitSuppressor
+
+
+class TestGapTracker:
+    def test_new_gap_is_new_evidence(self):
+        gaps = GapTracker(3)
+        assert gaps.note(1, 5, now=0.0) is True
+        assert gaps.open_gaps == 1
+        assert gaps.detections == 1
+
+    def test_same_evidence_not_new(self):
+        gaps = GapTracker(3)
+        gaps.note(1, 5, now=0.0)
+        assert gaps.note(1, 5, now=0.1) is False
+        assert gaps.note(1, 4, now=0.1) is False
+        assert gaps.detections == 1
+
+    def test_widening_gap_is_new_evidence(self):
+        gaps = GapTracker(3)
+        gaps.note(1, 5, now=0.0)
+        assert gaps.note(1, 8, now=0.1) is True
+        assert gaps.get(1).upto == 8
+
+    def test_close_below(self):
+        gaps = GapTracker(3)
+        gaps.note(1, 5, now=0.0)
+        gaps.close_below(1, 4)   # still missing seq 4
+        assert gaps.open_gaps == 1
+        gaps.close_below(1, 5)   # caught up
+        assert gaps.open_gaps == 0
+
+    def test_gaps_per_source_independent(self):
+        gaps = GapTracker(3)
+        gaps.note(0, 3, now=0.0)
+        gaps.note(2, 7, now=0.0)
+        assert gaps.open_gaps == 2
+        gaps.close_below(0, 3)
+        assert gaps.open_gaps == 1
+        assert gaps.get(2) is not None
+
+    def test_due_respects_timeout(self):
+        gaps = GapTracker(3)
+        gaps.note(1, 5, now=0.0)
+        assert gaps.due(now=0.5, timeout=1.0) == []
+        overdue = gaps.due(now=1.0, timeout=1.0)
+        assert len(overdue) == 1 and overdue[0].src == 1
+
+    def test_mark_ret_resets_retry_clock(self):
+        gaps = GapTracker(3)
+        gaps.note(1, 5, now=0.0)
+        gaps.mark_ret(1, now=0.9)
+        assert gaps.due(now=1.5, timeout=1.0) == []
+        assert gaps.due(now=2.0, timeout=1.0) != []
+
+    def test_mark_ret_on_closed_gap_is_noop(self):
+        gaps = GapTracker(3)
+        gaps.mark_ret(1, now=0.0)  # no gap open
+        assert gaps.open_gaps == 0
+
+
+class TestRetransmitSuppressor:
+    def test_first_request_allowed(self):
+        sup = RetransmitSuppressor(interval=1.0)
+        assert sup.should_send(3, now=0.0) is True
+
+    def test_repeat_within_interval_suppressed(self):
+        sup = RetransmitSuppressor(interval=1.0)
+        sup.should_send(3, now=0.0)
+        assert sup.should_send(3, now=0.5) is False
+        assert sup.suppressed == 1
+
+    def test_repeat_after_interval_allowed(self):
+        sup = RetransmitSuppressor(interval=1.0)
+        sup.should_send(3, now=0.0)
+        assert sup.should_send(3, now=1.0) is True
+
+    def test_different_seqs_independent(self):
+        sup = RetransmitSuppressor(interval=1.0)
+        sup.should_send(3, now=0.0)
+        assert sup.should_send(4, now=0.0) is True
+
+    def test_forget_below_prunes(self):
+        sup = RetransmitSuppressor(interval=10.0)
+        sup.should_send(1, now=0.0)
+        sup.should_send(2, now=0.0)
+        sup.forget_below(2)
+        # Seq 1 forgotten: a new request for it is allowed again.
+        assert sup.should_send(1, now=0.1) is True
+        assert sup.should_send(2, now=0.1) is False

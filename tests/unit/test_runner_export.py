@@ -1,0 +1,50 @@
+"""Unit tests for the experiment-result export and config guards."""
+
+import json
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.errors import ConfigurationError
+from repro.harness import ExperimentConfig, run_experiment
+
+
+class TestResultExport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(ExperimentConfig(n=3, messages_per_entity=4, seed=2))
+
+    def test_to_dict_is_json_serialisable(self, result):
+        record = result.to_dict()
+        text = json.dumps(record)
+        assert json.loads(text)["quiesced"] is True
+
+    def test_to_dict_carries_config(self, result):
+        record = result.to_dict()
+        assert record["config"]["n"] == 3
+        assert record["config"]["protocol"] == "co"
+
+    def test_to_dict_headline_metrics(self, result):
+        record = result.to_dict()
+        assert record["tco"] > 0
+        assert record["tap_mean"] > 0
+        assert record["census"]["deliver"] == 36
+        assert "[OK]" in record["verification"]
+
+    def test_to_dict_excludes_live_objects(self, result):
+        record = result.to_dict()
+        assert "cluster" not in record
+        assert "report" not in record
+
+    def test_measured_tco_present(self, result):
+        assert result.tco_measured > 0
+
+
+class TestConfigGuards:
+    def test_membership_requires_heartbeats(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(strict_paper_mode=True, suspect_timeout=0.02)
+
+    def test_membership_with_default_mode_is_fine(self):
+        config = ProtocolConfig(suspect_timeout=0.02)
+        assert config.suspect_timeout == 0.02

@@ -1,0 +1,79 @@
+"""Unit tests for the public CausalBroadcastService façade."""
+
+import pytest
+
+from repro import CausalBroadcastService, ProtocolConfig
+from repro.net.loss import BernoulliLoss
+
+
+def test_quickstart_flow():
+    svc = CausalBroadcastService(n=3, seed=1)
+    svc.broadcast(0, "g")
+    svc.run_until_quiescent(max_time=5.0)
+    for member in range(3):
+        assert svc.delivered_payloads(member) == ["g"]
+
+
+def test_n_property():
+    assert CausalBroadcastService(n=5).n == 5
+
+
+def test_now_advances():
+    svc = CausalBroadcastService(n=2)
+    assert svc.now == 0.0
+    svc.run_for(0.1)
+    assert svc.now == pytest.approx(0.1)
+
+
+def test_delivered_returns_copies():
+    svc = CausalBroadcastService(n=2)
+    svc.broadcast(0, "x")
+    svc.run_until_quiescent(max_time=5.0)
+    first = svc.delivered(1)
+    first.append("tamper")
+    assert len(svc.delivered(1)) == 1
+
+
+def test_causal_order_across_members():
+    svc = CausalBroadcastService(n=3, seed=2)
+    svc.broadcast(0, "question")
+    svc.run_until_quiescent(max_time=5.0)
+    svc.broadcast(1, "answer")   # causally after: member 1 saw "question"
+    svc.run_until_quiescent(max_time=5.0)
+    for member in range(3):
+        payloads = svc.delivered_payloads(member)
+        assert payloads.index("question") < payloads.index("answer")
+
+
+def test_custom_config_respected():
+    svc = CausalBroadcastService(n=2, config=ProtocolConfig(window=2))
+    assert svc.cluster.config.window == 2
+
+
+def test_stats_shape():
+    svc = CausalBroadcastService(n=3)
+    svc.broadcast(0, "x")
+    svc.run_until_quiescent(max_time=5.0)
+    stats = svc.stats()
+    assert stats["network"]["data_pdus"] == 1
+    assert len(stats["entities"]) == 3
+    assert len(stats["buffers"]) == 3
+    assert stats["simulated_time"] > 0
+
+
+def test_lossy_service_still_delivers():
+    svc = CausalBroadcastService(
+        n=3, seed=5, loss=BernoulliLoss(0.2, protect_control=True),
+    )
+    for k in range(10):
+        svc.broadcast(k % 3, f"m{k}")
+    svc.run_until_quiescent(max_time=30.0)
+    for member in range(3):
+        assert len(svc.delivered_payloads(member)) == 10
+
+
+def test_trace_accessible():
+    svc = CausalBroadcastService(n=2)
+    svc.broadcast(0, "x")
+    svc.run_until_quiescent(max_time=5.0)
+    assert svc.trace.count("deliver") == 2

@@ -1,0 +1,111 @@
+"""Unit tests for one-shot and periodic timers."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTimer, Timer
+
+
+class TestTimer:
+    def test_fires_after_interval(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run()
+        assert fired == [2.0]
+
+    def test_does_not_fire_unless_started(self):
+        sim = Simulator()
+        fired = []
+        Timer(sim, 2.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == []
+
+    def test_restart_replaces_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule(1.0, timer.start)  # watchdog kick at t=1
+        sim.run()
+        assert fired == [3.0]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+        timer.start()
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_custom_interval_on_start(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 2.0, lambda: fired.append(sim.now))
+        timer.start(interval=0.5)
+        sim.run()
+        assert fired == [0.5]
+
+    def test_armed_property(self):
+        sim = Simulator()
+        timer = Timer(sim, 1.0, lambda: None)
+        assert not timer.armed
+        timer.start()
+        assert timer.armed
+        sim.run()
+        assert not timer.armed
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Timer(Simulator(), -1.0, lambda: None)
+
+
+class TestPeriodicTimer:
+    def test_fires_every_interval(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_callback_can_stop_timer(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: (fired.append(sim.now), timer.stop()))
+        timer.start()
+        sim.run(until=10.0)
+        assert fired == [1.0]
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        timer.start()
+        sim.run(until=2.5)
+        assert fired == [1.0, 2.0]
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicTimer(Simulator(), 0.0, lambda: None)
+
+    def test_running_property(self):
+        timer = PeriodicTimer(Simulator(), 1.0, lambda: None)
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running

@@ -1,0 +1,78 @@
+"""Unit tests for the structured trace log."""
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+def make_log():
+    log = TraceLog()
+    log.record(0.1, "accept", 0, src=1, seq=1)
+    log.record(0.2, "accept", 1, src=1, seq=1)
+    log.record(0.3, "deliver", 0, src=1, seq=1)
+    log.record(0.4, "drop", 2, reason="overrun")
+    return log
+
+
+def test_records_preserve_order():
+    log = make_log()
+    assert [r.category for r in log] == ["accept", "accept", "deliver", "drop"]
+
+
+def test_len_and_getitem():
+    log = make_log()
+    assert len(log) == 4
+    assert log[0].category == "accept"
+    assert log[-1].category == "drop"
+
+
+def test_select_by_category():
+    log = make_log()
+    assert len(log.select(category="accept")) == 2
+
+
+def test_select_by_entity():
+    log = make_log()
+    assert len(log.select(entity=0)) == 2
+
+
+def test_select_with_predicate():
+    log = make_log()
+    hits = log.select(predicate=lambda r: r.get("reason") == "overrun")
+    assert len(hits) == 1
+    assert hits[0].entity == 2
+
+
+def test_count():
+    log = make_log()
+    assert log.count("accept") == 2
+    assert log.count("accept", entity=1) == 1
+    assert log.count("nonexistent") == 0
+
+
+def test_first_with_match():
+    log = make_log()
+    rec = log.first("accept", src=1)
+    assert rec is not None and rec.time == 0.1
+    assert log.first("accept", src=99) is None
+
+
+def test_disabled_log_records_nothing():
+    log = TraceLog(enabled=False)
+    log.record(0.0, "accept", 0)
+    assert len(log) == 0
+
+
+def test_clear():
+    log = make_log()
+    log.clear()
+    assert len(log) == 0
+
+
+def test_record_get_default():
+    rec = TraceRecord(0.0, "x", 1, {"a": 2})
+    assert rec.get("a") == 2
+    assert rec.get("missing", "dflt") == "dflt"
+
+
+def test_format_contains_fields():
+    text = make_log().format(limit=1)
+    assert "accept" in text and "E0" in text and "seq=1" in text

@@ -1,0 +1,112 @@
+"""Unit tests for the knowledge matrices (REQ, AL, PAL, BUF)."""
+
+import pytest
+
+from repro.core.state import INITIAL_BUF, KnowledgeState
+
+
+def test_initial_state():
+    st = KnowledgeState(3, 0)
+    assert st.req == [1, 1, 1]
+    assert st.min_al(0) == 1
+    assert st.min_pal(2) == 1
+    assert st.min_buf() == INITIAL_BUF
+    assert st.req_vector() == (1, 1, 1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        KnowledgeState(0, 0)
+    with pytest.raises(ValueError):
+        KnowledgeState(3, 3)
+    with pytest.raises(ValueError):
+        KnowledgeState(3, -1)
+
+
+def test_advance_req():
+    st = KnowledgeState(3, 0)
+    st.advance_req(1, 1)
+    assert st.req[1] == 2
+    st.advance_req(1, 2)
+    assert st.req[1] == 3
+
+
+def test_advance_req_out_of_order_rejected():
+    st = KnowledgeState(3, 0)
+    with pytest.raises(ValueError):
+        st.advance_req(1, 2)
+    st.advance_req(1, 1)
+    with pytest.raises(ValueError):
+        st.advance_req(1, 1)  # duplicate
+
+
+def test_merge_al_updates_and_reports_change():
+    st = KnowledgeState(3, 0)
+    assert st.merge_al(1, (3, 1, 2)) is True
+    assert st.al[1] == [3, 1, 2]
+    assert st.merge_al(1, (3, 1, 2)) is False  # no change
+
+
+def test_merge_is_elementwise_max():
+    st = KnowledgeState(3, 0)
+    st.merge_al(1, (3, 1, 2))
+    st.merge_al(1, (2, 5, 1))  # stale in [0] and [2], newer in [1]
+    assert st.al[1] == [3, 5, 2]
+
+
+def test_min_al_over_observers():
+    st = KnowledgeState(3, 0)
+    st.merge_al(0, (4, 1, 1))
+    st.merge_al(1, (3, 1, 1))
+    st.merge_al(2, (5, 1, 1))
+    assert st.min_al(0) == 3
+    assert st.min_al(1) == 1
+
+
+def test_min_cache_matches_recompute():
+    st = KnowledgeState(4, 0)
+    updates = [
+        (0, (2, 3, 1, 1)), (1, (5, 1, 2, 2)), (2, (3, 3, 3, 3)),
+        (3, (2, 2, 2, 9)), (1, (6, 4, 2, 2)), (0, (6, 3, 1, 4)),
+    ]
+    for observer, vec in updates:
+        st.merge_al(observer, vec)
+        for k in range(4):
+            assert st.min_al(k) == min(row[k] for row in st.al)
+
+
+def test_min_pal_tracks_merge_pal():
+    st = KnowledgeState(3, 0)
+    st.merge_pal(0, (4, 2, 2))
+    st.merge_pal(1, (3, 2, 2))
+    st.merge_pal(2, (5, 1, 2))
+    assert st.min_pal(0) == 3
+    assert st.min_pal(1) == 1
+    assert st.min_pal(2) == 2
+
+
+def test_update_buf_not_monotone():
+    st = KnowledgeState(2, 0)
+    st.update_buf(1, 10)
+    assert st.min_buf() == 10
+    st.update_buf(1, 50)   # buffer drained: value goes back up
+    assert st.min_buf() == 50
+    st.update_buf(0, 20)
+    assert st.min_buf() == 20
+
+
+def test_pack_vector_is_min_al_per_source():
+    st = KnowledgeState(3, 0)
+    st.merge_al(0, (3, 2, 2))
+    st.merge_al(1, (2, 4, 2))
+    st.merge_al(2, (4, 2, 5))
+    assert st.pack_vector() == (2, 2, 2)
+
+
+def test_snapshot_is_deep_copy():
+    st = KnowledgeState(2, 0)
+    snap = st.snapshot()
+    snap["al"][0][0] = 99
+    snap["req"][0] = 99
+    assert st.al[0][0] == 1
+    assert st.req[0] == 1

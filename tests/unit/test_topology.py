@@ -1,0 +1,95 @@
+"""Unit tests for delay topologies."""
+
+import random
+
+import pytest
+
+from repro.net.topology import Topology
+
+
+def test_uniform_delays():
+    topo = Topology.uniform(4, 1e-3)
+    for i in range(4):
+        for j in range(4):
+            expected = 0.0 if i == j else 1e-3
+            assert topo.delay(i, j) == expected
+    assert topo.max_delay == 1e-3
+
+
+def test_uniform_single_entity():
+    topo = Topology.uniform(1, 5e-4)
+    assert topo.max_delay == 0.0
+    assert topo.mean_delay == 0.0
+
+
+def test_mean_delay():
+    topo = Topology.from_matrix([[0.0, 2.0], [2.0, 0.0]])
+    assert topo.mean_delay == 2.0
+
+
+def test_from_matrix_validates_symmetry():
+    with pytest.raises(ValueError):
+        Topology.from_matrix([[0.0, 1.0], [2.0, 0.0]])
+
+
+def test_from_matrix_validates_diagonal():
+    with pytest.raises(ValueError):
+        Topology.from_matrix([[1.0, 1.0], [1.0, 0.0]])
+
+
+def test_from_matrix_validates_negative():
+    with pytest.raises(ValueError):
+        Topology.from_matrix([[0.0, -1.0], [-1.0, 0.0]])
+
+
+def test_from_matrix_validates_shape():
+    with pytest.raises(ValueError):
+        Topology.from_matrix([[0.0, 1.0], [1.0]])
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        Topology([])
+
+
+def test_random_plane_properties():
+    topo = Topology.random_plane(6, random.Random(1))
+    assert topo.n == 6
+    for i in range(6):
+        assert topo.delay(i, i) == 0.0
+        for j in range(6):
+            assert topo.delay(i, j) == topo.delay(j, i)
+            if i != j:
+                assert topo.delay(i, j) >= 1e-5
+
+
+def test_random_plane_deterministic():
+    a = Topology.random_plane(4, random.Random(9))
+    b = Topology.random_plane(4, random.Random(9))
+    assert a.as_matrix() == b.as_matrix()
+
+
+def test_from_graph_shortest_paths():
+    nx = pytest.importorskip("networkx")
+    graph = nx.Graph()
+    graph.add_edge(0, 1, delay=1.0)
+    graph.add_edge(1, 2, delay=2.0)
+    topo = Topology.from_graph(graph)
+    assert topo.delay(0, 2) == 3.0
+    assert topo.max_delay == 3.0
+
+
+def test_from_graph_disconnected_rejected():
+    nx = pytest.importorskip("networkx")
+    graph = nx.Graph()
+    graph.add_nodes_from([0, 1, 2])
+    graph.add_edge(0, 1, delay=1.0)
+    with pytest.raises(ValueError):
+        Topology.from_graph(graph)
+
+
+def test_as_matrix_is_copy():
+    topo = Topology.uniform(3, 1.0)
+    matrix = topo.as_matrix()
+    matrix[0][1] = 99.0
+    assert topo.delay(0, 1) == 1.0

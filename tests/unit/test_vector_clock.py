@@ -1,0 +1,78 @@
+"""Unit tests for vector clocks."""
+
+import pytest
+
+from repro.ordering.vector_clock import VectorClock
+
+
+def test_zero():
+    vc = VectorClock.zero(3)
+    assert vc.as_tuple() == (0, 0, 0)
+    assert len(vc) == 3
+
+
+def test_tick_is_functional():
+    a = VectorClock.zero(3)
+    b = a.tick(1)
+    assert a.as_tuple() == (0, 0, 0)
+    assert b.as_tuple() == (0, 1, 0)
+
+
+def test_merge():
+    a = VectorClock((3, 1, 0))
+    b = VectorClock((1, 2, 0))
+    assert (a | b).as_tuple() == (3, 2, 0)
+
+
+def test_merge_width_mismatch():
+    with pytest.raises(ValueError):
+        VectorClock((1,)).merge(VectorClock((1, 2)))
+
+
+def test_happened_before():
+    a = VectorClock((1, 0, 0))
+    b = VectorClock((1, 1, 0))
+    assert a < b
+    assert a <= b
+    assert not b < a
+    assert not a < a
+
+
+def test_concurrent():
+    a = VectorClock((1, 0, 0))
+    b = VectorClock((0, 1, 0))
+    assert a.concurrent_with(b)
+    assert b.concurrent_with(a)
+    assert not a.concurrent_with(a)
+
+
+def test_partial_order_not_total():
+    a = VectorClock((2, 0))
+    b = VectorClock((0, 2))
+    assert not a < b and not b < a and a != b
+
+
+def test_equality_and_hash():
+    assert VectorClock((1, 2)) == VectorClock((1, 2))
+    assert hash(VectorClock((1, 2))) == hash(VectorClock((1, 2)))
+    assert VectorClock((1, 2)) != VectorClock((2, 1))
+
+
+def test_getitem_iter():
+    vc = VectorClock((4, 5, 6))
+    assert vc[1] == 5
+    assert list(vc) == [4, 5, 6]
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        VectorClock((-1, 0))
+
+
+def test_causal_history_through_events():
+    # p0 sends (m1), p1 receives then sends (m2): VT(m1) < VT(m2).
+    c0 = VectorClock.zero(2).tick(0)          # send m1
+    m1 = c0
+    c1 = VectorClock.zero(2).merge(m1).tick(1)  # receive m1, send m2
+    m2 = c1
+    assert m1 < m2

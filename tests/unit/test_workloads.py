@@ -1,0 +1,142 @@
+"""Unit tests for workload generators and the scripted-cluster helper."""
+
+import pytest
+
+from repro.core.cluster import build_cluster
+from repro.core.pdu import DataPdu
+from repro.sim.rng import RngRegistry
+from repro.workloads.generators import (
+    BurstyWorkload,
+    ContinuousWorkload,
+    PoissonWorkload,
+    RequestReplyWorkload,
+)
+from repro.workloads.scenarios import ScriptedCluster
+
+
+class TestContinuousWorkload:
+    def test_submission_count(self):
+        cluster = build_cluster(3)
+        ContinuousWorkload(messages_per_entity=5, interval=1e-4).install(
+            cluster, RngRegistry(0),
+        )
+        cluster.run_until_quiescent(max_time=10.0)
+        submits = cluster.trace.count("submit")
+        assert submits == 15
+
+    def test_stagger_offsets_senders(self):
+        cluster = build_cluster(2)
+        ContinuousWorkload(
+            messages_per_entity=1, interval=1e-3, stagger=5e-4,
+        ).install(cluster, RngRegistry(0))
+        cluster.run_until_quiescent(max_time=10.0)
+        submits = cluster.trace.select("submit")
+        times = sorted(r.time for r in submits)
+        assert times[1] - times[0] == pytest.approx(5e-4)
+
+
+class TestPoissonWorkload:
+    def test_rate_roughly_respected(self):
+        cluster = build_cluster(2)
+        PoissonWorkload(rate_per_entity=2000, duration=0.05).install(
+            cluster, RngRegistry(1),
+        )
+        cluster.run_until_quiescent(max_time=30.0)
+        submits = cluster.trace.count("submit")
+        # Expectation: 2 entities * 2000/s * 0.05s = 200.
+        assert 120 < submits < 300
+
+    def test_deterministic_under_seed(self):
+        def count(seed):
+            cluster = build_cluster(2)
+            PoissonWorkload(rate_per_entity=1000, duration=0.02).install(
+                cluster, RngRegistry(seed),
+            )
+            cluster.run_until_quiescent(max_time=30.0)
+            return cluster.trace.count("submit")
+
+        assert count(7) == count(7)
+
+
+class TestBurstyWorkload:
+    def test_expected_messages(self):
+        workload = BurstyWorkload(bursts=3, burst_size=4)
+        assert workload.expected_messages == 12
+
+    def test_bursts_rotate_senders(self):
+        cluster = build_cluster(3)
+        BurstyWorkload(bursts=3, burst_size=2).install(cluster, RngRegistry(2))
+        cluster.run_until_quiescent(max_time=30.0)
+        senders = {r.entity for r in cluster.trace.select("submit")}
+        assert senders == {0, 1, 2}
+
+
+class TestRequestReplyWorkload:
+    def test_reply_counts(self):
+        cluster = build_cluster(3)
+        RequestReplyWorkload(requests=2, max_depth=1).install(
+            cluster, RngRegistry(3),
+        )
+        cluster.run_until_quiescent(max_time=30.0)
+        submits = [r for r in cluster.trace.select("submit")]
+        # 2 requests + 2 replies each (entities 1 and 2).
+        assert len(submits) == 6
+
+    def test_depth_limits_chains(self):
+        shallow = build_cluster(3)
+        RequestReplyWorkload(requests=1, max_depth=1).install(
+            shallow, RngRegistry(4),
+        )
+        shallow.run_until_quiescent(max_time=30.0)
+        deep = build_cluster(3)
+        RequestReplyWorkload(requests=1, max_depth=2).install(
+            deep, RngRegistry(4),
+        )
+        deep.run_until_quiescent(max_time=30.0)
+        assert deep.trace.count("submit") > shallow.trace.count("submit")
+
+    def test_reply_probability_zero_means_no_replies(self):
+        cluster = build_cluster(3)
+        RequestReplyWorkload(requests=3, reply_probability=0.0).install(
+            cluster, RngRegistry(5),
+        )
+        cluster.run_until_quiescent(max_time=30.0)
+        assert cluster.trace.count("submit") == 3
+
+
+class TestScriptedCluster:
+    def test_submit_returns_the_data_pdu(self):
+        cluster = ScriptedCluster(3)
+        pdu = cluster.submit(1, "x")
+        assert isinstance(pdu, DataPdu)
+        assert pdu.src == 1 and pdu.seq == 1
+
+    def test_nothing_moves_until_delivered(self):
+        cluster = ScriptedCluster(3)
+        pdu = cluster.submit(0, "x")
+        assert cluster.engines[1].state.req == [1, 1, 1]
+        cluster.deliver(pdu, 1)
+        assert cluster.engines[1].state.req == [2, 1, 1]
+
+    def test_deliver_to_all_skips_sender(self):
+        cluster = ScriptedCluster(3)
+        pdu = cluster.submit(0, "x")
+        cluster.deliver_to_all(pdu)
+        assert cluster.engines[1].state.req[0] == 2
+        assert cluster.engines[2].state.req[0] == 2
+
+    def test_flush_control_reaches_acknowledgment(self):
+        cluster = ScriptedCluster(3)
+        pdu = cluster.submit(0, "x")
+        cluster.deliver_to_all(pdu)
+        assert cluster.delivered[1] == []
+        cluster.advance(1.0)
+        cluster.flush_control(rounds=4)
+        assert [m.data for m in cluster.delivered[1]] == ["x"]
+        assert [m.data for m in cluster.delivered[0]] == ["x"]
+
+    def test_advance_moves_clock(self):
+        cluster = ScriptedCluster(2)
+        cluster.advance(0.5)
+        cluster.submit(0, "x")
+        assert cluster.trace.select("submit")[0].time == 0.5
