@@ -1,0 +1,335 @@
+#!/usr/bin/env python
+"""Benchmark-regression harness for the PACK/ACK hot path.
+
+Measures the protocol engine's real cost at several cluster sizes and
+records the numbers in ``BENCH_hotpath.json`` so every later PR can be
+held against a committed baseline:
+
+* **engine points** — ``COEntity.on_pdu`` wall time per PDU on a
+  *saturation* stream: n-1 sources whose ACK vectors trail ``lag`` rounds
+  behind, so the receipt and pre-acknowledged logs stay O(n·lag) resident
+  and every PDU exercises the PACK/ACK pipeline against full logs (the
+  workload where a super-linear hot path shows up as a cost wall);
+* **experiment points** — whole-cluster ``run_experiment`` runs (the
+  bench_scale shape): deliveries per wall-clock second, resident
+  high-water, modelled/measured Tco, with the §2.3 ordering-checker
+  oracle (`repro.ordering.checker.verify_run`) asserted on every run;
+* **suites** — the existing pytest benchmark suites (``bench_micro``,
+  ``bench_fig8_processing``, ``bench_scale``) executed for pass/fail.
+
+Modes
+-----
+``python benchmarks/regression.py``
+    Full run: engine points at n ∈ {4, 8, 16, 32}; writes
+    ``BENCH_hotpath.json`` at the repository root.
+``python benchmarks/regression.py --smoke``
+    CI-sized run (n ∈ {4, 8}, short streams, suites with benchmarking
+    disabled); does not overwrite the committed baseline unless ``--out``
+    says so.
+``python benchmarks/regression.py --compare [BASELINE]``
+    Re-measure, print the per-metric deltas against BASELINE (default:
+    the committed ``BENCH_hotpath.json``) and exit non-zero if any
+    tracked metric regressed by more than ``--threshold`` (default 15%).
+    Comparison only pairs points whose ``n`` and workload shape match.
+
+Re-baselining: run the full mode on a quiet machine and commit the new
+``BENCH_hotpath.json`` alongside the change that justifies the shift.
+See EXPERIMENTS.md ("Benchmark-regression harness") for field docs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+if SRC_DIR not in sys.path:
+    sys.path.insert(0, SRC_DIR)
+
+from repro.core.config import ProtocolConfig  # noqa: E402
+from repro.core.entity import COEntity  # noqa: E402
+from repro.core.pdu import DataPdu  # noqa: E402
+from repro.harness.runner import ExperimentConfig, run_experiment  # noqa: E402
+from repro.metrics.collector import hot_path_stats  # noqa: E402
+from repro.sim.trace import TraceLog  # noqa: E402
+
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_hotpath.json")
+SUITES = ("bench_micro.py", "bench_fig8_processing.py", "bench_scale.py")
+
+FULL = dict(sizes=(4, 8, 16, 32), rounds=160, lag=32, repeats=3,
+            messages_per_entity=5, exp_repeats=2)
+SMOKE = dict(sizes=(4, 8), rounds=40, lag=8, repeats=2,
+             messages_per_entity=3, exp_repeats=1)
+
+#: Metrics compared against the baseline: (section, key, direction).
+#: direction +1 means "bigger is worse", -1 means "smaller is worse".
+TRACKED = (
+    ("engine", "per_pdu_us", +1),
+    ("experiments", "per_pdu_us", +1),
+    ("experiments", "resident_high_water", +1),
+    ("experiments", "deliveries_per_sec", -1),
+)
+
+
+def saturation_stream(n: int, rounds: int, lag: int) -> List[DataPdu]:
+    """A lagged-knowledge broadcast stream arriving at entity 0.
+
+    Each of the n-1 peer sources sends one PDU per round, in round-robin
+    arrival order.  A PDU's ACK vector reflects what its sender had
+    accepted ``lag`` rounds earlier (its own component is current — a
+    sender always knows its own log), so the receiver's minAL/minPAL trail
+    the stream by ``lag`` rounds and O(n·lag) PDUs stay resident: the
+    resident-log regime where super-linear PACK/ACK/CPI costs surface.
+    """
+    pdus: List[DataPdu] = []
+    for r in range(1, rounds + 1):
+        stale = max(0, r - lag)
+        for s in range(1, n):
+            ack = [1] * n
+            for t in range(1, n):
+                # Everyone has accepted every peer seq <= stale rounds ago.
+                ack[t] = stale + 1 if t != s else r
+            pdus.append(DataPdu(
+                cid=1, src=s, seq=r, ack=tuple(ack), buf=10 ** 6, data="x",
+            ))
+    return pdus
+
+
+def engine_point(n: int, rounds: int, lag: int, repeats: int) -> Dict[str, Any]:
+    """Feed the saturation stream to one engine; report min-of-repeats."""
+    pdus = saturation_stream(n, rounds, lag)
+    best = float("inf")
+    engine: Optional[COEntity] = None
+    for _ in range(repeats):
+        trace = TraceLog(enabled=False)
+        engine = COEntity(0, n, ProtocolConfig(), clock=lambda: 0.0, trace=trace)
+        engine.bind(send=lambda pdu: None, deliver=lambda m: None)
+        start = time.perf_counter()
+        for pdu in pdus:
+            engine.on_pdu(pdu)
+        best = min(best, time.perf_counter() - start)
+    assert engine is not None
+    # Sanity oracles: the stream is loss-free and in-order, so everything
+    # up to the knowledge lag must have been accepted and acknowledged.
+    expected_accepts = len(pdus)
+    if engine.counters.accepted < expected_accepts:
+        raise AssertionError(
+            f"saturation stream not fully accepted at n={n}: "
+            f"{engine.counters.accepted}/{expected_accepts}"
+        )
+    if engine.counters.acknowledged == 0:
+        raise AssertionError(f"saturation stream acknowledged nothing at n={n}")
+    return {
+        "n": n,
+        "pdus": len(pdus),
+        "rounds": rounds,
+        "lag": lag,
+        "per_pdu_us": best / len(pdus) * 1e6,
+        "resident_high_water": engine.resident_high_water,
+        "acknowledged": engine.counters.acknowledged,
+        "hot_path": hot_path_stats(engine.counters.snapshot()),
+    }
+
+
+def experiment_point(n: int, messages_per_entity: int,
+                     repeats: int = 1) -> Dict[str, Any]:
+    """Whole-cluster runs (bench_scale shape) with oracle verification.
+
+    Wall time is best-of-``repeats`` — a single whole-cluster run's wall
+    clock is noisy enough (simulator scheduling, allocator warm-up) to fake
+    a regression.  Every repeat is verified against the ordering oracle.
+    """
+    config = ExperimentConfig(
+        n=n,
+        messages_per_entity=messages_per_entity,
+        send_interval=5e-4,
+        buffer_capacity=4 * n * 8,
+    )
+    wall = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        attempt = run_experiment(config)
+        elapsed = time.perf_counter() - start
+        if not attempt.quiesced:
+            raise AssertionError(f"experiment at n={n} did not quiesce")
+        attempt.report.assert_ok()  # ordering-checker oracle on every run
+        if elapsed < wall:
+            wall, result = elapsed, attempt
+    assert result is not None
+    delivered = result.messages_delivered
+    return {
+        "n": n,
+        "wall_s": wall,
+        "deliveries": delivered,
+        "deliveries_per_sec": delivered / wall if wall > 0 else 0.0,
+        "per_pdu_us": result.tco_measured * 1e6,
+        "resident_high_water": result.resident_high_water,
+        "verified": True,
+        "hot_path": hot_path_stats(result.entity_counters),
+    }
+
+
+def run_suites(smoke: bool) -> Dict[str, str]:
+    """Execute the existing benchmark suites; record pass/fail."""
+    outcomes: Dict[str, str] = {}
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for suite in SUITES:
+        cmd = [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+               os.path.join("benchmarks", suite)]
+        if smoke:
+            cmd.append("--benchmark-disable")
+        else:
+            cmd.append("--benchmark-only")
+        proc = subprocess.run(
+            cmd, cwd=REPO_ROOT, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        outcomes[suite] = "passed" if proc.returncode == 0 else "FAILED"
+        if proc.returncode != 0:
+            print(f"--- {suite} output ---\n{proc.stdout}", file=sys.stderr)
+    return outcomes
+
+
+def measure(mode: Dict[str, Any], smoke: bool, skip_suites: bool) -> Dict[str, Any]:
+    report: Dict[str, Any] = {
+        "schema": 1,
+        "mode": "smoke" if smoke else "full",
+        "workload": {"rounds": mode["rounds"], "lag": mode["lag"]},
+        "engine": [],
+        "experiments": [],
+        "suites": {},
+    }
+    for n in mode["sizes"]:
+        print(f"[engine] n={n} ...", flush=True)
+        point = engine_point(n, mode["rounds"], mode["lag"], mode["repeats"])
+        print(f"[engine] n={n}: {point['per_pdu_us']:.1f} us/PDU, "
+              f"resident high-water {point['resident_high_water']}")
+        report["engine"].append(point)
+    for n in mode["sizes"]:
+        print(f"[experiment] n={n} ...", flush=True)
+        point = experiment_point(n, mode["messages_per_entity"],
+                                 mode["exp_repeats"])
+        print(f"[experiment] n={n}: {point['deliveries_per_sec']:.0f} deliveries/s, "
+              f"{point['per_pdu_us']:.1f} us/PDU, "
+              f"resident high-water {point['resident_high_water']}")
+        report["experiments"].append(point)
+    if not skip_suites:
+        report["suites"] = run_suites(smoke)
+        for suite, outcome in report["suites"].items():
+            print(f"[suite] {suite}: {outcome}")
+    return report
+
+
+def _index_points(section: List[Dict[str, Any]]) -> Dict[int, Dict[str, Any]]:
+    return {point["n"]: point for point in section}
+
+
+def compare(current: Dict[str, Any], baseline: Dict[str, Any],
+            threshold: float) -> Tuple[List[str], List[str]]:
+    """Pair up points by n and check every tracked metric.
+
+    Returns (regressions, lines): the failures and the full delta table.
+    """
+    regressions: List[str] = []
+    lines: List[str] = []
+    if current.get("workload") != baseline.get("workload"):
+        lines.append(
+            f"note: workload shapes differ (current {current.get('workload')}, "
+            f"baseline {baseline.get('workload')}); timing deltas may not be "
+            f"like-for-like"
+        )
+    for section, key, direction in TRACKED:
+        base_points = _index_points(baseline.get(section, []))
+        for point in current.get(section, []):
+            base = base_points.get(point["n"])
+            if base is None or key not in base or key not in point:
+                continue
+            old, new = float(base[key]), float(point[key])
+            if old == 0:
+                continue
+            delta = (new - old) / old
+            worse = delta * direction > threshold
+            if delta == 0:
+                better = "unchanged"
+            else:
+                better = "improved" if delta * direction < 0 else "regressed"
+            lines.append(
+                f"{section}[n={point['n']}].{key}: {old:.2f} -> {new:.2f} "
+                f"({delta * 100:+.1f}%, {better})"
+            )
+            if worse:
+                regressions.append(lines[-1])
+    for suite, outcome in current.get("suites", {}).items():
+        if outcome != "passed":
+            regressions.append(f"suite {suite}: {outcome}")
+    return regressions, lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small n, short streams)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help=f"where to write the report (default {DEFAULT_OUT};"
+                             " smoke mode defaults to not writing)")
+    parser.add_argument("--compare", nargs="?", const=DEFAULT_OUT, default=None,
+                        metavar="BASELINE",
+                        help="compare against a baseline JSON and fail on "
+                             "regression (default baseline: the committed "
+                             "BENCH_hotpath.json)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fractional regression tolerance (default 0.15)")
+    parser.add_argument("--skip-suites", action="store_true",
+                        help="skip the pytest benchmark suites")
+    args = parser.parse_args(argv)
+
+    mode = dict(SMOKE if args.smoke else FULL)
+    report = measure(mode, smoke=args.smoke, skip_suites=args.skip_suites)
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = DEFAULT_OUT
+    if out:
+        with open(out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {out}")
+
+    failed = [s for s, outcome in report["suites"].items() if outcome != "passed"]
+    if failed:
+        print(f"FAIL: benchmark suites failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+
+    if args.compare:
+        try:
+            with open(args.compare) as f:
+                baseline = json.load(f)
+        except OSError as exc:
+            print(f"cannot read baseline {args.compare}: {exc}", file=sys.stderr)
+            return 2
+        regressions, lines = compare(report, baseline, args.threshold)
+        print(f"\ncomparison vs {args.compare} "
+              f"(threshold {args.threshold * 100:.0f}%):")
+        for line in lines:
+            print(f"  {line}")
+        if regressions:
+            print("\nFAIL: regressions beyond threshold:", file=sys.stderr)
+            for regression in regressions:
+                print(f"  {regression}", file=sys.stderr)
+            return 1
+        print("OK: no tracked metric regressed beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,7 @@ topologically sorted, inserting before the first entry that causally follows
 
 from __future__ import annotations
 
-from typing import List, Protocol, Sequence, Tuple, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 
 @runtime_checkable
@@ -85,7 +85,11 @@ def ack_vectors_consistent(p: SequencedPdu, q: SequencedPdu) -> bool:
     return all(pa <= qa for pa, qa in zip(p.ack, q.ack))
 
 
-def cpi_position(log: Sequence[SequencedPdu], p: SequencedPdu) -> int:
+def cpi_position(
+    log: Sequence[SequencedPdu],
+    p: SequencedPdu,
+    high: Optional[Sequence[int]] = None,
+) -> int:
     """Index at which CPI inserts ``p`` into causality-preserved ``log``.
 
     Returns the first index ``i`` with ``p ≺ log[i]``; if none, ``len(log)``
@@ -99,11 +103,38 @@ def cpi_position(log: Sequence[SequencedPdu], p: SequencedPdu) -> int:
       that ``log`` was causality-preserved (``k`` after ``i``).
 
     Hence inserting at ``i`` keeps the log causality-preserved.
+
+    ``high`` is an optional seq index over the log (maintained by
+    :func:`fold_follow_index` / :class:`repro.core.logs.CausalLog`):
+    ``high[s]`` bounds every resident entry's knowledge of source ``s``
+    from above — ``q.seq`` for ``q.src == s``, else ``q.ack[s]``.  By
+    Theorem 4.1 an entry ``q`` causally follows ``p`` exactly when its
+    knowledge of ``p.src`` exceeds ``p.seq``, so ``high[p.src] <= p.seq``
+    proves *no* entry follows ``p`` and the append position is returned in
+    O(1), without scanning.  A stale (over-approximate) index is sound: it
+    can only miss the fast path, never take it wrongly.
     """
+    if high is not None and high[p.src] <= p.seq:
+        return len(log)
     for i, q in enumerate(log):
         if causally_precedes(p, q):
             return i
     return len(log)
+
+
+def fold_follow_index(high: List[int], p: SequencedPdu) -> None:
+    """Fold ``p`` into a seq index usable as :func:`cpi_position`'s ``high``.
+
+    After the fold, ``high[s] >= p``'s knowledge of every source ``s``
+    (``p.seq`` for ``s == p.src``, ``p.ack[s]`` otherwise), keeping the
+    index an upper bound over all entries folded so far.  Removals need no
+    downdate — an over-approximate bound stays sound.
+    """
+    for s, a in enumerate(p.ack):
+        if a > high[s]:
+            high[s] = a
+    if p.seq > high[p.src]:
+        high[p.src] = p.seq
 
 
 def cpi_insert(log: List[SequencedPdu], p: SequencedPdu) -> int:

@@ -40,10 +40,9 @@ its system entity.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.causality import cpi_insert
 from repro.core.config import (
     ConfirmationMode,
     DeliveryLevel,
@@ -52,10 +51,10 @@ from repro.core.config import (
 )
 from repro.core.errors import ProtocolError
 from repro.core.flow import FlowController
-from repro.core.logs import Log, ReceiptSublogs, SendingLog
+from repro.core.logs import CausalLog, Log, ReceiptSublogs, SendingLog
 from repro.core.pdu import DataPdu, HeartbeatPdu, RetPdu
 from repro.core.retransmit import GapTracker, RetransmitSuppressor
-from repro.core.state import KnowledgeState
+from repro.core.state import KnowledgeState, MergeResult
 from repro.sim.trace import TraceLog
 
 Clock = Callable[[], float]
@@ -95,6 +94,16 @@ class EntityCounters:
     delivered: int = 0
     flow_blocked: int = 0
     foreign_cluster: int = 0
+    #: Receipt sublogs examined by the event-driven PACK scan (the old
+    #: fixpoint visited all n sublogs per round; this counts dirty visits).
+    pack_source_scans: int = 0
+    #: Times a sublog head satisfied the PACK threshold but had to wait for
+    #: a causal predecessor from another source (the dependency gate).
+    pack_dep_blocks: int = 0
+    #: PRL insertions proven to be appends by the seq index (no log scan).
+    cpi_fast_appends: int = 0
+    #: PRL insertions that fell back to the linear CPI scan.
+    cpi_scan_inserts: int = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -144,13 +153,21 @@ class COEntity:
         self.sl = SendingLog()
         self.rrl = ReceiptSublogs(n)
         #: Pre-acknowledged log, kept causality-ordered by CPI.
-        self.prl: List[DataPdu] = []
+        self.prl: CausalLog = CausalLog()
         #: Acknowledged log, in delivery order.
         self.arl: Log[DataPdu] = Log()
         self.gaps = GapTracker(n)
         #: preack_floor[j]: every PDU from E_j with seq below this has been
         #: pre-acknowledged locally (same-source pre-acks are in seq order).
         self._preack_floor: List[int] = [1] * n
+        #: Sources whose PACK condition may have newly become true: their
+        #: minAL rose, or their receipt sublog gained a head.  The PACK scan
+        #: drains exactly this set (event-driven, not a fixpoint over all n).
+        self._pack_dirty: Set[int] = set()
+        #: _dep_waiters[k]: sources whose sublog head cleared the PACK
+        #: threshold but waits on E_k's pre-acknowledgment floor; re-queued
+        #: when that floor rises.
+        self._dep_waiters: List[Set[int]] = [set() for _ in range(n)]
         self._suppressor = RetransmitSuppressor(config.ret_suppression_interval)
         #: Out-of-order arrivals per source (selective retransmission only).
         self._stash: List[Dict[int, DataPdu]] = [{} for _ in range(n)]
@@ -158,6 +175,9 @@ class COEntity:
         #: suspected (crashed) source — the membership extension's
         #: peer-assisted retransmission.  Pruned below the live minAL.
         self._peer_store: List[Dict[int, DataPdu]] = [{} for _ in range(n)]
+        #: _pruned_below[j]: the floor already applied to E_j's stores, so a
+        #: prune pass only rescans a store when its floor actually rose.
+        self._pruned_below: List[int] = [1] * n
         self._assist_suppressor = RetransmitSuppressor(config.ret_suppression_interval)
         #: Membership extension state.
         self.suspected: Set[int] = set()
@@ -338,6 +358,19 @@ class COEntity:
             raise ProtocolError("engine used before bind()")
         self._send_fn(pdu)
 
+    def _merge_al(self, observer: int, vector: Sequence[int]) -> MergeResult:
+        """Fold an ACK vector into AL, queueing risen minima for the PACK scan.
+
+        Every AL intake goes through here: a source's PACK condition can only
+        newly hold when its ``minAL`` column rose, so the merge's dirty
+        columns are exactly the sources the next :meth:`_pack_action` must
+        visit.
+        """
+        outcome = self.state.merge_al(observer, vector)
+        if outcome.dirty:
+            self._pack_dirty.update(outcome.dirty)
+        return outcome
+
     # ------------------------------------------------------------------
     # Data-PDU receipt: acceptance + failure condition (1)  (§4.2, §4.3)
     # ------------------------------------------------------------------
@@ -350,11 +383,19 @@ class COEntity:
             return
         expected = self.state.req[src]
         if p.seq < expected:
-            # A retransmitted copy of something already accepted: its ACK
-            # vector is old but max-merging stale knowledge is harmless.
+            # A retransmitted copy of something already accepted.  Its ACK
+            # vector may be old (max-merging stale knowledge is harmless)
+            # but its BUF field is the source's *freshest* advertisement —
+            # retransmissions are stamped at resend time — and under loss
+            # it can be the only advertisement still arriving: without the
+            # refresh a flow-blocked sender stays windowed-shut on stale
+            # BUF knowledge.  The branch then falls through to the common
+            # tail: §4.3 applies failure condition (2) to *every* received
+            # PDU's ACK vector, duplicates included.
             self.counters.duplicates += 1
             self._trace.record(self.now, "duplicate", self.index, src=src, seq=p.seq)
-            self.state.merge_al(src, p.ack)
+            self._merge_al(src, p.ack)
+            self.state.update_buf(src, p.buf)
         elif p.seq == expected:
             self._accept(p)
             self._drain_stash(src)
@@ -364,7 +405,7 @@ class COEntity:
                 self.now, "gap", self.index,
                 kind="F1", src=src, missing_from=expected, missing_upto=p.seq,
             )
-            self.state.merge_al(src, p.ack)
+            self._merge_al(src, p.ack)
             self.state.update_buf(src, p.buf)
             if self.config.retransmission is RetransmissionScheme.SELECTIVE:
                 if p.seq not in self._stash[src]:
@@ -384,15 +425,17 @@ class COEntity:
     def _accept(self, p: DataPdu) -> None:
         """The acceptance action (§4.2)."""
         self.state.advance_req(p.src, p.seq)
-        self.state.merge_al(p.src, p.ack)
+        self._merge_al(p.src, p.ack)
         if p.src != self.index:
             # Own BUF advertisements never constrain our window: broadcasts
             # land in *other* entities' buffers (self-acceptance bypasses
             # ours), so the self entry stays at its non-binding initial.
             self.state.update_buf(p.src, p.buf)
         # Our own row of AL is our own REQ vector, which just advanced.
-        self.state.merge_al(self.index, self.state.req_vector())
+        self._merge_al(self.index, self.state.req_vector())
         self.rrl.enqueue(p)
+        # The sublog gained a (possibly new) head: re-examine this source.
+        self._pack_dirty.add(p.src)
         if p.src != self.index:
             self._peer_store[p.src][p.seq] = p
         self.gaps.close_below(p.src, self.state.req[p.src])
@@ -461,7 +504,7 @@ class COEntity:
 
     def _on_ret(self, r: RetPdu) -> None:
         """The rebroadcast side of the retransmission action."""
-        self.state.merge_al(r.src, r.ack)
+        self._merge_al(r.src, r.ack)
         self.state.update_buf(r.src, r.buf)
         self._check_ack_gaps(r.ack, carrier=r.src)
         if r.lsrc == self.index:
@@ -477,7 +520,11 @@ class COEntity:
                     self._trace.record(
                         self.now, "retransmit", self.index, seq=pdu.seq, to=r.src,
                     )
-                    self._send(pdu)
+                    # SEQ and ACK must stay as originally sent (they are the
+                    # PDU's causal coordinates, Theorem 4.1); BUF is a live
+                    # advertisement, so re-stamp it — receivers fold the
+                    # freshest value even from a duplicate.
+                    self._send(replace(pdu, buf=self._advertised_buf()))
                 else:
                     self.counters.retransmissions_suppressed += 1
         elif r.lsrc in self.suspected:
@@ -506,7 +553,7 @@ class COEntity:
     # Heartbeats (quiescence extension, DESIGN.md §2)
     # ------------------------------------------------------------------
     def _on_heartbeat(self, h: HeartbeatPdu) -> None:
-        al_changed = self.state.merge_al(h.src, h.ack)
+        al_changed = self._merge_al(h.src, h.ack)
         pal_changed = self.state.merge_pal(h.src, h.pack)
         if al_changed or pal_changed or h.buf > self.state.buf[h.src]:
             self._probe_backoff = 1
@@ -554,58 +601,85 @@ class COEntity:
         the predecessor floor restores Proposition 4.3 deterministically
         (see DESIGN.md, "correctness completion").
 
-        The scan iterates to a fixpoint because moving a predecessor can
-        unblock a successor in an already-visited sublog.  All newly
-        pre-acknowledged PDUs are CPI-inserted before any delivery decision
-        runs, so a mid-batch delivery can never jump a predecessor.
+        The scan is **event-driven** rather than a fixpoint over all ``n``
+        sublogs: it drains the dirty-source worklist (``_pack_dirty``),
+        which collects every event that can newly satisfy the two clauses —
+
+        * ``minAL_j`` rose → every AL merge reports its dirty columns
+          (:meth:`_merge_al` queues them);
+        * sublog ``j`` gained a head → :meth:`_accept` queues ``j``;
+        * a predecessor floor rose → moving a PDU from ``E_j`` re-queues
+          the sources parked in ``_dep_waiters[j]``;
+        * exclusions changed → :meth:`_suspect` queues every source.
+
+        A source whose head is dep-blocked parks itself on the *first*
+        unmet predecessor and is re-queued when that floor rises (then
+        re-parks on the next unmet one, if any), so the worklist reaches
+        exactly the moves the fixpoint reached — see DESIGN.md,
+        "incremental PACK scan".  All newly pre-acknowledged PDUs are
+        CPI-inserted before any delivery decision runs, so a mid-batch
+        delivery can never jump a predecessor.
         """
         newly: List[DataPdu] = []
-        progressed = True
-        while progressed:
-            progressed = False
-            for j in range(self.n):
-                threshold = self.state.min_al(j)
+        work = self._pack_dirty
+        while work:
+            # Lowest source first: deterministic, and it reproduces the
+            # ascending-source visit order of the paper's worked example
+            # (Example 4.1's PRL ⟨a c b d e⟩) that the old fixpoint had.
+            j = min(work)
+            work.discard(j)
+            self.counters.pack_source_scans += 1
+            threshold = self.state.min_al(j)
+            top = self.rrl.top(j)
+            while top is not None and top.seq < threshold:
+                blocker = self._first_unmet_dep(top)
+                if blocker is not None:
+                    self.counters.pack_dep_blocks += 1
+                    self._dep_waiters[blocker].add(j)
+                    break
+                p = self.rrl.dequeue(j)
+                self._preack_floor[j] = p.seq + 1
+                # The paper's PAL rule: a pre-acknowledged PDU's ACK
+                # vector certifies what its sender had accepted.
+                self.state.merge_pal(j, p.ack)
+                newly.append(p)
+                waiters = self._dep_waiters[j]
+                if waiters:
+                    work.update(waiters)
+                    waiters.clear()
                 top = self.rrl.top(j)
-                while (
-                    top is not None
-                    and top.seq < threshold
-                    and self._deps_preacked(top)
-                ):
-                    p = self.rrl.dequeue(j)
-                    self._preack_floor[j] = p.seq + 1
-                    # The paper's PAL rule: a pre-acknowledged PDU's ACK
-                    # vector certifies what its sender had accepted.
-                    self.state.merge_pal(j, p.ack)
-                    newly.append(p)
-                    progressed = True
-                    top = self.rrl.top(j)
         if newly:
             for p in newly:
-                cpi_insert(self.prl, p)
+                self.prl.insert(p)
                 self.counters.preacknowledged += 1
                 self._trace.record(
                     self.now, "preack", self.index, src=p.src, seq=p.seq,
                 )
+            self.counters.cpi_fast_appends = self.prl.fast_appends
+            self.counters.cpi_scan_inserts = self.prl.scan_inserts
             # Our own PAL row is our own (true) pre-acknowledgment floor.
             self.state.merge_pal(self.index, tuple(self._preack_floor))
             if self.config.delivery_level is DeliveryLevel.PREACKNOWLEDGED:
                 self._deliver_batch_in_prl_order(newly)
         self._ack_action()
 
-    def _deps_preacked(self, p: DataPdu) -> bool:
-        """Have all causal predecessors ``p`` names been pre-acknowledged?
+    def _first_unmet_dep(self, p: DataPdu) -> Optional[int]:
+        """The first source whose pre-acknowledgment floor still blocks ``p``.
 
         ``p.ack[j]`` says ``p``'s sender had accepted every PDU from ``E_j``
         below it when sending ``p`` — all of those causally precede ``p``
-        (Theorem 4.1), so they must enter PRL first.  For ``j == p.src`` the
-        check is vacuous: RRL order already sequences same-source PDUs.
+        (Theorem 4.1), so they must enter PRL first.  Returns ``None`` when
+        every named predecessor has been pre-acknowledged.  For ``j ==
+        p.src`` the check is vacuous: RRL order already sequences
+        same-source PDUs.
         """
         floor = self._preack_floor
-        return all(
-            p.ack[j] <= floor[j]
-            for j in range(self.n)
-            if j != p.src
-        )
+        ack = p.ack
+        src = p.src
+        for j in range(self.n):
+            if j != src and ack[j] > floor[j]:
+                return j
+        return None
 
     def _deliver_batch_in_prl_order(self, batch: List[DataPdu]) -> None:
         """PREACKNOWLEDGED ablation: deliver a freshly pre-acked batch in
@@ -619,10 +693,10 @@ class COEntity:
     def _ack_action(self) -> None:
         """Move the PRL prefix satisfying the ACK condition to ARL; deliver."""
         while self.prl:
-            p = self.prl[0]
+            p = self.prl.top
             if p.seq >= self.state.min_pal(p.src):
                 break
-            self.prl.pop(0)
+            self.prl.popleft()
             self.arl.enqueue(p)
             self.counters.acknowledged += 1
             self._trace.record(self.now, "ack", self.index, src=p.src, seq=p.seq)
@@ -662,16 +736,22 @@ class COEntity:
         evict the member for good (view change — out of scope here).
         """
         floor = self.state.min_al_all_rows(self.index)
-        if floor > 1:
+        if floor > self._pruned_below[self.index]:
+            self._pruned_below[self.index] = floor
             self.sl.prune_below(floor)
             self._suppressor.forget_below(floor)
         for j in range(self.n):
             if j == self.index:
                 continue
+            keep_from = self.state.min_al_all_rows(j)
+            # Store entries are accepted PDUs, so their seqs only grow past
+            # any floor already applied: an unmoved floor means nothing to do.
+            if keep_from <= self._pruned_below[j]:
+                continue
+            self._pruned_below[j] = keep_from
             store = self._peer_store[j]
             if not store:
                 continue
-            keep_from = self.state.min_al_all_rows(j)
             for seq in [s for s in store if s < keep_from]:
                 del store[seq]
 
@@ -694,7 +774,8 @@ class COEntity:
             src=j, silent_for=self.now - self._last_heard[j],
         )
         # The minima may have risen the moment the laggard's rows stopped
-        # counting: re-run the whole pipeline.
+        # counting, for any source: dirty them all and re-run the pipeline.
+        self._pack_dirty.update(range(self.n))
         self._pack_action()
         self._pump()
 

@@ -30,11 +30,39 @@ the cell it raised *was* that column's minimum.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 #: Buffer knowledge before any advertisement has been seen.  Optimistic so a
 #: cold-started cluster is not flow-blocked before the first exchange.
 INITIAL_BUF = 10 ** 9
+
+
+class MergeResult:
+    """Outcome of one knowledge merge.
+
+    ``changed`` says whether *any* cell of the merged row advanced (truthiness
+    mirrors it, so "did we learn anything" call sites read naturally);
+    ``dirty`` lists the columns whose cached **minimum** rose.  The dirty set
+    is what makes the PACK/ACK pipeline event-driven: a PACK or ACK condition
+    can only newly hold for a source whose column minimum moved, so consumers
+    rescan exactly those sources instead of all ``n`` to a fixpoint.
+    """
+
+    __slots__ = ("changed", "dirty")
+
+    def __init__(self, changed: bool, dirty: Tuple[int, ...]):
+        self.changed = changed
+        self.dirty = dirty
+
+    def __bool__(self) -> bool:
+        return self.changed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MergeResult(changed={self.changed}, dirty={self.dirty})"
+
+
+#: Shared no-op result: most merges on a converged cluster change nothing.
+UNCHANGED = MergeResult(False, ())
 
 
 class KnowledgeState:
@@ -62,10 +90,19 @@ class KnowledgeState:
         #: Observers excluded from every minimum (suspected crashed — the
         #: membership extension).  The owner can never exclude itself.
         self.excluded: List[bool] = [False] * n
-        # Cached column minima (minAL_k / minPAL_k) and the cached minBUF.
+        # Cached column minima (minAL_k / minPAL_k) and the cached minBUF,
+        # each minimum paired with a count of the live rows holding it: a
+        # raise of a min-holding cell only forces the O(n) column recompute
+        # when it was the *last* holder, so maintenance is O(1) amortized.
         self._min_al: List[int] = [1] * n
+        self._min_al_count: List[int] = [n] * n
         self._min_pal: List[int] = [1] * n
+        self._min_pal_count: List[int] = [n] * n
         self._min_buf: int = INITIAL_BUF
+        # All-rows minAL (suspects included) for the pruning path, with the
+        # same count trick.  Exclusion does not affect it.
+        self._min_al_all: List[int] = [1] * n
+        self._min_al_all_count: List[int] = [n] * n
 
     # ------------------------------------------------------------------
     # Updates (all monotone)
@@ -79,44 +116,78 @@ class KnowledgeState:
             )
         self.req[src] = seq + 1
 
-    def merge_al(self, observer: int, ack: Sequence[int]) -> bool:
+    def merge_al(self, observer: int, ack: Sequence[int]) -> MergeResult:
         """Fold an observed ACK vector into ``AL[observer]``.
 
-        Returns ``True`` if any component advanced (so callers can re-check
-        the PACK condition only when something changed).
+        The result's ``dirty`` columns are the sources whose ``minAL``
+        actually rose — the only sources for which the PACK condition can
+        newly hold, so the engine rescans exactly those.
         """
-        return self._merge(self.al, self._min_al, observer, ack)
+        return self._merge(
+            self.al, self._min_al, self._min_al_count, observer, ack,
+            all_minima=self._min_al_all, all_counts=self._min_al_all_count,
+        )
 
-    def merge_pal(self, observer: int, pack: Sequence[int]) -> bool:
+    def merge_pal(self, observer: int, pack: Sequence[int]) -> MergeResult:
         """Fold a pre-acknowledgment vector into ``PAL[observer]``."""
-        return self._merge(self.pal, self._min_pal, observer, pack)
+        return self._merge(
+            self.pal, self._min_pal, self._min_pal_count, observer, pack,
+        )
 
     def _merge(
         self,
         matrix: List[List[int]],
         minima: List[int],
+        counts: List[int],
         observer: int,
         vector: Sequence[int],
-    ) -> bool:
+        all_minima: Optional[List[int]] = None,
+        all_counts: Optional[List[int]] = None,
+    ) -> MergeResult:
         row = matrix[observer]
         changed = False
+        dirty: List[int] = []
+        count_in_minima = not self.excluded[observer]
         for k, value in enumerate(vector):
             old = row[k]
             if value <= old:
                 continue
             row[k] = value
             changed = True
-            # Raising a cell can only raise the column minimum if the cell
-            # held it; recompute that column (O(n), amortized rare).
-            if old == minima[k] and not self.excluded[observer]:
-                minima[k] = self._column_min(matrix, k)
-        return changed
+            # Raising a min-holding cell moves the column minimum only when
+            # it was the last holder (count hits zero); then the O(n)
+            # recompute runs and the column is dirty.  Monotone raises can
+            # never land *on* the minimum from above, so the count stays
+            # exact without ever incrementing outside a recompute.
+            if all_minima is not None and old == all_minima[k]:
+                all_counts[k] -= 1
+                if all_counts[k] == 0:
+                    new_min = min(r[k] for r in matrix)
+                    all_minima[k] = new_min
+                    all_counts[k] = sum(1 for r in matrix if r[k] == new_min)
+            if count_in_minima and old == minima[k]:
+                counts[k] -= 1
+                if counts[k] == 0:
+                    new_min = self._column_min(matrix, k)
+                    minima[k] = new_min
+                    counts[k] = self._column_count(matrix, k, new_min)
+                    dirty.append(k)
+        if not changed:
+            return UNCHANGED
+        return MergeResult(True, tuple(dirty))
 
     def _column_min(self, matrix: List[List[int]], k: int) -> int:
         return min(
             row[k]
             for row, excluded in zip(matrix, self.excluded)
             if not excluded
+        )
+
+    def _column_count(self, matrix: List[List[int]], k: int, value: int) -> int:
+        return sum(
+            1
+            for row, excluded in zip(matrix, self.excluded)
+            if not excluded and row[k] == value
         )
 
     def update_buf(self, observer: int, buf: int) -> None:
@@ -156,7 +227,9 @@ class KnowledgeState:
         self.excluded[observer] = excluded
         for k in range(self.n):
             self._min_al[k] = self._column_min(self.al, k)
+            self._min_al_count[k] = self._column_count(self.al, k, self._min_al[k])
             self._min_pal[k] = self._column_min(self.pal, k)
+            self._min_pal_count[k] = self._column_count(self.pal, k, self._min_pal[k])
         self._min_buf = self._buf_min()
 
     def live_observers(self) -> List[int]:
@@ -168,10 +241,10 @@ class KnowledgeState:
 
         Used for pruning retransmission stores: a suspected entity may turn
         out to be alive and come back asking, so nothing above what even the
-        suspects were last known to expect may be discarded.  O(n), called
-        only on the pruning path.
+        suspects were last known to expect may be discarded.  O(1) via the
+        all-rows cache.
         """
-        return min(row[src] for row in self.al)
+        return self._min_al_all[src]
 
     # ------------------------------------------------------------------
     # Derived minima

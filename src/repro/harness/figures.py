@@ -367,6 +367,47 @@ artifact with shape assertions.
 """
 
 
+EXPERIMENTS_FOOTER = """\
+
+## Benchmark-regression harness
+
+``benchmarks/regression.py`` measures the PACK/ACK hot path and pins the
+numbers in ``BENCH_hotpath.json`` (repository root) so any PR can be held
+against a committed baseline:
+
+```
+python benchmarks/regression.py                 # full run, rewrites BENCH_hotpath.json
+python benchmarks/regression.py --smoke         # CI-sized run (n <= 8, short streams)
+python benchmarks/regression.py --compare       # re-measure, fail on >15% regression
+python benchmarks/regression.py --compare OLD.json --threshold 0.10
+```
+
+Per point the report records, at each n in {4, 8, 16, 32}:
+
+* ``engine[].per_pdu_us`` — ``COEntity.on_pdu`` wall time per PDU
+  (min-of-repeats) on a *saturation* stream whose ACK vectors trail the
+  send rounds, keeping O(n·lag) PDUs resident — the regime where a
+  super-linear hot path shows up as a cost wall;
+* ``engine[].resident_high_water`` / ``experiments[].resident_high_water``
+  — peak resident PDUs (the §5 buffer-bound metric);
+* ``experiments[].deliveries_per_sec`` and ``per_pdu_us`` — whole-cluster
+  ``run_experiment`` throughput (bench_scale shape), best-of-repeats, with
+  the §2.3 ordering oracle (``repro.ordering.checker.verify_run``)
+  asserted on **every** run;
+* ``*.hot_path`` — scan-efficiency ratios from the engine counters
+  (``pack_source_scans_per_accept``, ``cpi_fast_append_ratio``,
+  ``dep_blocks_per_preack``; see ``repro.metrics.collector.hot_path_stats``);
+* ``suites`` — pass/fail of the pytest-benchmark suites (``bench_micro``,
+  ``bench_fig8_processing``, ``bench_scale``).
+
+``--compare`` pairs points by ``n`` and fails (exit 1) when a tracked
+metric regresses beyond ``--threshold`` (default 15%): per-PDU times and
+resident high-water must not rise, deliveries/sec must not fall.
+Re-baselining: run the full mode on a quiet machine and commit the new
+``BENCH_hotpath.json`` together with the change that justifies the shift.
+"""
+
+
 def write_experiments(path: str, artifacts: List[Artifact]) -> None:
     """Write the regenerated artifacts to an EXPERIMENTS.md file."""
     body = "\n\n".join(a.render() for a in artifacts)
@@ -374,6 +415,7 @@ def write_experiments(path: str, artifacts: List[Artifact]) -> None:
         f.write(EXPERIMENTS_HEADER)
         f.write(body)
         f.write("\n")
+        f.write(EXPERIMENTS_FOOTER)
 
 
 def main(argv: Sequence[str] = None) -> int:

@@ -151,6 +151,10 @@ class MCNetwork(SimProcess):
             self.stats.control_pdus += 1
         else:
             self.stats.data_pdus += 1
+        self.trace.record(
+            self.now, "unicast", src, dst=dst,
+            kind=type(pdu).__name__, **_pdu_trace_fields(pdu),
+        )
         self._send_copy(src, dst, pdu)
 
     # ------------------------------------------------------------------

@@ -75,7 +75,64 @@ def test_merge_returns_changed_flag_correctly(seq):
         merge = st_.merge_al if kind == "al" else st_.merge_pal
         matrix = st_.al if kind == "al" else st_.pal
         before = [row[:] for row in matrix]
-        changed = merge(observer, vector)
-        assert changed == (matrix != before)
-        # Re-merging the same vector is always a no-op.
-        assert merge(observer, vector) is False
+        outcome = merge(observer, vector)
+        assert bool(outcome) == outcome.changed == (matrix != before)
+        # Re-merging the same vector is always a no-op with no dirty columns.
+        again = merge(observer, vector)
+        assert not again
+        assert again.dirty == ()
+
+
+@st.composite
+def op_sequences_with_exclusion(draw):
+    """Interleavings of merge_al / merge_pal / update_buf / set_excluded.
+
+    The owner is entity 0 and can never exclude itself, so exclusion ops
+    target observers 1..n-1 only.
+    """
+    n = draw(st.integers(min_value=2, max_value=5))
+    vector = st.lists(
+        st.integers(min_value=1, max_value=50), min_size=n, max_size=n
+    )
+    ops = draw(st.lists(
+        st.one_of(
+            st.tuples(st.sampled_from(["al", "pal"]),
+                      st.integers(min_value=0, max_value=n - 1), vector),
+            st.tuples(st.just("buf"),
+                      st.integers(min_value=0, max_value=n - 1),
+                      st.integers(min_value=0, max_value=60)),
+            st.tuples(st.just("excl"),
+                      st.integers(min_value=1, max_value=n - 1),
+                      st.booleans()),
+        ),
+        min_size=1, max_size=60,
+    ))
+    return n, ops
+
+
+@settings(max_examples=150, deadline=None)
+@given(op_sequences_with_exclusion())
+def test_min_caches_match_bruteforce_under_exclusion(seq):
+    """Cached minima == brute-force minima over live rows, and every merge's
+    dirty set names exactly the columns whose cached minimum rose — after
+    arbitrary interleavings including membership changes."""
+    n, ops = seq
+    st_ = KnowledgeState(n, 0)
+    for kind, observer, arg in ops:
+        if kind in ("al", "pal"):
+            min_of = st_.min_al if kind == "al" else st_.min_pal
+            before_minima = [min_of(k) for k in range(n)]
+            outcome = (st_.merge_al if kind == "al" else st_.merge_pal)(
+                observer, arg)
+            risen = {k for k in range(n) if min_of(k) != before_minima[k]}
+            assert set(outcome.dirty) == risen
+        elif kind == "buf":
+            st_.update_buf(observer, arg)
+        else:
+            st_.set_excluded(observer, arg)
+        live = [j for j in range(n) if not st_.excluded[j]]
+        assert live == st_.live_observers()
+        for k in range(n):
+            assert st_.min_al(k) == min(st_.al[j][k] for j in live)
+            assert st_.min_pal(k) == min(st_.pal[j][k] for j in live)
+        assert st_.min_buf() == min(st_.buf[j] for j in live)

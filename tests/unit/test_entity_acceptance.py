@@ -98,6 +98,51 @@ def test_null_pdus_never_delivered(driver):
     assert driver.delivered == []
 
 
+def test_duplicate_refreshes_buf_advertisement(driver):
+    """A retransmitted copy is stamped with the source's freshest BUF at
+    resend time; under loss it can be the only advertisement arriving, so
+    the duplicate branch must refresh BUF knowledge."""
+    driver.receive(make_pdu(1, 1, (1, 1, 1), buf=10))
+    assert driver.engine.state.buf[1] == 10
+    driver.receive(make_pdu(1, 1, (1, 1, 1), buf=300))  # duplicate, fresh BUF
+    assert driver.engine.counters.duplicates == 1
+    assert driver.engine.state.buf[1] == 300
+
+
+def test_duplicate_merges_al_row(driver):
+    driver.receive(make_pdu(1, 1, (1, 1, 1)))
+    driver.receive(make_pdu(1, 1, (1, 2, 3)))  # duplicate with newer ACK
+    assert driver.engine.counters.duplicates == 1
+    assert driver.engine.state.al[1] == [1, 2, 3]
+
+
+def test_duplicate_ack_vector_triggers_failure_condition_2(driver):
+    """§4.3 applies failure condition (2) to *every* received PDU: a
+    duplicate whose ACK vector proves E2 sent PDUs we never saw must still
+    raise a RET toward E2 — the branch falls through to the common tail."""
+    driver.receive(make_pdu(1, 1, (1, 1, 1)))
+    assert driver.rets_sent == []
+    # Duplicate of (1,1), but its ACK vector says seqs 1..2 from E2 exist.
+    driver.receive(make_pdu(1, 1, (1, 1, 3)))
+    assert driver.engine.counters.duplicates == 1
+    rets = driver.rets_sent
+    assert len(rets) == 1
+    assert rets[0].lsrc == 2
+
+
+def test_duplicate_knowledge_can_complete_preack(driver):
+    """A duplicate's fresher ACK vector must feed the PACK pipeline: if it
+    supplies the last missing acceptance evidence, the pre-ack happens on
+    the duplicate, not on some later PDU."""
+    driver.receive(make_pdu(1, 1, (1, 1, 1), data="m"))
+    driver.receive(make_pdu(2, 1, (1, 2, 1)))   # E2 has accepted (1,1)
+    assert len(driver.engine.prl) == 0          # E1's own evidence missing
+    # Duplicate of E1's PDU, re-sent after E1 accepted its own (ack[1]=2).
+    driver.receive(make_pdu(1, 1, (1, 2, 1)))
+    assert driver.engine.counters.duplicates == 1
+    assert (1, 1) in [p.pdu_id for p in driver.engine.prl]
+
+
 def test_own_pdu_echo_treated_as_duplicate(driver):
     driver.submit("mine")
     echo = make_pdu(0, 1, (1, 1, 1))

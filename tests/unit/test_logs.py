@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.logs import Log, ReceiptSublogs, SendingLog
+from repro.core.causality import cpi_insert, is_causality_preserved
+from repro.core.logs import CausalLog, Log, ReceiptSublogs, SendingLog
 from repro.core.pdu import DataPdu
 
 
@@ -123,3 +124,58 @@ class TestReceiptSublogs:
 
     def test_len_is_source_count(self):
         assert len(ReceiptSublogs(4)) == 4
+
+
+class TestCausalLog:
+    def test_protocol_order_inserts_are_fast_appends(self):
+        """PDUs arriving in dependency-gated PACK order (each PDU's causal
+        predecessors inserted first) always take the O(1) append path."""
+        log = CausalLog()
+        log.insert(pdu(1, 1, ack=(1, 1, 1)))
+        log.insert(pdu(2, 1, ack=(2, 1, 1)))     # saw E1's first
+        log.insert(pdu(1, 2, ack=(1, 1, 2)))     # saw E2's first
+        assert log.fast_appends == 3
+        assert log.scan_inserts == 0
+        assert [p.pdu_id for p in log] == [(1, 1), (2, 1), (1, 2)]
+        assert is_causality_preserved(log.as_list())
+
+    def test_out_of_order_insert_falls_back_to_scan(self):
+        log = CausalLog()
+        q = pdu(2, 5, ack=(1, 9, 1))
+        log.insert(q)
+        # p causally precedes resident q (p.seq=2 < q.ack[1]=9), so the seq
+        # index cannot prove an append; the CPI scan places it first.
+        p = pdu(1, 2, ack=(1, 1, 1))
+        index = log.insert(p)
+        assert index == 0
+        assert log.scan_inserts == 1
+        assert [x.pdu_id for x in log] == [(1, 2), (2, 5)]
+        assert is_causality_preserved(log.as_list())
+
+    def test_matches_reference_cpi_insert(self):
+        stream = [
+            pdu(1, 1, ack=(1, 1, 1)),
+            pdu(2, 1, ack=(1, 1, 1)),      # concurrent with (1,1)
+            pdu(1, 2, ack=(1, 1, 2)),
+            pdu(2, 2, ack=(1, 3, 2)),
+            pdu(1, 3, ack=(1, 2, 3)),
+        ]
+        log = CausalLog()
+        reference = []
+        for p in stream:
+            log.insert(p)
+            cpi_insert(reference, p)
+        assert log == reference
+        assert log.as_list() == reference
+
+    def test_popleft_top_and_reads(self):
+        a, b = pdu(1, 1), pdu(2, 1, ack=(2, 1, 1))
+        log = CausalLog([a, b])
+        assert log.top is a
+        assert log[0] is a and log[1] is b
+        assert log[0:2] == [a, b]
+        assert len(log) == 2 and bool(log)
+        assert log.popleft() is a
+        assert log.top is b
+        assert log == [b]
+        assert not CausalLog()

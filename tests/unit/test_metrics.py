@@ -135,3 +135,45 @@ class TestReporting:
     def test_bar_chart_zero_values(self):
         text = bar_chart(["a"], [0.0])
         assert "#" not in text
+
+
+class TestHotPathStats:
+    def test_ratios_from_counters(self):
+        from repro.metrics.collector import hot_path_stats
+
+        stats = hot_path_stats({
+            "accepted": 100,
+            "preacknowledged": 50,
+            "pack_source_scans": 120,
+            "pack_dep_blocks": 5,
+            "cpi_fast_appends": 48,
+            "cpi_scan_inserts": 2,
+        })
+        assert stats["pack_source_scans"] == 120.0
+        assert stats["pack_source_scans_per_accept"] == pytest.approx(1.2)
+        assert stats["cpi_fast_append_ratio"] == pytest.approx(0.96)
+        assert stats["dep_blocks_per_preack"] == pytest.approx(0.1)
+
+    def test_tolerates_pre_counter_snapshots(self):
+        """Snapshots from runs predating the counters must not crash."""
+        from repro.metrics.collector import hot_path_stats
+
+        stats = hot_path_stats({"accepted": 0})
+        assert stats == {
+            "pack_source_scans": 0.0,
+            "pack_source_scans_per_accept": 0.0,
+            "cpi_fast_append_ratio": 0.0,
+            "dep_blocks_per_preack": 0.0,
+        }
+
+    def test_engine_counters_expose_hot_path_fields(self):
+        from tests.conftest import EngineDriver, make_pdu
+
+        drv = EngineDriver(0, 3)
+        drv.receive(make_pdu(1, 1, (1, 1, 1)))
+        drv.receive(make_pdu(2, 1, (1, 2, 1)))
+        snap = drv.engine.counters.snapshot()
+        for key in ("pack_source_scans", "pack_dep_blocks",
+                    "cpi_fast_appends", "cpi_scan_inserts"):
+            assert key in snap
+        assert snap["pack_source_scans"] >= 1

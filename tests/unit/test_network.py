@@ -68,6 +68,28 @@ def test_unicast_reaches_only_target():
     assert len(inboxes[2]) == 1
 
 
+def test_unicast_records_trace_event():
+    sim, net, _, trace = build()
+    net.unicast(0, 2, Pdu(0, 7))
+    sim.run()
+    assert trace.count("unicast") == 1
+    rec = trace.select(category="unicast")[0]
+    assert rec.entity == 0
+    assert rec.get("dst") == 2
+    assert rec.get("kind") == "Pdu"
+    assert rec.get("src") == 0
+    assert rec.get("seq") == 7
+
+
+def test_unicast_trace_matches_stats_count():
+    sim, net, _, trace = build()
+    net.unicast(0, 1, Pdu(0, 1))
+    net.unicast(2, 1, Pdu(2, 1, is_control=True))
+    sim.run()
+    assert net.stats.unicasts == 2
+    assert trace.count("unicast") == net.stats.unicasts
+
+
 def test_unicast_to_self_rejected():
     _, net, _, _ = build()
     with pytest.raises(ValueError):

@@ -42,9 +42,34 @@ def test_advance_req_out_of_order_rejected():
 
 def test_merge_al_updates_and_reports_change():
     st = KnowledgeState(3, 0)
-    assert st.merge_al(1, (3, 1, 2)) is True
+    outcome = st.merge_al(1, (3, 1, 2))
+    assert outcome.changed is True and bool(outcome)
     assert st.al[1] == [3, 1, 2]
-    assert st.merge_al(1, (3, 1, 2)) is False  # no change
+    again = st.merge_al(1, (3, 1, 2))  # no change
+    assert again.changed is False and not again
+    assert again.dirty == ()
+
+
+def test_merge_reports_dirty_columns_when_minima_rise():
+    st = KnowledgeState(2, 0)
+    # Raising row 1 alone cannot move a column minimum: row 0 still pins
+    # both columns at 1, so the merge changed cells but dirtied nothing.
+    assert st.merge_al(1, (5, 5)).dirty == ()
+    # Row 0 catches up; both column minima rise to the new row-wise floor.
+    outcome = st.merge_al(0, (3, 2))
+    assert outcome.dirty == (0, 1)
+    assert st.min_al(0) == 3
+    assert st.min_al(1) == 2
+
+
+def test_merge_on_excluded_row_never_dirties():
+    st = KnowledgeState(2, 0)
+    st.set_excluded(1, True)
+    # The excluded row's knowledge is folded but does not gate any minimum.
+    outcome = st.merge_al(1, (7, 7))
+    assert outcome.changed is True
+    assert outcome.dirty == ()
+    assert st.min_al(0) == 1  # only row 0 counts, and it did not move
 
 
 def test_merge_is_elementwise_max():
