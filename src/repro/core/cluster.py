@@ -23,7 +23,7 @@ from repro.core.config import ProtocolConfig
 from repro.core.entity import COEntity, DeliveredMessage
 from repro.core.errors import ConfigurationError
 from repro.net.buffers import ReceiveBuffer
-from repro.net.loss import LossModel
+from repro.net.loss import DuplicatingChannel, LossModel
 from repro.net.network import MCNetwork
 from repro.net.topology import Topology
 from repro.sim.kernel import Simulator
@@ -117,6 +117,27 @@ class EntityHost(SimProcess):
     @property
     def crashed(self) -> bool:
         return self._crashed
+
+    def restart(self, engine: Any) -> None:
+        """Bring a crashed host back with a *fresh* engine incarnation.
+
+        Crash-recovery model: the old engine's volatile state is gone (that
+        is what makes it a crash); the replacement engine starts in
+        ``joining`` mode and re-enters the cluster through the join /
+        state-transfer protocol.  The host's buffer is already empty
+        (crash cleared it), its network tap never detached — arrivals were
+        dropped while crashed — so recovery is just new engine + new tick.
+        """
+        if not self._crashed:
+            raise RuntimeError(f"host {self.index} is not crashed")
+        self._crashed = False
+        self._busy = False
+        self.buffer.clear()
+        self.engine = engine
+        self._tick = PeriodicTimer(self.sim, self._tick.interval, engine.on_tick)
+        engine.bind(send=self._send, deliver=self._on_deliver)
+        self.record("restart")
+        self._tick.start()
 
     # ------------------------------------------------------------------
     # Application side (the system SAP)
@@ -214,12 +235,15 @@ class Cluster:
         network: MCNetwork,
         hosts: Sequence[EntityHost],
         config: ProtocolConfig,
+        engine_factory: Optional[EngineFactory] = None,
     ):
         self.sim = sim
         self.trace = trace
         self.network = network
         self.hosts = list(hosts)
         self.config = config
+        #: Factory used to build replacement engines on :meth:`restart`.
+        self.engine_factory = engine_factory
 
     @property
     def n(self) -> int:
@@ -248,6 +272,32 @@ class Cluster:
     def crash(self, index: int) -> None:
         """Crash-stop one host (fault injection)."""
         self.hosts[index].crash()
+
+    def restart(self, index: int) -> Any:
+        """Restart a crashed host as a rejoining incarnation.
+
+        Builds a fresh engine in ``joining`` mode (all volatile protocol
+        state lost) and hands it to the host; the engine then runs the
+        join / state-transfer / re-admission protocol on its own.  Returns
+        the new engine.
+        """
+        if self.engine_factory is None:
+            raise ConfigurationError(
+                "this cluster was built without an engine factory; "
+                "restart() needs one to mint the replacement engine"
+            )
+        host = self.hosts[index]
+        engine = self.engine_factory(
+            index=index,
+            n=self.n,
+            config=self.config,
+            clock=lambda: self.sim.now,
+            trace=self.trace,
+            advertised_buf=buffer_free_fn(host.buffer),
+            joining=True,
+        )
+        host.restart(engine)
+        return engine
 
     # ------------------------------------------------------------------
     # Run helpers
@@ -320,9 +370,10 @@ def default_engine_factory(
     clock: Callable[[], float],
     trace: TraceLog,
     advertised_buf: Callable[[], int],
+    joining: bool = False,
 ) -> COEntity:
     """Build a CO protocol engine (the default for :func:`build_cluster`)."""
-    return COEntity(index, n, config, clock, trace, advertised_buf)
+    return COEntity(index, n, config, clock, trace, advertised_buf, joining=joining)
 
 
 def build_cluster(
@@ -336,6 +387,7 @@ def build_cluster(
     buffer_capacity: int = 256,
     cpu: Optional[CpuModel] = None,
     engine_factory: EngineFactory = default_engine_factory,
+    duplication: Optional[DuplicatingChannel] = None,
 ) -> Cluster:
     """Assemble a ready-to-run cluster.
 
@@ -364,7 +416,7 @@ def build_cluster(
         )
     rngs = rngs or RngRegistry()
     cpu = cpu or CpuModel()
-    network = MCNetwork(sim, trace, topology, loss=loss, rngs=rngs)
+    network = MCNetwork(sim, trace, topology, loss=loss, rngs=rngs, duplication=duplication)
     hosts = []
     for i in range(n):
         buffer = ReceiveBuffer(buffer_capacity, config.units_per_pdu)
@@ -380,7 +432,7 @@ def build_cluster(
             sim, trace, i, engine, network, buffer, cpu, config.tick_interval,
         )
         hosts.append(host)
-    cluster = Cluster(sim, trace, network, hosts, config)
+    cluster = Cluster(sim, trace, network, hosts, config, engine_factory=engine_factory)
     cluster.start()
     return cluster
 

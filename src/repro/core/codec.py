@@ -39,6 +39,52 @@ Heartbeat (quiescence/membership extension)::
     u32 ack[n]
     u32 pack[n]
     u32 buf
+    u32 view
+
+View-change PDU (membership extension)::
+
+    u8  type = 0x04
+    u8  phase          0: propose, 1: agree, 2: install
+    u32 cid
+    u16 src
+    u32 view
+    u16 m              member-set size
+    u16 n              ACK-vector length
+    u16 f              flush-vector length (0 except install)
+    u16 members[m]
+    u32 ack[n]
+    u32 flush[f]
+    u32 buf
+
+Join PDU::
+
+    u8  type = 0x05
+    u8  flags          bit 0: ready (snapshot applied)
+    u32 cid
+    u16 src
+    u32 buf
+
+State-snapshot PDU::
+
+    u8  type = 0x06
+    u8  flags = 0
+    u32 cid
+    u16 src
+    u16 joiner
+    u32 view
+    u16 m              member-set size
+    u16 n              vector length
+    u32 k              delivered-prefix entry count
+    u16 members[m]
+    u32 ack[n]
+    u32 pack[n]
+    (u16 src, u32 seq) * k
+    u32 buf
+
+Every frame ends in a ``u32`` CRC-32 of everything before it.  The MC
+medium itself is error-free in the paper's model, but real transports (and
+the nemesis harness's bit-flip fault) are not; the checksum turns silent
+corruption into a counted, rejected frame instead of a mis-parsed PDU.
 
 Application payloads must be ``bytes`` (or ``str``, encoded as UTF-8 and
 decoded back to ``bytes`` — the codec does not guess application types).
@@ -47,17 +93,37 @@ decoded back to ``bytes`` — the codec does not guess application types).
 from __future__ import annotations
 
 import struct
-from typing import Any, Tuple, Union
+import zlib
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.core.errors import ReproError
-from repro.core.pdu import DataPdu, HeartbeatPdu, RetPdu
+from repro.core.pdu import (
+    DataPdu,
+    HeartbeatPdu,
+    JoinPdu,
+    RetPdu,
+    StatePdu,
+    ViewChangePdu,
+)
 
 _TYPE_DATA = 0x01
 _TYPE_RET = 0x02
 _TYPE_HEARTBEAT = 0x03
+_TYPE_VIEWCHANGE = 0x04
+_TYPE_JOIN = 0x05
+_TYPE_STATE = 0x06
 
 _FLAG_NULL = 0x01
 _FLAG_PROBE = 0x01
+_FLAG_READY = 0x01
+
+_PHASE_CODES = {"propose": 0, "agree": 1, "install": 2}
+_PHASE_NAMES = {code: name for name, code in _PHASE_CODES.items()}
+
+#: Trailing CRC-32 length in bytes.
+_CRC_BYTES = 4
+
+AnyPdu = Union[DataPdu, RetPdu, HeartbeatPdu, ViewChangePdu, JoinPdu, StatePdu]
 
 
 class CodecError(ReproError, ValueError):
@@ -81,8 +147,17 @@ def _pack_vector(vector: Tuple[int, ...]) -> bytes:
     return struct.pack(f"!{len(vector)}I", *vector)
 
 
-def encode_pdu(pdu: Union[DataPdu, RetPdu, HeartbeatPdu]) -> bytes:
-    """Serialise any of the three PDU kinds to bytes."""
+def _pack_members(members: Tuple[int, ...]) -> bytes:
+    return struct.pack(f"!{len(members)}H", *members)
+
+
+def encode_pdu(pdu: AnyPdu) -> bytes:
+    """Serialise any PDU kind to bytes, with a trailing CRC-32."""
+    body = _encode_body(pdu)
+    return body + struct.pack("!I", zlib.crc32(body))
+
+
+def _encode_body(pdu: AnyPdu) -> bytes:
     if isinstance(pdu, DataPdu):
         payload = _payload_bytes(pdu.data)
         flags = _FLAG_NULL if pdu.is_null else 0
@@ -106,20 +181,82 @@ def encode_pdu(pdu: Union[DataPdu, RetPdu, HeartbeatPdu]) -> bytes:
             head
             + _pack_vector(pdu.ack)
             + _pack_vector(pdu.pack)
+            + struct.pack("!II", pdu.buf, pdu.view)
+        )
+    if isinstance(pdu, ViewChangePdu):
+        head = struct.pack(
+            "!BBIHIHHH", _TYPE_VIEWCHANGE, _PHASE_CODES[pdu.phase], pdu.cid,
+            pdu.src, pdu.view, len(pdu.members), len(pdu.ack), len(pdu.flush),
+        )
+        return (
+            head
+            + _pack_members(pdu.members)
+            + _pack_vector(pdu.ack)
+            + _pack_vector(pdu.flush)
+            + struct.pack("!I", pdu.buf)
+        )
+    if isinstance(pdu, JoinPdu):
+        flags = _FLAG_READY if pdu.ready else 0
+        return struct.pack("!BBIHI", _TYPE_JOIN, flags, pdu.cid, pdu.src, pdu.buf)
+    if isinstance(pdu, StatePdu):
+        head = struct.pack(
+            "!BBIHHIHHI", _TYPE_STATE, 0, pdu.cid, pdu.src, pdu.joiner,
+            pdu.view, len(pdu.members), len(pdu.ack), len(pdu.prefix),
+        )
+        prefix = b"".join(struct.pack("!HI", s, q) for s, q in pdu.prefix)
+        return (
+            head
+            + _pack_members(pdu.members)
+            + _pack_vector(pdu.ack)
+            + _pack_vector(pdu.pack)
+            + prefix
             + struct.pack("!I", pdu.buf)
         )
     raise CodecError(f"cannot encode {type(pdu).__name__}")
 
 
-def decode_pdu(data: bytes) -> Union[DataPdu, RetPdu, HeartbeatPdu]:
-    """Parse bytes produced by :func:`encode_pdu`."""
+def decode_pdu(data: bytes) -> AnyPdu:
+    """Parse bytes produced by :func:`encode_pdu`, verifying the CRC."""
     try:
-        return _decode(data)
+        return _decode(_checked_body(data))
     except (struct.error, IndexError) as exc:
         raise CodecError(f"truncated or malformed PDU: {exc}") from exc
 
 
-def _decode(data: bytes) -> Union[DataPdu, RetPdu, HeartbeatPdu]:
+def decode_pdu_safe(
+    data: bytes, counters: Optional[Dict[str, int]] = None
+) -> Optional[AnyPdu]:
+    """Like :func:`decode_pdu` but never raises mid-dispatch.
+
+    Corrupted or malformed frames return ``None`` and bump
+    ``counters["codec_corrupt_frames"]`` (when a counter dict is given) —
+    the receive-loop-friendly entry point.
+    """
+    try:
+        return decode_pdu(data)
+    except CodecError:
+        if counters is not None:
+            counters["codec_corrupt_frames"] = (
+                counters.get("codec_corrupt_frames", 0) + 1
+            )
+        return None
+
+
+def _checked_body(data: bytes) -> bytes:
+    if len(data) <= _CRC_BYTES:
+        raise CodecError("frame shorter than its checksum")
+    body, trailer = data[:-_CRC_BYTES], data[-_CRC_BYTES:]
+    (expected,) = struct.unpack("!I", trailer)
+    actual = zlib.crc32(body)
+    if actual != expected:
+        raise CodecError(
+            f"checksum mismatch: frame carries 0x{expected:08x}, "
+            f"computed 0x{actual:08x} (corrupted or truncated frame)"
+        )
+    return body
+
+
+def _decode(data: bytes) -> AnyPdu:
     if not data:
         raise CodecError("empty buffer")
     kind = data[0]
@@ -153,15 +290,58 @@ def _decode(data: bytes) -> Union[DataPdu, RetPdu, HeartbeatPdu]:
         offset += 4 * n
         pack = struct.unpack_from(f"!{n}I", data, offset)
         offset += 4 * n
-        (buf,) = struct.unpack_from("!I", data, offset)
+        buf, view = struct.unpack_from("!II", data, offset)
         return HeartbeatPdu(
             cid=cid, src=src, ack=ack, pack=pack, buf=buf,
-            probe=bool(flags & _FLAG_PROBE),
+            probe=bool(flags & _FLAG_PROBE), view=view,
+        )
+    if kind == _TYPE_VIEWCHANGE:
+        _, phase_code, cid, src, view, m, n, f = struct.unpack_from(
+            "!BBIHIHHH", data, 0,
+        )
+        phase = _PHASE_NAMES.get(phase_code)
+        if phase is None:
+            raise CodecError(f"unknown view-change phase code {phase_code}")
+        offset = struct.calcsize("!BBIHIHHH")
+        members = struct.unpack_from(f"!{m}H", data, offset)
+        offset += 2 * m
+        ack = struct.unpack_from(f"!{n}I", data, offset)
+        offset += 4 * n
+        flush = struct.unpack_from(f"!{f}I", data, offset)
+        offset += 4 * f
+        (buf,) = struct.unpack_from("!I", data, offset)
+        return ViewChangePdu(
+            cid=cid, src=src, view=view, phase=phase, members=members,
+            ack=ack, buf=buf, flush=flush,
+        )
+    if kind == _TYPE_JOIN:
+        _, flags, cid, src, buf = struct.unpack_from("!BBIHI", data, 0)
+        return JoinPdu(cid=cid, src=src, buf=buf, ready=bool(flags & _FLAG_READY))
+    if kind == _TYPE_STATE:
+        _, _, cid, src, joiner, view, m, n, k = struct.unpack_from(
+            "!BBIHHIHHI", data, 0,
+        )
+        offset = struct.calcsize("!BBIHHIHHI")
+        members = struct.unpack_from(f"!{m}H", data, offset)
+        offset += 2 * m
+        ack = struct.unpack_from(f"!{n}I", data, offset)
+        offset += 4 * n
+        pack = struct.unpack_from(f"!{n}I", data, offset)
+        offset += 4 * n
+        prefix = []
+        for _ in range(k):
+            entry = struct.unpack_from("!HI", data, offset)
+            offset += 6
+            prefix.append(entry)
+        (buf,) = struct.unpack_from("!I", data, offset)
+        return StatePdu(
+            cid=cid, src=src, joiner=joiner, view=view, members=members,
+            ack=ack, pack=pack, buf=buf, prefix=tuple(prefix),
         )
     raise CodecError(f"unknown PDU type byte 0x{kind:02x}")
 
 
-def encoded_size(pdu: Union[DataPdu, RetPdu, HeartbeatPdu]) -> int:
+def encoded_size(pdu: AnyPdu) -> int:
     """Exact wire length of the encoded PDU.
 
     Like the model in :mod:`repro.core.pdu`, this is linear in the cluster

@@ -84,6 +84,16 @@ class ProtocolConfig:
     deferred_interval: float = 2e-3
     #: Re-issue a RET if a detected gap persists this long.
     ret_timeout: float = 4e-3
+    #: Adaptive RET backoff: each fruitless re-request doubles the effective
+    #: retry timeout up to ``ret_timeout * ret_backoff_cap``.  A crashed
+    #: source never answers, so without backoff every survivor re-requests
+    #: at a fixed cadence forever (a periodic REQ storm).  ``1`` disables
+    #: backoff (the paper's fixed cadence).
+    ret_backoff_cap: int = 8
+    #: Deterministic jitter fraction added to backed-off retries (spreads
+    #: survivors' re-requests so they do not synchronize).  Applied only
+    #: from the second retry on; ``0`` disables.
+    ret_backoff_jitter: float = 0.25
     #: A source ignores repeated RETs for the same PDU within this window
     #: (NAK-implosion suppression; several receivers may miss the same PDU).
     ret_suppression_interval: float = 1e-3
@@ -109,6 +119,14 @@ class ProtocolConfig:
     #: every live member".  A suspected entity heard from again is
     #: re-included automatically.
     suspect_timeout: "float | None" = None
+    #: View-change extension: an entity continuously suspected for this long
+    #: is *evicted* by an agreed view change — its undelivered-but-stable
+    #: PDUs are flushed consistently, its knowledge rows stop gating every
+    #: condition (including pruning), and the effective membership shrinks.
+    #: Eviction is permanent until the entity rejoins through the join /
+    #: state-transfer protocol.  Requires ``suspect_timeout``.  ``None``
+    #: (default) keeps the revocable suspect-only behaviour.
+    evict_timeout: "float | None" = None
     #: Cluster identifier placed in every PDU's ``CID`` field.
     cluster_id: int = 1
 
@@ -137,6 +155,24 @@ class ProtocolConfig:
                 "the membership extension needs heartbeat keepalives, which "
                 "strict paper mode disables; choose one"
             )
+        if self.ret_backoff_cap < 1:
+            raise ConfigurationError(
+                f"ret_backoff_cap must be >= 1, got {self.ret_backoff_cap}"
+            )
+        if not 0.0 <= self.ret_backoff_jitter <= 1.0:
+            raise ConfigurationError(
+                f"ret_backoff_jitter must be in [0, 1], got {self.ret_backoff_jitter}"
+            )
+        if self.evict_timeout is not None:
+            if self.evict_timeout <= 0:
+                raise ConfigurationError(
+                    f"evict_timeout must be positive or None, got {self.evict_timeout}"
+                )
+            if self.suspect_timeout is None:
+                raise ConfigurationError(
+                    "evict_timeout needs suspect_timeout: eviction promotes a "
+                    "suspicion, it cannot originate one"
+                )
 
     def with_(self, **changes) -> "ProtocolConfig":
         """A copy with the given fields replaced (sugar over ``replace``)."""

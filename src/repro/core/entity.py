@@ -52,7 +52,14 @@ from repro.core.config import (
 from repro.core.errors import ProtocolError
 from repro.core.flow import FlowController
 from repro.core.logs import CausalLog, Log, ReceiptSublogs, SendingLog
-from repro.core.pdu import DataPdu, HeartbeatPdu, RetPdu
+from repro.core.pdu import (
+    DataPdu,
+    HeartbeatPdu,
+    JoinPdu,
+    RetPdu,
+    StatePdu,
+    ViewChangePdu,
+)
 from repro.core.retransmit import GapTracker, RetransmitSuppressor
 from repro.core.state import KnowledgeState, MergeResult
 from repro.sim.trace import TraceLog
@@ -104,9 +111,43 @@ class EntityCounters:
     cpi_fast_appends: int = 0
     #: PRL insertions that fell back to the linear CPI scan.
     cpi_scan_inserts: int = 0
+    #: Timer-driven RET re-requests (the backed-off retries).
+    ret_retries: int = 0
+    #: PDUs from removed/evicted members dropped at the view fence.
+    fenced: int = 0
+    #: View-change rounds this entity proposed (as coordinator).
+    view_proposals: int = 0
+    #: Views installed (agreed membership changes applied).
+    view_installs: int = 0
+    #: Members evicted by installed views.
+    evictions: int = 0
+    #: Join requests broadcast while rejoining.
+    joins_sent: int = 0
+    #: State snapshots served to joining members (as sponsor).
+    state_transfers: int = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
+
+
+@dataclass
+class ViewChangeRound:
+    """One in-progress membership agreement (view-change extension).
+
+    ``agreed`` maps each member of the proposed view to the ACK (REQ)
+    vector it contributed; once every member has agreed, the coordinator
+    publishes ``flush`` — the element-wise max of the agreed vectors — and
+    each member installs the view as soon as its own REQ covers it.
+    """
+
+    view_id: int
+    members: Tuple[int, ...]
+    proposer: int
+    agreed: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    flush: Optional[Tuple[int, ...]] = None
+    #: Last time this entity (re-)broadcast its phase PDU, for rate limits.
+    last_sent: float = 0.0
+    adopted_at: float = 0.0
 
 
 class COEntity:
@@ -128,6 +169,10 @@ class COEntity:
     advertised_buf:
         Returns the free buffer units this entity advertises in its PDUs'
         ``BUF`` field (the host wires this to its receive buffer).
+    joining:
+        Start as a *rejoining* incarnation: stay passive, broadcast join
+        requests until a sponsor's state snapshot arrives, then take part
+        in the re-admission view change (crash-recovery extension).
     """
 
     def __init__(
@@ -138,6 +183,7 @@ class COEntity:
         clock: Clock,
         trace: TraceLog,
         advertised_buf: Optional[Callable[[], int]] = None,
+        joining: bool = False,
     ):
         if n < 1:
             raise ProtocolError(f"cluster size must be >= 1, got {n}")
@@ -156,7 +202,12 @@ class COEntity:
         self.prl: CausalLog = CausalLog()
         #: Acknowledged log, in delivery order.
         self.arl: Log[DataPdu] = Log()
-        self.gaps = GapTracker(n)
+        self.gaps = GapTracker(
+            n,
+            backoff_cap=config.ret_backoff_cap,
+            backoff_jitter=config.ret_backoff_jitter,
+            owner=index,
+        )
         #: preack_floor[j]: every PDU from E_j with seq below this has been
         #: pre-acknowledged locally (same-source pre-acks are in seq order).
         self._preack_floor: List[int] = [1] * n
@@ -182,6 +233,44 @@ class COEntity:
         #: Membership extension state.
         self.suspected: Set[int] = set()
         self._last_heard: List[float] = [clock()] * n
+        #: When each currently-suspected member was first suspected (drives
+        #: the eviction timeout of the view-change extension).
+        self._suspect_since: Dict[int, float] = {}
+        #: View-change extension state.  ``view`` is the installed view
+        #: number (0 = the initial full-membership view); ``members`` the
+        #: installed member set; ``view_log`` the install history used by
+        #: the view-safety invariants.
+        self.view: int = 0
+        self.members: Set[int] = set(range(n))
+        self.evicted: Set[int] = set()
+        self.view_log: List[Tuple[int, Tuple[int, ...]]] = [
+            (0, tuple(range(n))),
+        ]
+        #: Highest view each peer has announced (heartbeat ``view`` field).
+        self._peer_view: List[int] = [0] * n
+        #: The in-progress membership agreement, if any.
+        self._round: Optional[ViewChangeRound] = None
+        #: Fence caps per removed member: data PDUs from ``m`` are admitted
+        #: only below ``_flush_cap[m]`` (``None`` while the flush vector is
+        #: still unknown — then nothing new from ``m`` is admitted).
+        self._flush_cap: Dict[int, Optional[int]] = {}
+        #: The install PDU of the last view this entity installed, re-sent
+        #: while some live peer demonstrably lags behind the view.
+        self._last_install_pdu: Optional[ViewChangePdu] = None
+        self._install_resend_at: float = -1e18
+        #: Rejoin (crash-recovery) state.
+        self.joining = joining
+        self._join_primed = False
+        self._last_join_at: float = -1e18
+        self._last_state_served_at: float = -1e18
+        #: Delivered-prefix ids recovered from the sponsor's snapshot, for
+        #: the application to fetch old payloads out of band.
+        self.recovered_prefix: Tuple[Tuple[int, int], ...] = ()
+        if joining and config.evict_timeout is None:
+            raise ProtocolError(
+                "a joining engine needs the view-change extension "
+                "(config.evict_timeout) on the cluster"
+            )
         #: Application data waiting for the flow condition: (data, size).
         self._pending: Deque[Tuple[Any, int]] = deque()
         #: Sources heard from since this entity's last transmission.
@@ -233,32 +322,97 @@ class COEntity:
             # field exists precisely to demultiplex this): not ours, drop.
             self.counters.foreign_cluster += 1
             return
+        if self.joining and not self._join_primed:
+            # Before the snapshot lands, this incarnation has no usable
+            # frontier: anything but the snapshot itself would be folded
+            # into bogus (reset) state.
+            if isinstance(pdu, StatePdu):
+                self._on_state(pdu)
+            return
         src = getattr(pdu, "src", None)
         if src is not None and 0 <= src < self.n and src != self.index:
-            self._last_heard[src] = self.now
-            if src in self.suspected:
-                self._unsuspect(src)
+            if self._is_removed(src):
+                # View fence: an evicted (or being-removed) member's
+                # data-plane traffic must not advance anyone's knowledge —
+                # only the membership control PDUs and the flushed prefix
+                # pass.  Its chatter also cannot revoke the suspicion.
+                if not self._fence_admits(src, pdu):
+                    return
+            else:
+                self._last_heard[src] = self.now
+                if src in self.suspected:
+                    self._unsuspect(src)
         if isinstance(pdu, DataPdu):
             self._on_data(pdu)
         elif isinstance(pdu, RetPdu):
             self._on_ret(pdu)
         elif isinstance(pdu, HeartbeatPdu):
             self._on_heartbeat(pdu)
+        elif isinstance(pdu, ViewChangePdu):
+            self._on_view_change(pdu)
+        elif isinstance(pdu, JoinPdu):
+            self._on_join(pdu)
+        elif isinstance(pdu, StatePdu):
+            self._on_state(pdu)
         else:
             raise ProtocolError(f"unknown PDU type: {type(pdu).__name__}")
+
+    def _is_removed(self, src: int) -> bool:
+        """Is ``src`` evicted, or being removed by the pending round?"""
+        if src in self.evicted:
+            return True
+        r = self._round
+        return r is not None and src in self.members and src not in r.members
+
+    def _fence_admits(self, src: int, pdu: Any) -> bool:
+        """Decide whether a removed member's PDU passes the view fence.
+
+        Membership control PDUs always pass (they are how the member
+        rejoins).  Data PDUs pass only below the flush cap — the agreed
+        flush vector pins exactly which of the member's PDUs belong to the
+        old view; everything at or above it never existed as far as the
+        surviving views are concerned.  While the cap is still unknown
+        (round agreed but not installed) nothing new is admitted, which is
+        what makes every member's AGREE vector an upper bound the flush
+        max cannot miss.  Retransmissions of the flushed prefix served by
+        peers carry the original source, so they pass the same test.
+        RET requests also pass: a primed joiner fetches the flushed prefix
+        it is missing *before* its re-admission installs, and answering a
+        request advances no one's knowledge.
+        """
+        if isinstance(pdu, (JoinPdu, ViewChangePdu, StatePdu, RetPdu)):
+            return True
+        if isinstance(pdu, DataPdu):
+            cap = self._flush_cap.get(src)
+            if cap is not None and pdu.seq < cap:
+                return True
+        self.counters.fenced += 1
+        self._trace.record(
+            self.now, "fence", self.index,
+            src=src, kind=type(pdu).__name__, seq=getattr(pdu, "seq", None),
+        )
+        return False
 
     def on_tick(self) -> None:
         """Periodic housekeeping: RET retries, deferred confirmation, flow retry."""
         now = self.now
+        if self.joining:
+            # A rejoining incarnation is passive: it only solicits a state
+            # snapshot / re-admission until a view change admits it.
+            self._join_tick(now)
+            return
         timeout = self.config.suspect_timeout
         if timeout is not None:
-            for j in range(self.n):
-                if j == self.index or j in self.suspected:
+            for j in self.members:
+                if j == self.index or j in self.suspected or j in self.evicted:
                     continue
                 if now - self._last_heard[j] >= timeout:
                     self._suspect(j)
+            self._maybe_propose_eviction(now)
+        self._drive_view_round(now)
         for gap in self.gaps.due(now, self.config.ret_timeout):
             self._send_ret(gap.src, gap.upto)
+        self.counters.ret_retries = self.gaps.total_retries
         # While this entity is still waiting on the cluster — undrained
         # logs, open gaps, or data blocked by the flow window — keep
         # repeating the confirmation as a *probe* even if nothing changed:
@@ -527,10 +681,12 @@ class COEntity:
                     self._send(replace(pdu, buf=self._advertised_buf()))
                 else:
                     self.counters.retransmissions_suppressed += 1
-        elif r.lsrc in self.suspected:
+        elif r.lsrc in self.suspected or r.lsrc in self.evicted:
             # Peer-assisted retransmission (membership extension): the
-            # source is presumed crashed, so any live holder re-serves its
-            # PDUs from the peer store.
+            # source is presumed crashed — or has been evicted for good —
+            # so any live holder re-serves its PDUs from the peer store
+            # (after an eviction, only the flushed prefix is retained, and
+            # that is exactly what a laggard or primed joiner can need).
             store = self._peer_store[r.lsrc]
             hi = min(r.requested_upto, max(store, default=0) + 1)
             for seq in range(r.requested_from, hi):
@@ -553,6 +709,8 @@ class COEntity:
     # Heartbeats (quiescence extension, DESIGN.md §2)
     # ------------------------------------------------------------------
     def _on_heartbeat(self, h: HeartbeatPdu) -> None:
+        if h.view > self._peer_view[h.src]:
+            self._peer_view[h.src] = h.view
         al_changed = self._merge_al(h.src, h.ack)
         pal_changed = self.state.merge_pal(h.src, h.pack)
         if al_changed or pal_changed or h.buf > self.state.buf[h.src]:
@@ -580,6 +738,10 @@ class COEntity:
             and self.now - self._last_send_time >= self.config.deferred_interval
         ):
             self._send_confirmation(force=True, resend=True, probe=False)
+        if h.view < self.view:
+            # The peer missed a view installation (its heartbeat still
+            # announces the old view): re-send the install, rate-limited.
+            self._resend_install_to_laggards()
         self._pump()
 
     # ------------------------------------------------------------------
@@ -767,6 +929,7 @@ class COEntity:
         revocable: any PDU from ``j`` re-includes it.
         """
         self.suspected.add(j)
+        self._suspect_since.setdefault(j, self.now)
         self.state.set_excluded(j, True)
         self._heard_from.discard(j)
         self._trace.record(
@@ -782,8 +945,421 @@ class COEntity:
     def _unsuspect(self, j: int) -> None:
         """A suspected entity spoke: re-include it (it was merely slow)."""
         self.suspected.discard(j)
+        self._suspect_since.pop(j, None)
         self.state.set_excluded(j, False)
         self._trace.record(self.now, "unsuspect", self.index, src=j)
+
+    # ------------------------------------------------------------------
+    # View change: agreed eviction + flush (crash-recovery extension)
+    # ------------------------------------------------------------------
+    @property
+    def _live_members(self) -> Set[int]:
+        return self.members - self.suspected
+
+    @property
+    def _is_coordinator(self) -> bool:
+        live = self._live_members
+        return bool(live) and self.index == min(live)
+
+    def _maybe_propose_eviction(self, now: float) -> None:
+        """Coordinator: promote over-ripe suspicions to an eviction round.
+
+        Only the lowest live member proposes (one coordinator per view
+        avoids duelling rounds), and only while the surviving members keep
+        a strict majority of the installed view — a minority partition
+        stalls rather than splitting the brain.
+        """
+        et = self.config.evict_timeout
+        if et is None or self._round is not None or not self._is_coordinator:
+            return
+        overripe = {
+            j
+            for j in (self.members & self.suspected)
+            if now - self._suspect_since.get(j, now) >= et
+        }
+        if not overripe:
+            return
+        survivors = self.members - overripe
+        if self.index not in survivors or 2 * len(survivors) <= len(self.members):
+            return
+        self._start_round(
+            view_id=self.view + 1,
+            new_members=tuple(sorted(survivors)),
+            now=now,
+        )
+
+    def _start_round(self, view_id: int, new_members: Tuple[int, ...], now: float) -> None:
+        self._round = ViewChangeRound(
+            view_id=view_id,
+            members=new_members,
+            proposer=self.index,
+            agreed={self.index: self.state.req_vector()},
+            last_sent=now,
+            adopted_at=now,
+        )
+        self._apply_round_fences()
+        self.counters.view_proposals += 1
+        self._trace.record(
+            self.now, "view-propose", self.index,
+            view=view_id, members=list(new_members),
+        )
+        self._send_view_pdu("propose")
+
+    def _send_view_pdu(self, phase: str) -> None:
+        r = self._round
+        self._send(ViewChangePdu(
+            cid=self.config.cluster_id,
+            src=self.index,
+            view=r.view_id,
+            phase=phase,
+            members=r.members,
+            ack=self.state.req_vector(),
+            buf=self._advertised_buf(),
+            flush=r.flush if phase == "install" else (),
+        ))
+
+    def _apply_round_fences(self) -> None:
+        """Fence members the pending round removes (caps once flush known)."""
+        r = self._round
+        if r is None:
+            return
+        for m in self.members - set(r.members):
+            self._flush_cap[m] = r.flush[m] if r.flush is not None else None
+            self._heard_from.discard(m)
+            # The removed member no longer gates progress even before the
+            # install: agreement to remove it is already underway.
+            if m not in self.suspected and m != self.index:
+                self._suspect(m)
+
+    def _on_view_change(self, vc: ViewChangePdu) -> None:
+        """One phase PDU of a membership agreement arrived."""
+        self._merge_al(vc.src, vc.ack)
+        self.state.update_buf(vc.src, vc.buf)
+        self._check_ack_gaps(vc.ack, carrier=vc.src)
+        if vc.view <= self.view:
+            # A peer is re-running a view we already installed: help it
+            # converge by re-sending our install (rate-limited).
+            self._resend_install_to_laggards()
+        else:
+            self._adopt_or_update_round(vc)
+        self._pack_action()
+        self._pump()
+
+    def _adopt_or_update_round(self, vc: ViewChangePdu) -> None:
+        if self.index not in vc.members:
+            # A round that removes *us* (we are the partitioned minority in
+            # the majority's eyes): never adopt or countersign it.  If it
+            # installs, our traffic is fenced and re-entry goes through the
+            # join protocol at host level.
+            return
+        r = self._round
+        adopt = (
+            r is None
+            or vc.view > r.view_id
+            or (vc.view == r.view_id and vc.members != r.members
+                and vc.src < r.proposer)
+        )
+        if adopt:
+            self._round = r = ViewChangeRound(
+                view_id=vc.view,
+                members=vc.members,
+                proposer=vc.src if vc.phase == "propose" else min(vc.members),
+                adopted_at=self.now,
+            )
+            self._apply_round_fences()
+        if r.view_id != vc.view or r.members != vc.members:
+            return  # a conflicting round we are not following
+        # The sender's ACK vector counts as its agreement for every phase:
+        # propose implies the proposer agrees, agree is explicit, and an
+        # install carries the coordinator's final word.
+        newly = vc.src not in r.agreed
+        r.agreed[vc.src] = vc.ack
+        if self.index not in r.agreed or (vc.phase == "propose" and newly):
+            r.agreed[self.index] = self.state.req_vector()
+            self._trace.record(
+                self.now, "view-agree", self.index,
+                view=r.view_id, members=list(r.members),
+            )
+            r.last_sent = self.now
+            self._send_view_pdu("agree")
+        if vc.phase == "install" and vc.flush:
+            r.flush = tuple(vc.flush)
+            self._apply_round_fences()
+            # The flush vector is delivery evidence: fetch whatever it
+            # covers that we have not accepted yet (peer-assisted for the
+            # removed members' PDUs).
+            self._check_ack_gaps(r.flush, carrier=vc.src)
+        self._maybe_publish_flush()
+        self._try_install()
+
+    def _maybe_publish_flush(self) -> None:
+        """Coordinator: all members agreed — publish the flush vector."""
+        r = self._round
+        if (
+            r is None
+            or r.proposer != self.index
+            or r.flush is not None
+            or any(m not in r.agreed for m in r.members)
+        ):
+            return
+        vectors = [r.agreed[m] for m in r.members]
+        r.flush = tuple(max(v[k] for v in vectors) for k in range(self.n))
+        self._apply_round_fences()
+        r.last_sent = self.now
+        self._send_view_pdu("install")
+        self._try_install()
+
+    def _try_install(self) -> None:
+        """Install the agreed view once our REQ covers the flush vector.
+
+        The flush barrier is the no-delivery-gap rule: every PDU any
+        agreeing member had accepted (in particular the removed members'
+        stable-but-undelivered tail) is accepted *here* before the old
+        view's gating rows disappear, so the shrunken minima can only
+        release PDUs every survivor holds.
+        """
+        r = self._round
+        if r is None or r.flush is None:
+            return
+        if any(self.state.req[k] < r.flush[k] for k in range(self.n)):
+            return  # still fetching the flushed prefix; RET timers drive it
+        removed = self.members - set(r.members)
+        added = set(r.members) - self.members
+        for m in removed:
+            self.evicted.add(m)
+            self.suspected.discard(m)
+            self._suspect_since.pop(m, None)
+            self._flush_cap[m] = r.flush[m]
+            self.state.set_evicted(m, True)
+            self.counters.evictions += 1
+            self._trace.record(
+                self.now, "evict", self.index, src=m, flush=r.flush[m],
+            )
+        for m in added:
+            if m == self.index:
+                continue  # our own re-admission is handled below
+            # Raise the returning member's stale rows to its announced
+            # frontier before its rows gate the minima again.
+            if m in r.agreed:
+                self.state.merge_al(m, r.agreed[m])
+                self.state.merge_pal(m, r.agreed[m])
+            self.evicted.discard(m)
+            self._flush_cap.pop(m, None)
+            self.state.set_evicted(m, False)
+            self.suspected.discard(m)
+            self._suspect_since.pop(m, None)
+            self._last_heard[m] = self.now
+            self._trace.record(self.now, "readmit", self.index, src=m)
+        self.members = set(r.members)
+        self.view = r.view_id
+        self.view_log.append((r.view_id, tuple(sorted(r.members))))
+        self._peer_view[self.index] = r.view_id
+        self.counters.view_installs += 1
+        self._trace.record(
+            self.now, "view-install", self.index,
+            view=r.view_id, members=list(r.members), flush=list(r.flush),
+        )
+        self._last_install_pdu = ViewChangePdu(
+            cid=self.config.cluster_id,
+            src=self.index,
+            view=r.view_id,
+            phase="install",
+            members=r.members,
+            ack=self.state.req_vector(),
+            buf=self._advertised_buf(),
+            flush=r.flush,
+        )
+        self._round = None
+        if self.index in added or self.joining and self.index in self.members:
+            # Re-admitted: become a full member again.
+            self.joining = False
+            self._join_primed = False
+            self._last_heard = [self.now] * self.n
+        # Membership changed under every condition: re-run the pipeline for
+        # every source, and announce the new view at once (the heartbeat
+        # carries it).
+        self._pack_dirty.update(range(self.n))
+        self._pack_action()
+        self._send_confirmation(force=True, resend=True)
+
+    def _drive_view_round(self, now: float) -> None:
+        """Retry the pending round's phase PDUs; they travel a lossy world."""
+        r = self._round
+        if r is not None:
+            if (
+                r.proposer != self.index
+                and r.proposer in self.suspected
+                and now - r.adopted_at >= 4 * (self.config.evict_timeout or 0.0)
+                and r.flush is None
+            ):
+                # The coordinator died mid-round before publishing a flush:
+                # abandon, lift the fences, and let the next coordinator
+                # propose afresh.
+                for m in self.members - set(r.members):
+                    self._flush_cap.pop(m, None)
+                self._round = None
+                return
+            if now - r.last_sent >= self.config.ret_timeout:
+                r.last_sent = now
+                if r.proposer == self.index:
+                    self._send_view_pdu("install" if r.flush is not None else "propose")
+                elif self.index in r.members:
+                    self._send_view_pdu("agree")
+            self._try_install()
+            return
+        self._resend_install_to_laggards()
+
+    def _resend_install_to_laggards(self) -> None:
+        """Re-send our last install while a live member trails the view."""
+        pdu = self._last_install_pdu
+        if pdu is None:
+            return
+        laggards = [
+            m for m in self.members
+            if m != self.index and self._peer_view[m] < self.view
+        ]
+        if not laggards:
+            return
+        if self.now - self._install_resend_at < self.config.ret_timeout:
+            return
+        self._install_resend_at = self.now
+        self._send(replace(pdu, ack=self.state.req_vector(), buf=self._advertised_buf()))
+
+    # ------------------------------------------------------------------
+    # Rejoin: join request + state transfer (crash-recovery extension)
+    # ------------------------------------------------------------------
+    def _join_tick(self, now: float) -> None:
+        """Rejoining incarnation: solicit a snapshot, then re-admission."""
+        if self._join_primed:
+            # Primed: the re-admission round and the fetch of the missing
+            # flushed prefix need their retry timers even while joining.
+            self._drive_view_round(now)
+            for gap in self.gaps.due(now, self.config.ret_timeout):
+                self._send_ret(gap.src, gap.upto)
+        if now - self._last_join_at < 2 * self.config.deferred_interval:
+            return
+        self._last_join_at = now
+        self.counters.joins_sent += 1
+        self._trace.record(
+            self.now, "join", self.index, ready=self._join_primed,
+        )
+        self._send(JoinPdu(
+            cid=self.config.cluster_id,
+            src=self.index,
+            buf=self._advertised_buf(),
+            ready=self._join_primed,
+        ))
+
+    def _on_join(self, j: JoinPdu) -> None:
+        """A crashed-and-restarted member asks to re-enter the cluster."""
+        if self.joining or j.src == self.index:
+            return
+        if j.src not in self.evicted:
+            # Either never evicted (a restart raced the eviction — the
+            # suspicion machinery will evict the silent old incarnation
+            # first) or already re-admitted (stale retry): nothing to do.
+            return
+        if not self._is_coordinator:
+            return  # the sponsor is the coordinator — one snapshot, one round
+        if not j.ready:
+            if self.now - self._last_state_served_at < 2 * self.config.deferred_interval:
+                return
+            self._last_state_served_at = self.now
+            self.counters.state_transfers += 1
+            self._trace.record(
+                self.now, "state-transfer", self.index, joiner=j.src,
+            )
+            self._send(StatePdu(
+                cid=self.config.cluster_id,
+                src=self.index,
+                joiner=j.src,
+                view=self.view,
+                members=tuple(sorted(self.members)),
+                ack=self.state.req_vector(),
+                pack=tuple(self._preack_floor),
+                buf=self._advertised_buf(),
+                prefix=tuple(
+                    p.pdu_id for p in self.arl if not p.is_null
+                ),
+            ))
+            return
+        if self._round is not None:
+            return  # re-admission starts once the current round settles
+        self._trace.record(self.now, "view-propose", self.index,
+                           view=self.view + 1,
+                           members=sorted(self.members | {j.src}))
+        self.counters.view_proposals += 1
+        self._round = ViewChangeRound(
+            view_id=self.view + 1,
+            members=tuple(sorted(self.members | {j.src})),
+            proposer=self.index,
+            agreed={self.index: self.state.req_vector()},
+            last_sent=self.now,
+            adopted_at=self.now,
+        )
+        self._send_view_pdu("propose")
+
+    def _on_state(self, s: StatePdu) -> None:
+        """A sponsor's snapshot arrived."""
+        if s.joiner == self.index and self.joining:
+            if not self._join_primed:
+                self._apply_snapshot(s)
+            return
+        # Bystanders fold the sponsor's vectors as ordinary knowledge.
+        self._merge_al(s.src, s.ack)
+        self.state.merge_pal(s.src, s.pack)
+        self.state.update_buf(s.src, s.buf)
+        self._check_ack_gaps(s.ack, carrier=s.src)
+        self._pack_action()
+        self._pump()
+
+    def _apply_snapshot(self, s: StatePdu) -> None:
+        """Prime this rejoining incarnation at the sponsor's frontier.
+
+        The eviction flush pinned every survivor's expectation of us at
+        exactly the flush value, so we resume our own numbering there; our
+        REQ jumps to the sponsor's frontier, below which everything is
+        already delivered cluster-wide (we record those ids in
+        ``recovered_prefix`` instead of re-delivering them).
+        """
+        self.view = s.view
+        self.members = set(s.members)
+        self.view_log.append((s.view, tuple(sorted(s.members))))
+        self._peer_view[s.src] = max(self._peer_view[s.src], s.view)
+        # Whoever the snapshot's member list omits was evicted while we
+        # were down (membership only shrinks by eviction): mirror that, or
+        # their frozen initial rows would gate our minima forever.
+        self.evicted = set(range(self.n)) - self.members - {self.index}
+        for m in self.evicted:
+            self._flush_cap.setdefault(m, None)
+            self.state.set_evicted(m, True)
+        self.state.req = list(s.ack)
+        self.sl.start_at(s.ack[self.index])
+        self._preack_floor = list(s.pack)
+        self.state.merge_al(self.index, s.ack)
+        self.state.merge_al(s.src, s.ack)
+        self.state.merge_pal(self.index, s.pack)
+        self.state.merge_pal(s.src, s.pack)
+        self.state.update_buf(s.src, s.buf)
+        self.recovered_prefix = tuple(s.prefix)
+        self._join_primed = True
+        self._last_heard = [self.now] * self.n
+        self._trace.record(
+            self.now, "state-transfer", self.index,
+            sponsor=s.src, view=s.view, applied=True,
+            frontier=list(s.ack), prefix=len(s.prefix),
+        )
+        # Announce readiness immediately — the sponsor's re-admission round
+        # is waiting on it.
+        self._last_join_at = self.now
+        self.counters.joins_sent += 1
+        self._trace.record(self.now, "join", self.index, ready=True)
+        self._send(JoinPdu(
+            cid=self.config.cluster_id,
+            src=self.index,
+            buf=self._advertised_buf(),
+            ready=True,
+        ))
 
     # ------------------------------------------------------------------
     # Deferred confirmation (§5)
@@ -793,8 +1369,8 @@ class COEntity:
         if self.config.confirmation is ConfirmationMode.IMMEDIATE:
             self._send_confirmation(force=False)
             return
-        live_others = self.n - 1 - len(self.suspected)
-        if live_others and len(self._heard_from - self.suspected) >= live_others:
+        live_others = self.members - {self.index} - self.suspected
+        if live_others and len(self._heard_from & live_others) >= len(live_others):
             self._send_confirmation(force=False)
 
     def _send_confirmation(self, force: bool, resend: bool = False, probe: bool = False) -> None:
@@ -807,6 +1383,10 @@ class COEntity:
         ``resend`` bypasses the nothing-new suppression, repeating the last
         heartbeat — the loss-recovery path for unsequenced control PDUs.
         """
+        if self.joining:
+            # A rejoining incarnation has no confirmable state yet; its only
+            # voice is the join protocol.
+            return
         if self._pending:
             if self._pump():
                 return
@@ -838,6 +1418,7 @@ class COEntity:
             # Fresh confirmations and probe *answers* are not probes, so
             # answering cannot ping-pong between drained entities.
             probe=probe,
+            view=self.view,
         )
         self.counters.sent_heartbeats += 1
         self._trace.record(self.now, "heartbeat", self.index)
@@ -879,6 +1460,8 @@ class COEntity:
             and self.rrl.total == 0
             and not self.prl
             and all(not s for s in self._stash)
+            and self._round is None
+            and not self.joining
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

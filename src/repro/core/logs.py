@@ -173,6 +173,21 @@ class SendingLog:
         self._min_retained = 1
         self._next_seq = 1
 
+    def start_at(self, seq: int) -> None:
+        """Resume numbering at ``seq`` (rejoin after state transfer).
+
+        The eviction flush pins every surviving member's ``REQ`` for this
+        entity at exactly the flush value, so a rejoining incarnation must
+        continue from there — reusing flushed numbers would alias old PDUs.
+        Only valid on a virgin log (nothing sent yet).
+        """
+        if self._by_seq or self._next_seq != 1:
+            raise ValueError("start_at is only valid on an empty sending log")
+        if seq < 1:
+            raise ValueError(f"sequence numbers start at 1, got {seq}")
+        self._next_seq = seq
+        self._min_retained = seq
+
     def append(self, pdu: DataPdu) -> None:
         """Record a freshly sent PDU (sequence numbers must be consecutive)."""
         if pdu.seq != self._next_seq:

@@ -38,7 +38,10 @@ _INT_BYTES = 4
 #: CID + SRC + SEQ + BUF for data PDUs; CID + SRC + LSRC + LSEQ + BUF for RET.
 _DATA_FIXED_FIELDS = 4
 _RET_FIXED_FIELDS = 5
-_HEARTBEAT_FIXED_FIELDS = 3  # CID + SRC + BUF
+_HEARTBEAT_FIXED_FIELDS = 4  # CID + SRC + BUF + VIEW
+_VIEWCHANGE_FIXED_FIELDS = 5  # CID + SRC + VIEW + PHASE + BUF
+_JOIN_FIXED_FIELDS = 4  # CID + SRC + READY + BUF
+_STATE_FIXED_FIELDS = 5  # CID + SRC + JOINER + VIEW + BUF
 
 
 @dataclass(frozen=True)
@@ -171,6 +174,10 @@ class HeartbeatPdu:
     pack: Tuple[int, ...]
     buf: int
     probe: bool = False
+    #: The sender's installed view number (view-change extension).  Peers
+    #: use it to detect members that missed a view installation and re-send
+    #: the INSTALL; ``0`` is the initial (full-membership) view.
+    view: int = 0
 
     is_control = True
 
@@ -183,3 +190,118 @@ class HeartbeatPdu:
 
     def __str__(self) -> str:
         return f"HB(src=E{self.src}, ack={list(self.ack)}, pack={list(self.pack)})"
+
+
+@dataclass(frozen=True)
+class ViewChangePdu:
+    """Membership-agreement control PDU (view-change extension, DESIGN.md §8).
+
+    One view change runs in three phases, all broadcast:
+
+    * ``propose`` — the coordinator (lowest live member) names the next view
+      ``view`` and its member set;
+    * ``agree`` — each proposed member echoes the round and contributes its
+      ``ack`` (REQ) vector, fencing the removed members' new data;
+    * ``install`` — the coordinator publishes the **flush vector**: the
+      element-wise max of every agreed ``ack``.  A member installs the view
+      once its own ``REQ`` covers the flush vector, so every stable PDU of
+      the old view is delivered at every surviving member before the
+      membership shrinks (no delivery gap across views).
+
+    ``ack`` always carries the sender's live REQ vector and is merged into
+    knowledge like any other PDU's; ``flush`` is empty except on install.
+    """
+
+    cid: int
+    src: int
+    view: int
+    phase: str  # "propose" | "agree" | "install"
+    members: Tuple[int, ...]
+    ack: Tuple[int, ...]
+    buf: int
+    flush: Tuple[int, ...] = ()
+
+    is_control = True
+
+    def __post_init__(self) -> None:
+        if self.view < 1:
+            raise ValueError(f"view numbers start at 1, got {self.view}")
+        if self.phase not in ("propose", "agree", "install"):
+            raise ValueError(f"unknown view-change phase {self.phase!r}")
+        if self.phase == "install" and len(self.flush) != len(self.ack):
+            raise ValueError("install PDUs must carry a full flush vector")
+
+    def wire_size(self) -> int:
+        vectors = len(self.members) + len(self.ack) + len(self.flush)
+        return (_VIEWCHANGE_FIXED_FIELDS + vectors) * _INT_BYTES
+
+    def __str__(self) -> str:
+        return (
+            f"VC(src=E{self.src}, view={self.view}, {self.phase}, "
+            f"members={list(self.members)})"
+        )
+
+
+@dataclass(frozen=True)
+class JoinPdu:
+    """A restarted entity's request to re-enter the cluster.
+
+    ``ready=False`` asks a live sponsor for a state snapshot;
+    ``ready=True`` announces that the snapshot has been applied and the
+    sender can take part in the re-admission view change.
+    """
+
+    cid: int
+    src: int
+    buf: int
+    ready: bool = False
+
+    is_control = True
+
+    def wire_size(self) -> int:
+        return _JOIN_FIXED_FIELDS * _INT_BYTES
+
+    def __str__(self) -> str:
+        return f"JOIN(src=E{self.src}, ready={self.ready})"
+
+
+@dataclass(frozen=True)
+class StatePdu:
+    """A sponsor's state snapshot for a joining entity.
+
+    Carries the sponsor's installed ``view`` and member set, its REQ
+    frontier (``ack``) and pre-acknowledgment floor (``pack``), and the
+    identities of its delivered prefix (``prefix``, as ``(src, seq)``
+    pairs).  The joiner resumes **at the frontier**: its next own sequence
+    number is ``ack[joiner]`` (the eviction flush pinned every member's
+    expectation there), and it will never re-deliver the prefix — the
+    recovered prefix ids let the application fetch old payloads out of
+    band.  Broadcast; entities other than ``joiner`` fold the vectors as
+    ordinary knowledge.
+    """
+
+    cid: int
+    src: int
+    joiner: int
+    view: int
+    members: Tuple[int, ...]
+    ack: Tuple[int, ...]
+    pack: Tuple[int, ...]
+    buf: int
+    prefix: Tuple[Tuple[int, int], ...] = ()
+
+    is_control = True
+
+    def __post_init__(self) -> None:
+        if len(self.ack) != len(self.pack):
+            raise ValueError("ack and pack vectors must have equal length")
+
+    def wire_size(self) -> int:
+        vectors = len(self.members) + 2 * len(self.ack) + 2 * len(self.prefix)
+        return (_STATE_FIXED_FIELDS + vectors) * _INT_BYTES
+
+    def __str__(self) -> str:
+        return (
+            f"STATE(src=E{self.src}, joiner=E{self.joiner}, view={self.view}, "
+            f"frontier={list(self.ack)})"
+        )

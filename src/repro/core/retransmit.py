@@ -34,22 +34,49 @@ class Gap:
     detected_at: float
     #: When a RET for this gap was last sent.
     last_ret_at: float
+    #: Timer-driven re-requests issued so far (drives the backoff).
+    retries: int = 0
 
 
 class GapTracker:
-    """Open gaps per source, with RET retry scheduling."""
+    """Open gaps per source, with RET retry scheduling.
 
-    def __init__(self, n: int):
+    Re-requests back off exponentially: retry ``r`` waits
+    ``timeout * min(2^r, backoff_cap)`` (plus deterministic jitter from the
+    second retry on), so survivors polling a *crashed* source decay to a
+    capped cadence instead of sustaining a fixed-rate REQ storm.  The
+    defaults (``backoff_cap=1``) keep the paper's fixed cadence; the engine
+    opts in via :class:`~repro.core.config.ProtocolConfig`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        backoff_cap: int = 1,
+        backoff_jitter: float = 0.0,
+        owner: int = 0,
+    ):
         self._gaps: Dict[int, Gap] = {}
         self.n = n
+        self.owner = owner
+        if backoff_cap < 1:
+            raise ValueError(f"backoff_cap must be >= 1, got {backoff_cap}")
+        if not 0.0 <= backoff_jitter <= 1.0:
+            raise ValueError(f"backoff_jitter must be in [0, 1], got {backoff_jitter}")
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
         #: Total gap-detection events (both F conditions), for metrics.
         self.detections = 0
+        #: Total timer-driven re-requests (the backed-off retries).
+        self.total_retries = 0
 
     def note(self, src: int, upto: int, now: float) -> bool:
         """Record evidence that PDUs from ``src`` below ``upto`` are missing.
 
         Returns ``True`` if this is *new* evidence (a fresh gap, or a known
         gap that grew), in which case the engine sends a RET immediately.
+        New evidence resets the retry backoff — the source (or a peer) is
+        demonstrably reachable again.
         """
         gap = self._gaps.get(src)
         if gap is None:
@@ -59,6 +86,7 @@ class GapTracker:
         if upto > gap.upto:
             gap.upto = upto
             gap.last_ret_at = now
+            gap.retries = 0
             self.detections += 1
             return True
         return False
@@ -73,12 +101,36 @@ class GapTracker:
         return self._gaps.get(src)
 
     def due(self, now: float, timeout: float) -> List[Gap]:
-        """Gaps whose last RET is older than ``timeout`` (re-request these)."""
+        """Gaps whose backed-off retry timer has expired (re-request these).
+
+        Returning a gap counts as issuing its retry: the backoff advances.
+        The first retry always waits exactly ``timeout`` (no jitter), so
+        recovery latency under transient loss is unchanged from the fixed
+        cadence; only the storm tail decays.
+        """
         overdue = []
         for gap in self._gaps.values():
-            if now - gap.last_ret_at >= timeout:
+            if now - gap.last_ret_at >= self._effective_timeout(gap, timeout):
                 overdue.append(gap)
+                gap.retries += 1
+                self.total_retries += 1
         return overdue
+
+    def _effective_timeout(self, gap: Gap, timeout: float) -> float:
+        if gap.retries == 0:
+            return timeout
+        multiplier = min(1 << gap.retries, self.backoff_cap)
+        wait = timeout * multiplier
+        if self.backoff_jitter:
+            # Deterministic jitter (no RNG: the sim must replay exactly):
+            # a hash of (requester, source, retry ordinal) spreads different
+            # survivors' retries for the same crashed source in time.
+            frac = (
+                (self.owner * 7368787 + gap.src * 2654435761 + gap.retries * 40503)
+                % 997
+            ) / 997.0
+            wait *= 1.0 + self.backoff_jitter * frac
+        return wait
 
     def mark_ret(self, src: int, now: float) -> None:
         gap = self._gaps.get(src)

@@ -90,6 +90,12 @@ class KnowledgeState:
         #: Observers excluded from every minimum (suspected crashed — the
         #: membership extension).  The owner can never exclude itself.
         self.excluded: List[bool] = [False] * n
+        #: Observers *evicted* by an agreed view change.  Eviction implies
+        #: exclusion and additionally removes the row from the all-rows
+        #: (pruning) minima: an evicted member will never come back asking
+        #: for retransmissions under its old incarnation, so its frozen
+        #: expectations stop pinning every store.
+        self.evicted: List[bool] = [False] * n
         # Cached column minima (minAL_k / minPAL_k) and the cached minBUF,
         # each minimum paired with a count of the live rows holding it: a
         # raise of a min-holding cell only forces the O(n) column recompute
@@ -148,6 +154,7 @@ class KnowledgeState:
         changed = False
         dirty: List[int] = []
         count_in_minima = not self.excluded[observer]
+        count_in_all = not self.evicted[observer]
         for k, value in enumerate(vector):
             old = row[k]
             if value <= old:
@@ -159,12 +166,12 @@ class KnowledgeState:
             # recompute runs and the column is dirty.  Monotone raises can
             # never land *on* the minimum from above, so the count stays
             # exact without ever incrementing outside a recompute.
-            if all_minima is not None and old == all_minima[k]:
+            if count_in_all and all_minima is not None and old == all_minima[k]:
                 all_counts[k] -= 1
                 if all_counts[k] == 0:
-                    new_min = min(r[k] for r in matrix)
+                    new_min = self._column_min_all(matrix, k)
                     all_minima[k] = new_min
-                    all_counts[k] = sum(1 for r in matrix if r[k] == new_min)
+                    all_counts[k] = self._column_count_all(matrix, k, new_min)
             if count_in_minima and old == minima[k]:
                 counts[k] -= 1
                 if counts[k] == 0:
@@ -188,6 +195,20 @@ class KnowledgeState:
             1
             for row, excluded in zip(matrix, self.excluded)
             if not excluded and row[k] == value
+        )
+
+    def _column_min_all(self, matrix: List[List[int]], k: int) -> int:
+        return min(
+            row[k]
+            for row, evicted in zip(matrix, self.evicted)
+            if not evicted
+        )
+
+    def _column_count_all(self, matrix: List[List[int]], k: int, value: int) -> int:
+        return sum(
+            1
+            for row, evicted in zip(matrix, self.evicted)
+            if not evicted and row[k] == value
         )
 
     def update_buf(self, observer: int, buf: int) -> None:
@@ -232,17 +253,45 @@ class KnowledgeState:
             self._min_pal_count[k] = self._column_count(self.pal, k, self._min_pal[k])
         self._min_buf = self._buf_min()
 
+    def set_evicted(self, observer: int, evicted: bool = True) -> None:
+        """Evict (or re-admit) an observer — the view-change extension.
+
+        Eviction is exclusion made permanent: the row stops gating the
+        PACK/ACK conditions, the flow window, *and* the all-rows pruning
+        minima, so stores shrink again after a member dies for good.
+        Re-admission (``evicted=False``, the rejoin path) restores the row
+        everywhere; callers should first merge the returning member's
+        announced REQ vector into its row so its stale pre-crash
+        expectations do not drag the minima back down.
+        """
+        if observer == self.index:
+            raise ValueError("an entity cannot evict itself")
+        if self.evicted[observer] == evicted:
+            return
+        self.evicted[observer] = evicted
+        for k in range(self.n):
+            self._min_al_all[k] = self._column_min_all(self.al, k)
+            self._min_al_all_count[k] = self._column_count_all(
+                self.al, k, self._min_al_all[k],
+            )
+        # Eviction implies exclusion (and re-admission re-includes); the
+        # shared recompute keeps every cached minimum consistent.
+        if self.excluded[observer] != evicted:
+            self.set_excluded(observer, evicted)
+
     def live_observers(self) -> List[int]:
         """Indices currently counted in the minima."""
         return [j for j in range(self.n) if not self.excluded[j]]
 
     def min_al_all_rows(self, src: int) -> int:
-        """``minAL_src`` over *every* row, excluded or not.
+        """``minAL_src`` over every non-evicted row, excluded or not.
 
-        Used for pruning retransmission stores: a suspected entity may turn
-        out to be alive and come back asking, so nothing above what even the
-        suspects were last known to expect may be discarded.  O(1) via the
-        all-rows cache.
+        Used for pruning retransmission stores: a *suspected* entity may
+        turn out to be alive and come back asking, so nothing above what
+        even the suspects were last known to expect may be discarded.  An
+        *evicted* entity cannot — any return goes through the join/state-
+        transfer protocol at the current frontier — so its frozen row no
+        longer pins the stores.  O(1) via the all-rows cache.
         """
         return self._min_al_all[src]
 

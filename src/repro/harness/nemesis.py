@@ -1,0 +1,464 @@
+"""Deterministic nemesis: scripted fault injection with safety oracles.
+
+Jepsen-style fault campaigns for the simulated cluster, entirely
+deterministic: every fault (crash, restart, partition, duplication, frame
+corruption) is scheduled at fixed simulated times and every random draw
+comes from the seeded :class:`~repro.sim.rng.RngRegistry`, so a scenario's
+entire trace — including its failures — replays bit-for-bit from its seed.
+
+Each scenario runs a faulted cluster to quiescence and then asserts the
+**safety invariants** of the crash-recovery extension on top of the usual
+happened-before ordering oracle:
+
+* *view agreement* — no two engines ever installed the same view number
+  with different member sets, and all final members sit in the same view;
+* *prefix-consistent delivery* — per source, any two entities' delivery
+  logs are prefixes of one another (survivors: equal), so no delivery gap
+  opened across a view change;
+* *rejoin coverage* — a restarted member's own deliveries plus its
+  recovered snapshot prefix cover everything the survivors delivered, and
+  its per-source logs stay strictly increasing across incarnations;
+* *post-eviction progress* — broadcasts submitted after an eviction reach
+  the acknowledged level (they are delivered) at every surviving member,
+  and the survivors' sending logs prune back to empty (the evicted row no
+  longer pins the stores).
+
+Run from the command line::
+
+    python -m repro.harness.nemesis --seed 7 --verbose
+    python -m repro.harness.nemesis --scenario crash-evict-rejoin
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cluster import Cluster, build_cluster
+from repro.core.config import ProtocolConfig
+from repro.net.loss import (
+    BernoulliLoss,
+    CompositeLoss,
+    CorruptionLoss,
+    DuplicatingChannel,
+    LossModel,
+    PartitionLoss,
+)
+from repro.ordering.checker import verify_run
+from repro.sim.rng import RngRegistry
+
+MessageId = Tuple[int, int]
+
+#: Timing profile every scenario shares: fast suspicion and eviction so a
+#: whole campaign stays inside a CI-friendly simulated (and wall) budget.
+SUSPECT_TIMEOUT = 0.02
+EVICT_TIMEOUT = 0.05
+
+
+@dataclass
+class NemesisOutcome:
+    """Verdict of one scenario run."""
+
+    scenario: str
+    seed: int
+    ok: bool
+    detail: str = ""
+    #: Scenario-specific observations (view logs, counters) for reports
+    #: and for the determinism property test.
+    observations: Dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        flag = "ok " if self.ok else "FAIL"
+        return f"[{flag}] {self.scenario} (seed {self.seed}) {self.detail}"
+
+
+class InvariantViolation(AssertionError):
+    """A nemesis safety invariant did not hold."""
+
+
+# ----------------------------------------------------------------------
+# Safety invariants
+# ----------------------------------------------------------------------
+def check_view_agreement(engines: Sequence[Any], live: Sequence[int]) -> None:
+    """Same view sequence everywhere.
+
+    No two engines may have installed the same view number with different
+    member sets (that would be a split brain), and every live engine must
+    have converged to the same final view.
+    """
+    members_of: Dict[int, Tuple[int, ...]] = {}
+    for engine in engines:
+        for view_id, members in engine.view_log:
+            seen = members_of.setdefault(view_id, members)
+            if seen != members:
+                raise InvariantViolation(
+                    f"view {view_id} installed with different member sets: "
+                    f"{seen} vs {members} (E{engine.index})"
+                )
+    finals = {(engines[i].view, tuple(sorted(engines[i].members))) for i in live}
+    if len(finals) != 1:
+        raise InvariantViolation(f"live members disagree on the final view: {finals}")
+
+
+def per_source_logs(deliveries: Sequence[Any], n: int) -> List[List[int]]:
+    """Split one entity's delivery list into per-source seq sequences."""
+    logs: List[List[int]] = [[] for _ in range(n)]
+    for message in deliveries:
+        logs[message.src].append(message.seq)
+    return logs
+
+
+def check_prefix_consistency(cluster: Cluster, live: Sequence[int]) -> None:
+    """Per source, live entities' delivery logs are prefixes of one another.
+
+    This is the no-delivery-gap invariant: a view change may only *truncate*
+    a slower member's progress, never let two members deliver diverging
+    sequences from the same source.
+    """
+    n = cluster.n
+    split = {i: per_source_logs(cluster.delivered(i), n) for i in live}
+    for src in range(n):
+        for i in live:
+            for j in live:
+                if i >= j:
+                    continue
+                a, b = split[i][src], split[j][src]
+                short, long = (a, b) if len(a) <= len(b) else (b, a)
+                if long[: len(short)] != short:
+                    raise InvariantViolation(
+                        f"delivery divergence for source E{src}: "
+                        f"E{i} saw {a[:10]}..., E{j} saw {b[:10]}..."
+                    )
+
+
+def check_rejoin_coverage(cluster: Cluster, rejoined: int, survivors: Sequence[int]) -> None:
+    """The rejoined member missed nothing: own deliveries + snapshot prefix
+    cover every survivor delivery, and its logs stay strictly increasing
+    across the crash (no duplicate or regressed delivery between
+    incarnations)."""
+    n = cluster.n
+    engine = cluster.hosts[rejoined].engine
+    own = per_source_logs(cluster.delivered(rejoined), n)
+    for src in range(n):
+        seqs = own[src]
+        if any(b <= a for a, b in zip(seqs, seqs[1:])):
+            raise InvariantViolation(
+                f"rejoined E{rejoined} delivered non-increasing seqs from "
+                f"E{src}: {seqs}"
+            )
+    covered = {
+        (src, seq) for src in range(n) for seq in own[src]
+    } | set(engine.recovered_prefix)
+    reference = survivors[0]
+    expected = {
+        (message.src, message.seq) for message in cluster.delivered(reference)
+    }
+    missing = expected - covered
+    if missing:
+        raise InvariantViolation(
+            f"rejoined E{rejoined} covers neither by delivery nor by "
+            f"snapshot prefix: {sorted(missing)[:5]}"
+        )
+
+
+def check_post_eviction_ack(cluster: Cluster, payloads: Sequence[Any], live: Sequence[int]) -> None:
+    """Broadcasts submitted after the eviction reached every live member.
+
+    Delivery at the default delivery level *is* the acknowledged level, so
+    presence in every live delivery log proves the PACK→ACK ladder runs
+    with the shrunken membership.
+    """
+    for i in live:
+        delivered = {message.data for message in cluster.delivered(i)}
+        lost = [p for p in payloads if p not in delivered]
+        if lost:
+            raise InvariantViolation(
+                f"post-eviction broadcasts never reached ACK at E{i}: {lost}"
+            )
+
+
+def check_prune_resumption(cluster: Cluster, live: Sequence[int]) -> None:
+    """After an eviction, survivors' sending logs prune back to empty —
+    the dead member's frozen expectations no longer pin the stores."""
+    for i in live:
+        retained = cluster.hosts[i].engine.sl.retained
+        if retained:
+            raise InvariantViolation(
+                f"E{i} still retains {retained} sent PDUs after quiescence "
+                "(eviction failed to unpin the prune floor)"
+            )
+
+
+def _observations(cluster: Cluster, live: Sequence[int]) -> Dict[str, Any]:
+    """Determinism fingerprint: view logs + per-entity delivery ids."""
+    return {
+        "view_logs": {
+            i: list(cluster.hosts[i].engine.view_log) for i in range(cluster.n)
+        },
+        "deliveries": {
+            i: [(m.src, m.seq) for m in cluster.delivered(i)] for i in range(cluster.n)
+        },
+        "live": list(live),
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def _cluster(
+    n: int,
+    seed: int,
+    loss: Optional[LossModel] = None,
+    duplication: Optional[DuplicatingChannel] = None,
+    evict: bool = True,
+) -> Cluster:
+    config = ProtocolConfig(
+        suspect_timeout=SUSPECT_TIMEOUT,
+        evict_timeout=EVICT_TIMEOUT if evict else None,
+    )
+    return build_cluster(
+        n,
+        config=config,
+        loss=loss,
+        duplication=duplication,
+        rngs=RngRegistry(seed),
+    )
+
+
+def scenario_crash_evict_rejoin(seed: int) -> NemesisOutcome:
+    """Crash → agreed eviction → post-eviction traffic → rejoin → re-admit."""
+    name = "crash-evict-rejoin"
+    n, victim = 4, 2
+    cluster = _cluster(n, seed, loss=BernoulliLoss(0.05, protect_control=True))
+    survivors = [i for i in range(n) if i != victim]
+    for k in range(6):
+        cluster.submit(k % n, f"pre-{k}")
+    cluster.run_for(0.01)
+    cluster.crash(victim)
+    # Suspicion alone keeps the engines quiescent, so drive simulated time
+    # past suspect + evict timeouts (plus the agreement round trips) rather
+    # than waiting for quiescence here.
+    cluster.run_for(10 * (SUSPECT_TIMEOUT + EVICT_TIMEOUT))
+    views = {cluster.hosts[i].engine.view for i in survivors}
+    if views != {1}:
+        return NemesisOutcome(name, seed, False, f"no eviction view: {views}")
+    post = [f"post-{k}" for k in range(4)]
+    for k, payload in enumerate(post):
+        cluster.submit(survivors[k % len(survivors)], payload)
+    cluster.run_until_quiescent(max_time=60.0)
+    cluster.restart(victim)
+    cluster.run_until_quiescent(max_time=60.0)
+    rejoined = [f"rejoined-{k}" for k in range(2)]
+    cluster.submit(victim, rejoined[0])
+    cluster.submit(survivors[0], rejoined[1])
+    cluster.run_until_quiescent(max_time=60.0)
+    live = list(range(n))
+    try:
+        verify_run(cluster.trace, n, expect_all_delivered=False).assert_ok()
+        check_view_agreement(cluster.engines, live)
+        check_prefix_consistency(cluster, survivors)
+        check_rejoin_coverage(cluster, victim, survivors)
+        # The victim recovers the post-eviction broadcasts via the state
+        # snapshot, not its own delivery log — judge the survivors on
+        # those, and everyone on the post-rejoin round.
+        check_post_eviction_ack(cluster, post, survivors)
+        check_post_eviction_ack(cluster, rejoined, live)
+        check_prune_resumption(cluster, live)
+        if cluster.hosts[victim].engine.view < 2:
+            raise InvariantViolation("victim never re-admitted")
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    return NemesisOutcome(name, seed, True, "", _observations(cluster, live))
+
+
+def scenario_partition_heal(seed: int) -> NemesisOutcome:
+    """Symmetric split (no quorum on either side) healed before eviction.
+
+    The quorum guard must hold the membership steady — a 2/2 split of a
+    4-cluster may suspect across the boundary but can never install a
+    shrunken view — and after the heal both halves reconcile.
+    """
+    name = "partition-heal"
+    n = 4
+    partition = PartitionLoss()
+    cluster = _cluster(n, seed, loss=partition, evict=True)
+    cluster.sim.schedule(0.005, lambda: partition.split({0, 1}, {2, 3}))
+    cluster.sim.schedule(0.2, partition.heal)
+    for k in range(4):
+        cluster.submit(k % n, f"pre-{k}")
+    cluster.run_for(0.1)  # mid-partition traffic on both sides
+    cluster.submit(0, "left")
+    cluster.submit(2, "right")
+    cluster.run_for(0.15)  # cross the heal
+    cluster.run_until_quiescent(max_time=60.0)
+    live = list(range(n))
+    try:
+        verify_run(cluster.trace, n, expect_all_delivered=False).assert_ok()
+        check_view_agreement(cluster.engines, live)
+        check_prefix_consistency(cluster, live)
+        if any(engine.view != 0 for engine in cluster.engines):
+            raise InvariantViolation(
+                "a minority partition installed a view (split brain): "
+                f"{[e.view for e in cluster.engines]}"
+            )
+        check_post_eviction_ack(cluster, ["left", "right"], live)
+        if partition.partitioned_drops == 0:
+            raise InvariantViolation("partition never dropped anything")
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    return NemesisOutcome(name, seed, True, "", _observations(cluster, live))
+
+
+def scenario_duplication(seed: int) -> NemesisOutcome:
+    """A duplicating medium: bounded extra copies of every fifth PDU.
+
+    The acceptance condition must shed every duplicate — the ordering
+    oracle and exactly-once delivery do the judging.
+    """
+    name = "duplication"
+    n = 3
+    duplication = DuplicatingChannel(rate=0.2, max_extra=2)
+    cluster = _cluster(n, seed, duplication=duplication, evict=False)
+    for k in range(9):
+        cluster.submit(k % n, f"dup-{k}")
+    cluster.run_until_quiescent(max_time=60.0)
+    live = list(range(n))
+    try:
+        verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
+        check_prefix_consistency(cluster, live)
+        if duplication.duplicated == 0:
+            raise InvariantViolation("duplication channel never fired")
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    outcome = NemesisOutcome(name, seed, True, "", _observations(cluster, live))
+    outcome.observations["duplicated"] = duplication.duplicated
+    return outcome
+
+
+def scenario_corruption(seed: int) -> NemesisOutcome:
+    """A corrupting medium: random single-byte flips on encoded frames.
+
+    Every flip must be caught by the codec's CRC trailer (zero undetected
+    corruptions) and the protocol must recover the dropped frames like any
+    other loss.
+    """
+    name = "corruption"
+    n = 3
+    corruption = CorruptionLoss(rate=0.1)
+    cluster = _cluster(n, seed, loss=corruption, evict=False)
+    for k in range(9):
+        cluster.submit(k % n, f"crc-{k}")
+    cluster.run_until_quiescent(max_time=60.0)
+    live = list(range(n))
+    try:
+        verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
+        if corruption.undetected_corruptions:
+            raise InvariantViolation(
+                f"{corruption.undetected_corruptions} corrupted frames "
+                "slipped past the checksum"
+            )
+        if corruption.corrupt_frames == 0:
+            raise InvariantViolation("corruption fault never fired")
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    outcome = NemesisOutcome(name, seed, True, "", _observations(cluster, live))
+    outcome.observations["corrupt_frames"] = corruption.corrupt_frames
+    return outcome
+
+
+def scenario_combo(seed: int) -> NemesisOutcome:
+    """Everything at once: loss + duplication + a crash with eviction and
+    rejoin.  The kitchen-sink regression for the whole recovery stack."""
+    name = "combo"
+    n, victim = 5, 4
+    loss = CompositeLoss([BernoulliLoss(0.05, protect_control=True)])
+    duplication = DuplicatingChannel(rate=0.1, max_extra=1)
+    cluster = _cluster(n, seed, loss=loss, duplication=duplication)
+    survivors = [i for i in range(n) if i != victim]
+    for k in range(10):
+        cluster.submit(k % n, f"pre-{k}")
+    cluster.run_for(0.015)
+    cluster.crash(victim)
+    cluster.run_for(10 * (SUSPECT_TIMEOUT + EVICT_TIMEOUT))
+    if {cluster.hosts[i].engine.view for i in survivors} != {1}:
+        return NemesisOutcome(name, seed, False, "no eviction under combo faults")
+    post = [f"post-{k}" for k in range(5)]
+    for k, payload in enumerate(post):
+        cluster.submit(survivors[k % len(survivors)], payload)
+    cluster.run_until_quiescent(max_time=120.0)
+    cluster.restart(victim)
+    cluster.run_until_quiescent(max_time=120.0)
+    live = list(range(n))
+    try:
+        verify_run(cluster.trace, n, expect_all_delivered=False).assert_ok()
+        check_view_agreement(cluster.engines, live)
+        check_prefix_consistency(cluster, survivors)
+        check_rejoin_coverage(cluster, victim, survivors)
+        check_post_eviction_ack(cluster, post, survivors)
+        if cluster.hosts[victim].engine.joining:
+            raise InvariantViolation("victim still joining at quiescence")
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    return NemesisOutcome(name, seed, True, "", _observations(cluster, live))
+
+
+SCENARIOS: Dict[str, Callable[[int], NemesisOutcome]] = {
+    "crash-evict-rejoin": scenario_crash_evict_rejoin,
+    "partition-heal": scenario_partition_heal,
+    "duplication": scenario_duplication,
+    "corruption": scenario_corruption,
+    "combo": scenario_combo,
+}
+
+
+def run_nemesis(
+    scenarios: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    rounds: int = 1,
+    verbose: bool = False,
+) -> List[NemesisOutcome]:
+    """Run the selected scenarios ``rounds`` times with derived seeds."""
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    outcomes: List[NemesisOutcome] = []
+    for round_index in range(rounds):
+        for name in names:
+            fn = SCENARIOS.get(name)
+            if fn is None:
+                raise ValueError(
+                    f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+                )
+            outcome = fn(seed + round_index * 1009)
+            outcomes.append(outcome)
+            if verbose:
+                print(outcome.summary())
+    return outcomes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", action="append", dest="scenarios",
+                        help="run one scenario (repeatable; default: all)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rounds", type=int, default=1,
+                        help="repeat the campaign with derived seeds")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    start = time.perf_counter()
+    outcomes = run_nemesis(
+        scenarios=args.scenarios, seed=args.seed, rounds=args.rounds,
+        verbose=args.verbose,
+    )
+    failures = [o for o in outcomes if not o.ok]
+    wall = time.perf_counter() - start
+    status = "CLEAN" if not failures else f"{len(failures)} FAILURES"
+    print(f"nemesis: {len(outcomes)} scenario runs, {wall:.1f}s wall — {status}")
+    for failure in failures:
+        print(f"  {failure.summary()}")
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -167,21 +167,96 @@ def run_crash_trial(index: int, rng: random.Random, trial_seed: int) -> TrialOut
     return TrialOutcome(index, config, True, True)
 
 
+def run_evict_trial(index: int, rng: random.Random, trial_seed: int) -> TrialOutcome:
+    """A recovery trial: crash → agreed eviction → (sometimes) rejoin.
+
+    Goes beyond :func:`run_crash_trial` by configuring ``evict_timeout`` so
+    the survivors run the view-change machinery: they must install the
+    shrunken view everywhere, reach the acknowledged level for traffic
+    submitted after the eviction (their sending logs prune back to empty),
+    and — on the rejoin variant — re-admit the restarted victim through the
+    state-transfer handshake without an ordering violation.
+    """
+    from repro.core.cluster import build_cluster
+    from repro.core.config import ProtocolConfig
+    from repro.harness.nemesis import (
+        check_prune_resumption,
+        check_view_agreement,
+        InvariantViolation,
+    )
+    from repro.net.loss import BernoulliLoss
+    from repro.ordering.checker import verify_run
+    from repro.sim.rng import RngRegistry
+
+    n = rng.choice((3, 4, 5))
+    loss_rate = rng.choice((0.0, 0.05))
+    messages = rng.randint(3, 8)
+    victim = rng.randrange(n)
+    rejoin = rng.random() < 0.5
+    config = ExperimentConfig(n=n, seed=trial_seed)  # record-keeping only
+    survivors = [i for i in range(n) if i != victim]
+    try:
+        cluster = build_cluster(
+            n,
+            config=ProtocolConfig(suspect_timeout=0.02, evict_timeout=0.05),
+            loss=BernoulliLoss(loss_rate, protect_control=True) if loss_rate else None,
+            rngs=RngRegistry(trial_seed),
+        )
+        for k in range(messages):
+            cluster.submit(k % n, f"pre-{k}")
+        cluster.run_for(rng.choice((0.002, 0.01)))
+        cluster.crash(victim)
+        cluster.run_for(0.7)  # let suspicion ripen and the eviction install
+        views = {cluster.hosts[i].engine.view for i in survivors}
+        if views != {1}:
+            return TrialOutcome(
+                index, config, False, False, f"eviction never installed: {views}",
+            )
+        for k in range(messages):
+            cluster.submit(survivors[k % len(survivors)], f"post-{k}")
+        cluster.run_until_quiescent(max_time=120.0)
+        check_prune_resumption(cluster, survivors)
+        if rejoin:
+            cluster.restart(victim)
+            cluster.run_until_quiescent(max_time=120.0)
+            if cluster.hosts[victim].engine.view < 2:
+                return TrialOutcome(
+                    index, config, False, True, "victim never re-admitted",
+                )
+        check_view_agreement(cluster.engines, survivors)
+    except TimeoutError:
+        return TrialOutcome(index, config, False, False, "evict trial did not quiesce")
+    except InvariantViolation as exc:
+        return TrialOutcome(index, config, False, True, str(exc))
+    except Exception as exc:
+        return TrialOutcome(index, config, False, False, f"exception: {exc!r}")
+    run_report = verify_run(cluster.trace, n, expect_all_delivered=False)
+    if not run_report.ok:
+        return TrialOutcome(index, config, False, True, run_report.summary())
+    return TrialOutcome(index, config, True, True)
+
+
 def run_soak(trials: int = 50, seed: int = 0, verbose: bool = False) -> SoakReport:
     """Run a full campaign and return the aggregate report.
 
     Roughly one in six trials injects a crash-stop fault and judges the
-    survivors under the membership extension's semantics.
+    survivors under the membership extension's semantics; a further one in
+    six runs the full eviction (and, half the time, rejoin) machinery.
     """
     rng = random.Random(seed)
     report = SoakReport(trials=trials)
     start = time.perf_counter()
     for index in range(trials):
-        if rng.random() < 1 / 6:
-            outcome = run_crash_trial(index, rng, trial_seed=seed * 100_003 + index)
+        draw = rng.random()
+        if draw < 2 / 6:
+            kind, runner = (
+                ("crash-injection", run_crash_trial) if draw < 1 / 6
+                else ("evict-rejoin", run_evict_trial)
+            )
+            outcome = runner(index, rng, trial_seed=seed * 100_003 + index)
             if verbose:
                 flag = "ok " if outcome.ok else "FAIL"
-                print(f"[{flag}] trial {index:3d}: crash-injection {outcome.detail}")
+                print(f"[{flag}] trial {index:3d}: {kind} {outcome.detail}")
             if not outcome.ok:
                 report.failures.append(outcome)
             else:

@@ -183,7 +183,30 @@ def hot_path_stats(entity_counters: Dict[str, int]) -> Dict[str, float]:
         "dep_blocks_per_preack": (
             entity_counters.get("pack_dep_blocks", 0) / preacked if preacked else 0.0
         ),
+        # Timer-driven RET re-requests (the adaptive-backoff satellite):
+        # bounded and decaying under a crashed source instead of a fixed-
+        # cadence storm.
+        "ret_retries": float(entity_counters.get("ret_retries", 0)),
     }
+
+
+def recovery_stats(entity_counters: Dict[str, int]) -> Dict[str, int]:
+    """Crash-recovery subsystem counters, cluster-aggregated.
+
+    Pulls the view-change / rejoin counters out of an ``EntityCounters``
+    snapshot so experiment reports can show the recovery machinery's
+    footprint next to the hot-path stats.
+    """
+    keys = (
+        "fenced",
+        "view_proposals",
+        "view_installs",
+        "evictions",
+        "joins_sent",
+        "state_transfers",
+        "ret_retries",
+    )
+    return {key: int(entity_counters.get(key, 0)) for key in keys}
 
 
 def pdu_census(trace: TraceLog) -> Dict[str, int]:
@@ -191,5 +214,6 @@ def pdu_census(trace: TraceLog) -> Dict[str, int]:
     interesting = (
         "broadcast", "accept", "drop", "duplicate", "gap",
         "ret", "retransmit", "heartbeat", "deliver",
+        "view-install", "evict", "fence", "join", "state-transfer",
     )
     return {category: trace.count(category) for category in interesting}

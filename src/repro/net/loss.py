@@ -127,6 +127,121 @@ class ScriptedLoss(LossModel):
         return not self._pending
 
 
+class PartitionLoss(LossModel):
+    """A healable network partition: copies crossing group boundaries drop.
+
+    ``split(groups...)`` installs a partition — each group is a set of
+    entity indices, and a copy is delivered only when src and dst share a
+    group (an index in no group is isolated entirely).  ``heal()`` removes
+    it.  Scenario scripts (the nemesis harness) call both at scheduled
+    simulated times, so partitions start and end deterministically.
+    """
+
+    def __init__(self) -> None:
+        self._group_of: Dict[int, int] = {}
+        self._active = False
+        #: Copies dropped at a partition boundary, for assertions.
+        self.partitioned_drops = 0
+
+    def split(self, *groups: Set[int]) -> None:
+        """Partition the cluster into the given disjoint groups."""
+        group_of: Dict[int, int] = {}
+        for gi, group in enumerate(groups):
+            for member in group:
+                if member in group_of:
+                    raise ValueError(f"entity {member} in more than one group")
+                group_of[member] = gi
+        self._group_of = group_of
+        self._active = True
+
+    def heal(self) -> None:
+        """Remove the partition: all pairs connected again."""
+        self._active = False
+        self._group_of = {}
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def should_drop(self, src: int, dst: int, pdu: Any, rng: random.Random) -> bool:
+        if not self._active:
+            return False
+        sg = self._group_of.get(src)
+        dg = self._group_of.get(dst)
+        if sg is None or dg is None or sg != dg:
+            self.partitioned_drops += 1
+            return True
+        return False
+
+
+class CorruptionLoss(LossModel):
+    """Flip one byte of the encoded frame with probability ``rate``.
+
+    Models a corrupting medium in front of the codec's CRC trailer: each
+    hit encodes the PDU, flips one byte, and attempts to decode the damaged
+    frame.  The checksum is expected to reject it, in which case the copy
+    is dropped (exactly what a real receiver does with a bad frame); the
+    pathological case where the flip still decodes is counted separately
+    so the integrity tests can assert it never happens.
+    """
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        #: Frames corrupted and (correctly) rejected by the checksum.
+        self.corrupt_frames = 0
+        #: Corrupted frames the checksum failed to reject — should stay 0.
+        self.undetected_corruptions = 0
+
+    def should_drop(self, src: int, dst: int, pdu: Any, rng: random.Random) -> bool:
+        if self.rate == 0.0 or rng.random() >= self.rate:
+            return False
+        from repro.core.codec import decode_pdu_safe, encode_pdu
+
+        frame = bytearray(encode_pdu(pdu))
+        position = rng.randrange(len(frame))
+        flip = rng.randrange(1, 256)
+        frame[position] ^= flip
+        if decode_pdu_safe(bytes(frame)) is None:
+            self.corrupt_frames += 1
+        else:
+            self.undetected_corruptions += 1
+        # Either way the damaged frame does not reach the engine: a detected
+        # corruption is discarded by the receiver's codec, and the protocol
+        # recovers it like any other loss.
+        return True
+
+
+class DuplicatingChannel:
+    """Policy deciding how many *extra* copies of a PDU the network sends.
+
+    Models a medium that occasionally duplicates frames (retransmitting
+    switches, overlapping multicast trees).  ``extra_copies`` is consulted
+    once per (src, dst, pdu) copy and returns how many duplicates to
+    schedule after the original — bounded by ``max_extra`` so a scripted
+    scenario cannot amplify without limit.  Duplicates travel with their
+    own delay draw, but per-pair FIFO clamping in the network still holds.
+    """
+
+    def __init__(self, rate: float, max_extra: int = 1):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if max_extra < 1:
+            raise ValueError(f"max_extra must be >= 1, got {max_extra}")
+        self.rate = rate
+        self.max_extra = max_extra
+        #: Total duplicate copies produced, for assertions.
+        self.duplicated = 0
+
+    def extra_copies(self, src: int, dst: int, pdu: Any, rng: random.Random) -> int:
+        if self.rate == 0.0 or rng.random() >= self.rate:
+            return 0
+        extra = rng.randint(1, self.max_extra)
+        self.duplicated += extra
+        return extra
+
+
 class CompositeLoss(LossModel):
     """Drop when any component model drops (union of loss processes)."""
 

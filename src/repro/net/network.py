@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.net.loss import LossModel, NoLoss
+from repro.net.loss import DuplicatingChannel, LossModel, NoLoss
 from repro.net.topology import Topology
 from repro.sim.kernel import Simulator
 from repro.sim.process import SimProcess
@@ -40,6 +40,7 @@ class NetworkStats:
     copies_sent: int = 0
     copies_delivered: int = 0
     copies_dropped: int = 0
+    copies_duplicated: int = 0
     data_pdus: int = 0
     control_pdus: int = 0
     bytes_sent: int = 0
@@ -74,16 +75,21 @@ class MCNetwork(SimProcess):
         rngs: Optional[RngRegistry] = None,
         bandwidth_bytes_per_s: Optional[float] = None,
         jitter: float = 0.0,
+        duplication: Optional[DuplicatingChannel] = None,
     ):
         """``bandwidth_bytes_per_s`` adds a serialisation delay of
         ``wire_size / bandwidth`` per PDU at the sender's interface (all
         copies of a broadcast share one serialisation — it is one frame on
         the medium).  ``jitter`` adds an exponential random extra delay with
         that mean per copy; arrival order per (src, dst) pair is still
-        clamped to FIFO, preserving the MC model's local-order guarantee."""
+        clamped to FIFO, preserving the MC model's local-order guarantee.
+        ``duplication`` occasionally schedules bounded extra copies of a
+        PDU per destination (fault injection; the engines' acceptance
+        condition filters the duplicates)."""
         super().__init__(sim, trace, index=-1)
         self.topology = topology
         self.loss = loss if loss is not None else NoLoss()
+        self.duplication = duplication
         self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
         if jitter < 0:
             raise ValueError(f"jitter must be non-negative, got {jitter}")
@@ -91,6 +97,7 @@ class MCNetwork(SimProcess):
         registry = rngs or RngRegistry()
         self._rng = registry.stream("network-loss")
         self._jitter_rng = registry.stream("network-jitter")
+        self._dup_rng = registry.stream("network-dup")
         self._sinks: Dict[int, Sink] = {}
         # Last scheduled arrival time per (src, dst), to clamp links to FIFO
         # even if a topology or future jitter model produced reordering.
@@ -161,6 +168,16 @@ class MCNetwork(SimProcess):
     # Internals
     # ------------------------------------------------------------------
     def _send_copy(self, src: int, dst: int, pdu: Any) -> None:
+        if self.duplication is not None:
+            extra = self.duplication.extra_copies(src, dst, pdu, self._dup_rng)
+            self.stats.copies_duplicated += extra
+            # Each duplicate runs the normal copy path (own loss draw, own
+            # delay); FIFO clamping keeps the pair's local order intact.
+            for _ in range(extra):
+                self._dispatch_copy(src, dst, pdu)
+        self._dispatch_copy(src, dst, pdu)
+
+    def _dispatch_copy(self, src: int, dst: int, pdu: Any) -> None:
         self.stats.copies_sent += 1
         size = pdu_wire_size(pdu)
         self.stats.bytes_sent += size

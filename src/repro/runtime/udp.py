@@ -23,7 +23,7 @@ import asyncio
 import random
 from typing import Any, Awaitable, Callable, List, Optional, Sequence, Tuple
 
-from repro.core.codec import CodecError, decode_pdu, encode_pdu
+from repro.core.codec import decode_pdu_safe, encode_pdu
 from repro.core.config import ProtocolConfig
 from repro.core.entity import COEntity, DeliveredMessage
 from repro.runtime.host import AsyncEntityHost
@@ -78,6 +78,9 @@ class UdpTransport:
         self.datagrams_sent = 0
         self.datagrams_dropped = 0
         self.decode_errors = 0
+        #: Frames rejected by the codec, broken down by cause (the CRC
+        #: trailer rejects corrupted datagrams before they reach the engine).
+        self.codec_counters = {"codec_corrupt_frames": 0}
         self.errors = 0
 
     # ------------------------------------------------------------------
@@ -134,9 +137,8 @@ class UdpTransport:
     async def _dispatch_loop(self) -> None:
         while True:
             data = await self._inbox.get()
-            try:
-                pdu = decode_pdu(data)
-            except CodecError:
+            pdu = decode_pdu_safe(data, self.codec_counters)
+            if pdu is None:
                 self.decode_errors += 1
                 continue
             await self._sink(pdu)

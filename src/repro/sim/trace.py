@@ -41,6 +41,15 @@ CATEGORIES = (
     "suspect",       # an entity was suspected crashed (membership extension)
     "unsuspect",     # a suspected entity spoke and was re-included
     "crash",         # a host was crashed by the experiment script
+    "restart",       # a crashed host was restarted as a rejoining incarnation
+    "view-propose",  # a view-change round was proposed (coordinator)
+    "view-agree",    # this entity countersigned a proposed view
+    "view-install",  # an agreed view was installed (flush barrier passed)
+    "evict",         # a member was evicted by an installed view
+    "readmit",       # a previously evicted member was re-admitted
+    "fence",         # a removed member's PDU was dropped at the view fence
+    "join",          # a rejoining incarnation broadcast a join request
+    "state-transfer",# a sponsor served (or a joiner applied) a state snapshot
 )
 
 

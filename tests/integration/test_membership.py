@@ -174,3 +174,147 @@ class TestSlownessIsRevocable:
         cluster.run_for(0.2)
         for engine in cluster.engines:
             assert engine.suspected == set()
+
+
+EVICT_CFG = ProtocolConfig(suspect_timeout=0.02, evict_timeout=0.05)
+
+#: Long enough for suspicion to ripen, the eviction round to run and the
+#: install barrier to clear under the EVICT_CFG timing.
+EVICTION_WINDOW = 0.7
+
+
+class TestViewChangeEviction:
+    """Agreed eviction: the crash-recovery extension's first half.
+
+    Where plain crash-stop *suspicion* merely excludes the silent entity
+    from the knowledge minima, the view change makes the shrinkage
+    permanent and agreed: survivors flush the old view's stable PDUs,
+    install an identical shrunken membership everywhere, and resume the
+    PACK -> ACK ladder (and store pruning) with n-1 entities.
+    """
+
+    def _evicted_cluster(self, n=4, victim=2, traffic=6):
+        cluster = build_cluster(n, config=EVICT_CFG)
+        for k in range(traffic):
+            cluster.submit(k % n, f"pre-{k}")
+        cluster.run_for(0.01)
+        cluster.crash(victim)
+        cluster.run_for(EVICTION_WINDOW)
+        return cluster
+
+    def test_crash_installs_shrunken_view_everywhere(self):
+        cluster = self._evicted_cluster()
+        survivors = [0, 1, 3]
+        for i in survivors:
+            engine = cluster.hosts[i].engine
+            assert engine.view == 1
+            assert engine.members == {0, 1, 3}
+            assert engine.evicted == {2}
+        # Identical view history at every survivor: one view change, same
+        # member set — the view-safety invariant.
+        logs = {tuple(cluster.hosts[i].engine.view_log) for i in survivors}
+        assert len(logs) == 1
+
+    def test_post_eviction_broadcasts_reach_ack_level(self):
+        cluster = self._evicted_cluster()
+        survivors = [0, 1, 3]
+        for k in range(5):
+            cluster.submit(survivors[k % 3], f"post-{k}")
+        cluster.run_until_quiescent(max_time=30.0)
+        survivors_report(cluster, 4)
+        for i in survivors:
+            delivered = {m.data for m in cluster.delivered(i)}
+            assert all(f"post-{k}" in delivered for k in range(5))
+            # ACK level reached: the sending log pruned back to empty, so
+            # the dead member's frozen expectations no longer pin stores.
+            assert cluster.hosts[i].engine.sl.retained == 0
+
+    def test_minority_cannot_evict(self):
+        # 2-of-2 with one crash: the lone survivor is not a majority of the
+        # old view, so the quorum guard must hold the membership steady.
+        cluster = build_cluster(2, config=EVICT_CFG)
+        cluster.submit(0, "hello")
+        cluster.run_for(0.005)
+        cluster.crash(1)
+        cluster.run_for(EVICTION_WINDOW)
+        assert cluster.hosts[0].engine.view == 0
+        assert cluster.hosts[0].engine.members == {0, 1}
+
+    def test_eviction_is_traced(self):
+        cluster = self._evicted_cluster()
+        assert cluster.trace.count("view-propose") >= 1
+        assert cluster.trace.count("view-install") == 3
+        assert cluster.trace.count("evict") == 3
+
+
+class TestCrashRecoveryRejoin:
+    """Rejoin with state transfer: the extension's second half."""
+
+    def _full_cycle(self, n=4, victim=2):
+        cluster = build_cluster(n, config=EVICT_CFG)
+        for k in range(6):
+            cluster.submit(k % n, f"pre-{k}")
+        cluster.run_for(0.01)
+        cluster.crash(victim)
+        cluster.run_for(EVICTION_WINDOW)
+        assert cluster.hosts[0].engine.view == 1
+        missed = [f"missed-{k}" for k in range(3)]
+        for k, payload in enumerate(missed):
+            cluster.submit((victim + 1 + k) % n, payload)
+        cluster.run_until_quiescent(max_time=30.0)
+        cluster.restart(victim)
+        cluster.run_until_quiescent(max_time=30.0)
+        return cluster, missed
+
+    def test_restart_readmits_via_second_view_change(self):
+        cluster, _ = self._full_cycle()
+        for engine in cluster.engines:
+            assert engine.view == 2
+            assert engine.members == {0, 1, 2, 3}
+            assert engine.evicted == set()
+            assert not engine.joining
+        logs = {tuple(e.view_log) for e in cluster.engines}
+        assert len(logs) == 1
+
+    def test_snapshot_prefix_covers_missed_traffic(self):
+        cluster, missed = self._full_cycle()
+        rejoined = cluster.hosts[2].engine
+        # Everything a survivor delivered while the victim was down is in
+        # the recovered prefix (as (src, seq) ids): no delivery gap.
+        survivor_ids = {(m.src, m.seq) for m in cluster.delivered(0)}
+        own_ids = {(m.src, m.seq) for m in cluster.delivered(2)}
+        assert survivor_ids <= own_ids | set(rejoined.recovered_prefix)
+        assert cluster.trace.count("state-transfer") >= 1
+        assert cluster.trace.count("readmit") >= 3
+
+    def test_post_rejoin_traffic_delivered_at_everyone(self):
+        cluster, _ = self._full_cycle()
+        cluster.submit(2, "from-the-returnee")
+        cluster.submit(0, "welcome-back")
+        cluster.run_until_quiescent(max_time=30.0)
+        survivors_report(cluster, 4)
+        for i in range(4):
+            delivered = {m.data for m in cluster.delivered(i)}
+            assert "from-the-returnee" in delivered
+            assert "welcome-back" in delivered
+        for host in cluster.hosts:
+            assert host.engine.sl.retained == 0
+
+    def test_rejoin_under_loss(self):
+        cluster = build_cluster(
+            4,
+            config=EVICT_CFG,
+            loss=BernoulliLoss(0.05, protect_control=True),
+            rngs=RngRegistry(11),
+        )
+        for k in range(4):
+            cluster.submit(k % 4, f"pre-{k}")
+        cluster.run_for(0.01)
+        cluster.crash(1)
+        cluster.run_for(EVICTION_WINDOW)
+        cluster.submit(0, "while-away")
+        cluster.run_until_quiescent(max_time=60.0)
+        cluster.restart(1)
+        cluster.run_until_quiescent(max_time=60.0)
+        survivors_report(cluster, 4)
+        assert all(e.view == 2 for e in cluster.engines)

@@ -121,3 +121,82 @@ def test_unencodable_payload_rejected():
     pdu = DataPdu(cid=1, src=0, seq=1, ack=(1,), buf=0, data={"a": 1})
     with pytest.raises(CodecError):
         encode_pdu(pdu)
+
+
+# ----------------------------------------------------------------------
+# Membership-extension PDUs and the CRC trailer
+# ----------------------------------------------------------------------
+from repro.core.codec import decode_pdu_safe
+from repro.core.pdu import JoinPdu, StatePdu, ViewChangePdu
+
+MEMBERS = st.lists(U16, min_size=1, max_size=8, unique=True).map(
+    lambda m: tuple(sorted(m))
+)
+
+
+@st.composite
+def viewchange_pdus(draw):
+    ack = draw(VECTOR)
+    phase = draw(st.sampled_from(("propose", "agree", "install")))
+    flush = ack if phase == "install" else ()
+    return ViewChangePdu(
+        cid=draw(U32_0), src=draw(U16), view=draw(st.integers(1, 2 ** 16)),
+        phase=phase, members=draw(MEMBERS), ack=ack, buf=draw(U32_0),
+        flush=flush,
+    )
+
+
+@st.composite
+def state_pdus(draw):
+    ack = draw(VECTOR)
+    pack = tuple(draw(st.lists(U32_0, min_size=len(ack), max_size=len(ack))))
+    prefix = draw(
+        st.lists(st.tuples(U16, U32), max_size=12).map(tuple)
+    )
+    return StatePdu(
+        cid=draw(U32_0), src=draw(U16), joiner=draw(U16),
+        view=draw(st.integers(0, 2 ** 16)), members=draw(MEMBERS),
+        ack=ack, pack=pack, buf=draw(U32_0), prefix=prefix,
+    )
+
+
+@given(viewchange_pdus())
+def test_viewchange_roundtrip(pdu):
+    decoded = decode_pdu(encode_pdu(pdu))
+    assert decoded == pdu
+
+
+@given(st.tuples(U32_0, U16, U32_0, st.booleans()))
+def test_join_roundtrip(fields):
+    cid, src, buf, ready = fields
+    pdu = JoinPdu(cid=cid, src=src, buf=buf, ready=ready)
+    assert decode_pdu(encode_pdu(pdu)) == pdu
+
+
+@given(state_pdus())
+def test_state_roundtrip(pdu):
+    decoded = decode_pdu(encode_pdu(pdu))
+    assert decoded == pdu
+
+
+@given(data_pdus())
+def test_every_single_byte_flip_is_rejected(pdu):
+    # The CRC trailer must catch any single-byte corruption anywhere in the
+    # frame — header, vectors, payload or the checksum itself.
+    frame = encode_pdu(pdu)
+    for position in range(len(frame)):
+        damaged = bytearray(frame)
+        damaged[position] ^= 0xA5
+        assert decode_pdu_safe(bytes(damaged)) is None
+
+
+@given(heartbeat_pdus())
+def test_decode_pdu_safe_counts_corrupt_frames(pdu):
+    frame = bytearray(encode_pdu(pdu))
+    frame[len(frame) // 2] ^= 0xFF
+    counters = {"codec_corrupt_frames": 0}
+    assert decode_pdu_safe(bytes(frame), counters) is None
+    assert counters["codec_corrupt_frames"] == 1
+    # An intact frame decodes and leaves the counter alone.
+    assert decode_pdu_safe(encode_pdu(pdu), counters) == pdu
+    assert counters["codec_corrupt_frames"] == 1

@@ -121,3 +121,99 @@ def test_composite_loss_union():
 
 def test_composite_loss_empty():
     assert not CompositeLoss([]).should_drop(0, 1, FakePdu(), random.Random(0))
+
+
+class TestPartitionLoss:
+    def test_inactive_by_default(self):
+        from repro.net.loss import PartitionLoss
+        model = PartitionLoss()
+        rng = random.Random(0)
+        assert not model.active
+        assert not model.should_drop(0, 3, FakePdu(), rng)
+
+    def test_split_drops_across_groups_only(self):
+        from repro.net.loss import PartitionLoss
+        model = PartitionLoss()
+        rng = random.Random(0)
+        model.split({0, 1}, {2, 3})
+        assert not model.should_drop(0, 1, FakePdu(), rng)
+        assert not model.should_drop(2, 3, FakePdu(), rng)
+        assert model.should_drop(0, 2, FakePdu(), rng)
+        assert model.should_drop(3, 1, FakePdu(), rng)
+        assert model.partitioned_drops == 2
+
+    def test_ungrouped_entity_is_isolated(self):
+        from repro.net.loss import PartitionLoss
+        model = PartitionLoss()
+        rng = random.Random(0)
+        model.split({0, 1})  # entity 2 in no group
+        assert model.should_drop(0, 2, FakePdu(), rng)
+        assert model.should_drop(2, 1, FakePdu(), rng)
+
+    def test_heal_restores_connectivity(self):
+        from repro.net.loss import PartitionLoss
+        model = PartitionLoss()
+        rng = random.Random(0)
+        model.split({0}, {1})
+        assert model.should_drop(0, 1, FakePdu(), rng)
+        model.heal()
+        assert not model.active
+        assert not model.should_drop(0, 1, FakePdu(), rng)
+
+    def test_overlapping_groups_rejected(self):
+        from repro.net.loss import PartitionLoss
+        model = PartitionLoss()
+        with pytest.raises(ValueError):
+            model.split({0, 1}, {1, 2})
+
+
+class TestCorruptionLoss:
+    def _pdu(self):
+        from repro.core.pdu import DataPdu
+        return DataPdu(cid=0, src=0, seq=1, ack=(1, 1, 1), buf=4, data=b"x" * 32)
+
+    def test_zero_rate_never_fires(self):
+        from repro.net.loss import CorruptionLoss
+        model = CorruptionLoss(0.0)
+        rng = random.Random(0)
+        assert not any(model.should_drop(0, 1, self._pdu(), rng) for _ in range(50))
+
+    def test_every_flip_is_detected_and_dropped(self):
+        from repro.net.loss import CorruptionLoss
+        model = CorruptionLoss(1.0)
+        rng = random.Random(7)
+        pdu = self._pdu()
+        assert all(model.should_drop(0, 1, pdu, rng) for _ in range(200))
+        assert model.corrupt_frames == 200
+        assert model.undetected_corruptions == 0
+
+    def test_rate_validation(self):
+        from repro.net.loss import CorruptionLoss
+        with pytest.raises(ValueError):
+            CorruptionLoss(1.5)
+
+
+class TestDuplicatingChannel:
+    def test_zero_rate_never_duplicates(self):
+        from repro.net.loss import DuplicatingChannel
+        channel = DuplicatingChannel(0.0)
+        rng = random.Random(0)
+        assert all(
+            channel.extra_copies(0, 1, FakePdu(), rng) == 0 for _ in range(50)
+        )
+        assert channel.duplicated == 0
+
+    def test_copies_bounded_by_max_extra(self):
+        from repro.net.loss import DuplicatingChannel
+        channel = DuplicatingChannel(1.0, max_extra=3)
+        rng = random.Random(0)
+        copies = [channel.extra_copies(0, 1, FakePdu(), rng) for _ in range(200)]
+        assert all(1 <= c <= 3 for c in copies)
+        assert channel.duplicated == sum(copies)
+
+    def test_parameter_validation(self):
+        from repro.net.loss import DuplicatingChannel
+        with pytest.raises(ValueError):
+            DuplicatingChannel(-0.1)
+        with pytest.raises(ValueError):
+            DuplicatingChannel(0.5, max_extra=0)

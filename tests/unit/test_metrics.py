@@ -164,6 +164,7 @@ class TestHotPathStats:
             "pack_source_scans_per_accept": 0.0,
             "cpi_fast_append_ratio": 0.0,
             "dep_blocks_per_preack": 0.0,
+            "ret_retries": 0.0,
         }
 
     def test_engine_counters_expose_hot_path_fields(self):

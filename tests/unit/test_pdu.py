@@ -96,7 +96,8 @@ class TestHeartbeatPdu:
             self.make(pack=(1, 1))
 
     def test_wire_size_carries_two_vectors(self):
-        assert self.make().wire_size() == (3 + 6) * 4
+        # 4 fixed fields (CID, SRC, BUF, VIEW) + ack and pack vectors.
+        assert self.make().wire_size() == (4 + 6) * 4
 
     def test_str(self):
         assert "HB" in str(self.make())

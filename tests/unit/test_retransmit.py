@@ -89,3 +89,76 @@ class TestRetransmitSuppressor:
         # Seq 1 forgotten: a new request for it is allowed again.
         assert sup.should_send(1, now=0.1) is True
         assert sup.should_send(2, now=0.1) is False
+
+
+class TestRetBackoff:
+    def test_default_cap_keeps_fixed_cadence(self):
+        # backoff_cap=1 is the paper's fixed RET cadence: every retry waits
+        # exactly one timeout.
+        gaps = GapTracker(3)
+        gaps.note(1, 5, now=0.0)
+        for retry in range(1, 5):
+            assert gaps.due(now=retry * 1.0, timeout=1.0) != []
+
+    def test_first_retry_is_exact_timeout(self):
+        gaps = GapTracker(3, backoff_cap=8, backoff_jitter=0.25)
+        gaps.note(1, 5, now=0.0)
+        assert gaps.due(now=0.99, timeout=1.0) == []
+        assert len(gaps.due(now=1.0, timeout=1.0)) == 1
+
+    def test_backoff_doubles_then_caps(self):
+        gaps = GapTracker(3, backoff_cap=4)
+        gaps.note(1, 5, now=0.0)
+        t = 0.0
+        waits = []
+        for _ in range(5):
+            lo = t
+            # advance until the retry fires; record the wait
+            while not gaps.due(now=t, timeout=1.0):
+                t += 0.125
+            waits.append(t - lo)
+            gaps.get(1).last_ret_at = t
+        assert waits == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        a = GapTracker(3, backoff_cap=8, backoff_jitter=0.5, owner=1)
+        b = GapTracker(3, backoff_cap=8, backoff_jitter=0.5, owner=1)
+        for tracker in (a, b):
+            tracker.note(0, 9, now=0.0)
+            tracker.due(now=1.0, timeout=1.0)  # consume exact first retry
+        wa = a._effective_timeout(a.get(0), 1.0)
+        wb = b._effective_timeout(b.get(0), 1.0)
+        assert wa == wb                       # same inputs, same jitter
+        assert 2.0 <= wa <= 2.0 * 1.5         # 2^1 * (1 + jitter*frac)
+
+    def test_jitter_spreads_across_owners(self):
+        waits = set()
+        for owner in range(6):
+            tracker = GapTracker(3, backoff_cap=8, backoff_jitter=0.5, owner=owner)
+            tracker.note(0, 9, now=0.0)
+            tracker.due(now=1.0, timeout=1.0)
+            waits.add(tracker._effective_timeout(tracker.get(0), 1.0))
+        assert len(waits) > 1  # different survivors desynchronize
+
+    def test_new_evidence_resets_backoff(self):
+        gaps = GapTracker(3, backoff_cap=8)
+        gaps.note(1, 5, now=0.0)
+        for t in (1.0, 3.0):
+            gaps.due(now=t, timeout=1.0)
+        assert gaps.get(1).retries == 2
+        gaps.note(1, 9, now=3.0)   # gap widened: source is reachable again
+        assert gaps.get(1).retries == 0
+
+    def test_total_retries_counter(self):
+        gaps = GapTracker(3, backoff_cap=2)
+        gaps.note(1, 5, now=0.0)
+        gaps.note(2, 3, now=0.0)
+        gaps.due(now=1.0, timeout=1.0)
+        assert gaps.total_retries == 2
+
+    def test_invalid_parameters_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            GapTracker(3, backoff_cap=0)
+        with pytest.raises(ValueError):
+            GapTracker(3, backoff_jitter=1.5)
