@@ -291,6 +291,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fractional regression tolerance (default 0.15)")
     parser.add_argument("--skip-suites", action="store_true",
                         help="skip the pytest benchmark suites")
+    parser.add_argument("--stats-out", default=None, metavar="PATH",
+                        help="additionally write just the hot_path_stats "
+                             "snapshots (per point) as JSON — the CI bench "
+                             "job drops this next to BENCH_hotpath.json")
     args = parser.parse_args(argv)
 
     mode = dict(SMOKE if args.smoke else FULL)
@@ -304,6 +308,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(report, f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"wrote {out}")
+
+    if args.stats_out:
+        stats = {
+            "mode": report["mode"],
+            "engine": [
+                {"n": p["n"], "hot_path": p["hot_path"]}
+                for p in report["engine"]
+            ],
+            "experiments": [
+                {"n": p["n"], "hot_path": p["hot_path"]}
+                for p in report["experiments"]
+            ],
+        }
+        with open(args.stats_out, "w") as f:
+            json.dump(stats, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.stats_out}")
 
     failed = [s for s, outcome in report["suites"].items() if outcome != "passed"]
     if failed:

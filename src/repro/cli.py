@@ -7,6 +7,7 @@ Commands:
   (delegates to :mod:`repro.harness.figures`);
 * ``soak``    — randomized correctness campaign
   (delegates to :mod:`repro.harness.soak`);
+* ``inspect`` — summarize a dumped flight recording (JSONL);
 * ``version`` — print the package version.
 """
 
@@ -65,6 +66,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     sk.add_argument("--seed", type=int, default=0)
     sk.add_argument("--verbose", action="store_true")
 
+    ins = sub.add_parser("inspect", help="summarize a flight recording")
+    ins.add_argument("path", help="JSONL recording (TraceLog.dump_jsonl)")
+    ins.add_argument("--bucket", type=float, default=None,
+                     help="timeline bucket width in seconds "
+                          "(default: span / 60)")
+
     sub.add_parser("version", help="print the package version")
 
     args = parser.parse_args(argv)
@@ -84,6 +91,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.verbose:
             forwarded.append("--verbose")
         return soak.main(forwarded)
+    if args.command == "inspect":
+        from repro.analysis.recording import inspect_path
+
+        print(inspect_path(args.path, bucket=args.bucket))
+        return 0
     if args.command == "version":
         print(repro.__version__)
         return 0

@@ -16,8 +16,9 @@ entity on a network SAP.  Here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from time import perf_counter
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import ProtocolConfig
 from repro.core.entity import COEntity, DeliveredMessage
@@ -71,6 +72,7 @@ class EntityHost(SimProcess):
         buffer: ReceiveBuffer,
         cpu: CpuModel,
         tick_interval: float,
+        gauge_every: int = 8,
     ):
         super().__init__(sim, trace, index)
         self.engine = engine
@@ -81,7 +83,11 @@ class EntityHost(SimProcess):
         self._delivery_listeners: List[Callable[[DeliveredMessage], None]] = []
         self._busy = False
         self._crashed = False
-        self._tick = PeriodicTimer(sim, tick_interval, engine.on_tick)
+        #: Sample the engine's occupancy gauges every this many ticks
+        #: (0 disables sampling).
+        self.gauge_every = gauge_every
+        self._ticks = 0
+        self._tick = PeriodicTimer(sim, tick_interval, self._on_tick)
         self.pdus_processed = 0
         self.busy_time = 0.0
         #: Real (host Python) seconds spent inside ``engine.on_pdu`` — the
@@ -134,10 +140,29 @@ class EntityHost(SimProcess):
         self._busy = False
         self.buffer.clear()
         self.engine = engine
-        self._tick = PeriodicTimer(self.sim, self._tick.interval, engine.on_tick)
+        self._tick = PeriodicTimer(self.sim, self._tick.interval, self._on_tick)
         engine.bind(send=self._send, deliver=self._on_deliver)
         self.record("restart")
         self._tick.start()
+
+    def _on_tick(self) -> None:
+        self.engine.on_tick()
+        self._ticks += 1
+        if self.gauge_every and self._ticks % self.gauge_every == 0:
+            self.sample_gauges()
+
+    def sample_gauges(self) -> None:
+        """Record one ``gauge`` trace sample: engine taps + buffer occupancy.
+
+        Baseline engines without a ``gauges()`` tap still contribute the
+        host-level buffer fields, so every recording carries the §2.1
+        failure-model signal.
+        """
+        taps = getattr(self.engine, "gauges", None)
+        sample = dict(taps()) if callable(taps) else {}
+        sample["buf_used"] = self.buffer.used_units
+        sample["buf_free"] = self.buffer.free_units
+        self.record("gauge", **sample)
 
     # ------------------------------------------------------------------
     # Application side (the system SAP)
@@ -224,6 +249,20 @@ class EntityHost(SimProcess):
             return 0.0
         return self.real_cpu_time / self.pdus_processed
 
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """The unified counters dict (docs/PROTOCOL.md §13).
+
+        Same shape on every runtime — simulator host, asyncio host, UDP
+        member: ``engine`` (EntityCounters snapshot), ``buffer``
+        (BufferStats snapshot) and ``transport`` (medium-specific).
+        """
+        snapshot = getattr(self.engine, "counters", None)
+        return {
+            "engine": snapshot.snapshot() if snapshot is not None else {},
+            "buffer": self.buffer.stats.snapshot(),
+            "transport": {"pdus_processed": self.pdus_processed},
+        }
+
 
 class Cluster:
     """A cluster ``C = <E_1, ..., E_n>`` assembled on the simulator."""
@@ -268,6 +307,10 @@ class Cluster:
     def delivered(self, index: int) -> List[DeliveredMessage]:
         """Messages delivered to entity ``index``'s application, in order."""
         return self.hosts[index].delivered
+
+    def counters(self) -> List[Dict[str, Dict[str, int]]]:
+        """Per-member unified counters dicts (docs/PROTOCOL.md §13)."""
+        return [host.counters() for host in self.hosts]
 
     def crash(self, index: int) -> None:
         """Crash-stop one host (fault injection)."""
@@ -340,17 +383,30 @@ class Cluster:
         # resets the quiet streak, so workloads with long scheduled silences
         # are not mistaken for completion.  Drops are chatter too: a drop of
         # a *data* PDU always comes with submit/accept records elsewhere,
-        # while keepalives raining on a crashed host drop forever.
-        ignored = frozenset({"heartbeat", "broadcast", "arrive", "drop"})
-        cursor = len(self.trace)
+        # while keepalives raining on a crashed host drop forever.  Gauge
+        # samples are pure observation and never count as progress.
+        ignored = frozenset({"heartbeat", "broadcast", "arrive", "drop", "gauge"})
+        # A bounded FlightRecorder sheds old records, so progress is judged
+        # on the *tail*: recorded_total tracks every record ever offered.
+        def total() -> int:
+            return getattr(self.trace, "recorded_total", None) or len(self.trace)
+
+        cursor = total()
         quiet_streak = 0
         while self.sim.now < max_time:
             self.sim.run(until=min(self.sim.now + chunk, max_time))
-            progressed = any(
-                self.trace[i].category not in ignored
-                for i in range(cursor, len(self.trace))
-            )
-            cursor = len(self.trace)
+            fresh = total() - cursor
+            cursor += fresh
+            if fresh > len(self.trace):
+                # The ring evicted part of the chunk's records: that much
+                # churn is progress by definition.
+                progressed = True
+            else:
+                progressed = any(
+                    rec.category not in ignored
+                    for rec in islice(iter(self.trace),
+                                      len(self.trace) - fresh, None)
+                )
             if self._quiet() and not progressed:
                 quiet_streak += 1
                 if quiet_streak >= settle_chunks:
@@ -388,6 +444,7 @@ def build_cluster(
     cpu: Optional[CpuModel] = None,
     engine_factory: EngineFactory = default_engine_factory,
     duplication: Optional[DuplicatingChannel] = None,
+    gauge_every: int = 8,
 ) -> Cluster:
     """Assemble a ready-to-run cluster.
 
@@ -430,6 +487,7 @@ def build_cluster(
         )
         host = EntityHost(
             sim, trace, i, engine, network, buffer, cpu, config.tick_interval,
+            gauge_every=gauge_every,
         )
         hosts.append(host)
     cluster = Cluster(sim, trace, network, hosts, config, engine_factory=engine_factory)

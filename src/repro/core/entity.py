@@ -1451,6 +1451,30 @@ class COEntity:
         """DT requests waiting for the flow condition."""
         return len(self._pending)
 
+    def gauges(self) -> Dict[str, int]:
+        """Live occupancy gauges for the observability layer.
+
+        Read-only taps the hosts sample on their housekeeping tick (the
+        ``gauge`` trace category); keys are part of the counters/gauges
+        schema in docs/PROTOCOL.md §13.  Buffer occupancy is deliberately
+        absent — the receive buffer belongs to the *host*, which merges its
+        own ``buf_used``/``buf_free`` fields into the sample.
+        """
+        return {
+            "flow_window": self.flow.effective_window(),
+            "flow_base": self.state.min_al(self.index),
+            "in_flight": self.flow.in_flight(),
+            "pending": len(self._pending),
+            "rrl": self.rrl.total,
+            "prl": len(self.prl),
+            "arl": len(self.arl),
+            "sending_log": self.sl.retained,
+            "stash": sum(len(s) for s in self._stash),
+            "peer_store": sum(len(s) for s in self._peer_store),
+            "gap_backlog": self.gaps.open_gaps,
+            "resident": self.resident_pdus,
+        }
+
     @property
     def quiescent(self) -> bool:
         """No pending work: nothing to send, no open gaps, logs drained."""

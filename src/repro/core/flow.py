@@ -38,6 +38,11 @@ class FlowDecision:
     def reason(self) -> str:
         if self.allowed:
             return "ok"
+        if self.seq < self.window_base:
+            # A stale/duplicate probe below the window — not a congestion
+            # signal, so it must not masquerade as "window-full" in the
+            # flow_blocked diagnostics.
+            return "behind-window"
         if self.effective_window == 0:
             return "buffer-exhausted"
         return "window-full"

@@ -23,15 +23,22 @@ happened-before ordering oracle:
   and the survivors' sending logs prune back to empty (the evicted row no
   longer pins the stores).
 
+With ``--record-dir`` (or the ``REPRO_FLIGHT_DIR`` environment variable)
+every scenario runs against a bounded :class:`~repro.sim.trace.FlightRecorder`
+and a failing scenario dumps its recording as JSONL next to the verdict —
+``python -m repro inspect`` summarizes it.
+
 Run from the command line::
 
     python -m repro.harness.nemesis --seed 7 --verbose
     python -m repro.harness.nemesis --scenario crash-evict-rejoin
+    REPRO_FLIGHT_DIR=/tmp/flight python -m repro.harness.nemesis
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -49,6 +56,7 @@ from repro.net.loss import (
 )
 from repro.ordering.checker import verify_run
 from repro.sim.rng import RngRegistry
+from repro.sim.trace import FlightRecorder, TraceLog
 
 MessageId = Tuple[int, int]
 
@@ -214,6 +222,7 @@ def _cluster(
     loss: Optional[LossModel] = None,
     duplication: Optional[DuplicatingChannel] = None,
     evict: bool = True,
+    trace: Optional[TraceLog] = None,
 ) -> Cluster:
     config = ProtocolConfig(
         suspect_timeout=SUSPECT_TIMEOUT,
@@ -222,17 +231,18 @@ def _cluster(
     return build_cluster(
         n,
         config=config,
+        trace=trace,
         loss=loss,
         duplication=duplication,
         rngs=RngRegistry(seed),
     )
 
 
-def scenario_crash_evict_rejoin(seed: int) -> NemesisOutcome:
+def scenario_crash_evict_rejoin(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
     """Crash → agreed eviction → post-eviction traffic → rejoin → re-admit."""
     name = "crash-evict-rejoin"
     n, victim = 4, 2
-    cluster = _cluster(n, seed, loss=BernoulliLoss(0.05, protect_control=True))
+    cluster = _cluster(n, seed, loss=BernoulliLoss(0.05, protect_control=True), trace=trace)
     survivors = [i for i in range(n) if i != victim]
     for k in range(6):
         cluster.submit(k % n, f"pre-{k}")
@@ -274,7 +284,7 @@ def scenario_crash_evict_rejoin(seed: int) -> NemesisOutcome:
     return NemesisOutcome(name, seed, True, "", _observations(cluster, live))
 
 
-def scenario_partition_heal(seed: int) -> NemesisOutcome:
+def scenario_partition_heal(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
     """Symmetric split (no quorum on either side) healed before eviction.
 
     The quorum guard must hold the membership steady — a 2/2 split of a
@@ -284,7 +294,7 @@ def scenario_partition_heal(seed: int) -> NemesisOutcome:
     name = "partition-heal"
     n = 4
     partition = PartitionLoss()
-    cluster = _cluster(n, seed, loss=partition, evict=True)
+    cluster = _cluster(n, seed, loss=partition, evict=True, trace=trace)
     cluster.sim.schedule(0.005, lambda: partition.split({0, 1}, {2, 3}))
     cluster.sim.schedule(0.2, partition.heal)
     for k in range(4):
@@ -312,7 +322,7 @@ def scenario_partition_heal(seed: int) -> NemesisOutcome:
     return NemesisOutcome(name, seed, True, "", _observations(cluster, live))
 
 
-def scenario_duplication(seed: int) -> NemesisOutcome:
+def scenario_duplication(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
     """A duplicating medium: bounded extra copies of every fifth PDU.
 
     The acceptance condition must shed every duplicate — the ordering
@@ -321,7 +331,7 @@ def scenario_duplication(seed: int) -> NemesisOutcome:
     name = "duplication"
     n = 3
     duplication = DuplicatingChannel(rate=0.2, max_extra=2)
-    cluster = _cluster(n, seed, duplication=duplication, evict=False)
+    cluster = _cluster(n, seed, duplication=duplication, evict=False, trace=trace)
     for k in range(9):
         cluster.submit(k % n, f"dup-{k}")
     cluster.run_until_quiescent(max_time=60.0)
@@ -338,7 +348,7 @@ def scenario_duplication(seed: int) -> NemesisOutcome:
     return outcome
 
 
-def scenario_corruption(seed: int) -> NemesisOutcome:
+def scenario_corruption(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
     """A corrupting medium: random single-byte flips on encoded frames.
 
     Every flip must be caught by the codec's CRC trailer (zero undetected
@@ -348,7 +358,7 @@ def scenario_corruption(seed: int) -> NemesisOutcome:
     name = "corruption"
     n = 3
     corruption = CorruptionLoss(rate=0.1)
-    cluster = _cluster(n, seed, loss=corruption, evict=False)
+    cluster = _cluster(n, seed, loss=corruption, evict=False, trace=trace)
     for k in range(9):
         cluster.submit(k % n, f"crc-{k}")
     cluster.run_until_quiescent(max_time=60.0)
@@ -369,14 +379,14 @@ def scenario_corruption(seed: int) -> NemesisOutcome:
     return outcome
 
 
-def scenario_combo(seed: int) -> NemesisOutcome:
+def scenario_combo(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
     """Everything at once: loss + duplication + a crash with eviction and
     rejoin.  The kitchen-sink regression for the whole recovery stack."""
     name = "combo"
     n, victim = 5, 4
     loss = CompositeLoss([BernoulliLoss(0.05, protect_control=True)])
     duplication = DuplicatingChannel(rate=0.1, max_extra=1)
-    cluster = _cluster(n, seed, loss=loss, duplication=duplication)
+    cluster = _cluster(n, seed, loss=loss, duplication=duplication, trace=trace)
     survivors = [i for i in range(n) if i != victim]
     for k in range(10):
         cluster.submit(k % n, f"pre-{k}")
@@ -419,8 +429,16 @@ def run_nemesis(
     seed: int = 0,
     rounds: int = 1,
     verbose: bool = False,
+    record_dir: Optional[str] = None,
+    recorder_capacity: int = 200_000,
 ) -> List[NemesisOutcome]:
-    """Run the selected scenarios ``rounds`` times with derived seeds."""
+    """Run the selected scenarios ``rounds`` times with derived seeds.
+
+    With ``record_dir`` every scenario runs against a bounded
+    :class:`FlightRecorder`; a failing scenario dumps its recording as
+    ``nemesis-<scenario>-<seed>.jsonl`` in that directory (created on
+    demand) and notes the path in the outcome's observations.
+    """
     names = list(scenarios) if scenarios else list(SCENARIOS)
     outcomes: List[NemesisOutcome] = []
     for round_index in range(rounds):
@@ -430,7 +448,20 @@ def run_nemesis(
                 raise ValueError(
                     f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
                 )
-            outcome = fn(seed + round_index * 1009)
+            run_seed = seed + round_index * 1009
+            recorder = (
+                FlightRecorder(capacity=recorder_capacity)
+                if record_dir is not None else None
+            )
+            outcome = fn(run_seed, trace=recorder)
+            if not outcome.ok and recorder is not None:
+                os.makedirs(record_dir, exist_ok=True)
+                path = os.path.join(
+                    record_dir, f"nemesis-{name}-{run_seed}.jsonl",
+                )
+                recorder.dump_jsonl(path)
+                outcome.observations["flight_recording"] = path
+                outcome.detail += f" [recording: {path}]"
             outcomes.append(outcome)
             if verbose:
                 print(outcome.summary())
@@ -445,11 +476,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--rounds", type=int, default=1,
                         help="repeat the campaign with derived seeds")
     parser.add_argument("--verbose", action="store_true")
+    parser.add_argument("--record-dir", default=os.environ.get("REPRO_FLIGHT_DIR"),
+                        help="dump a JSONL flight recording here when a "
+                             "scenario fails (default: $REPRO_FLIGHT_DIR)")
     args = parser.parse_args(argv)
     start = time.perf_counter()
     outcomes = run_nemesis(
         scenarios=args.scenarios, seed=args.seed, rounds=args.rounds,
-        verbose=args.verbose,
+        verbose=args.verbose, record_dir=args.record_dir,
     )
     failures = [o for o in outcomes if not o.ok]
     wall = time.perf_counter() - start

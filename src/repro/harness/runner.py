@@ -29,6 +29,7 @@ from repro.net.loss import BernoulliLoss, LossModel
 from repro.net.topology import Topology
 from repro.ordering.checker import RunReport, verify_run
 from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
 from repro.workloads.generators import (
     BurstyWorkload,
     ContinuousWorkload,
@@ -204,12 +205,20 @@ def _build_workload(config: ExperimentConfig) -> Workload:
     )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+def run_experiment(
+    config: ExperimentConfig,
+    trace: Optional[TraceLog] = None,
+) -> ExperimentResult:
     """Execute one experiment and collect its metrics.
 
     Baselines that cannot quiesce under the configured environment (CBCAST
     with loss, strict paper mode on finite workloads) fall back to the fixed
     duration and report ``quiesced=False`` instead of raising.
+
+    Pass a ``trace`` (e.g. a bounded
+    :class:`~repro.sim.trace.FlightRecorder`) to record into a
+    caller-owned log — the soak harness uses this to dump a recording of
+    a failing trial.
     """
     rngs = RngRegistry(config.seed)
     loss: Optional[LossModel] = None
@@ -219,6 +228,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         n=config.n,
         config=_protocol_config(config),
         topology=Topology.uniform(config.n, config.delay),
+        trace=trace,
         loss=loss,
         rngs=rngs,
         buffer_capacity=config.buffer_capacity,

@@ -15,6 +15,7 @@ Run from the command line::
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 import time
@@ -22,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.sim.trace import FlightRecorder, TraceLog
 
 #: The pools each trial draws from.
 CLUSTER_SIZES = (2, 3, 4, 5, 6, 8)
@@ -83,7 +85,11 @@ def random_config(rng: random.Random, trial_seed: int) -> ExperimentConfig:
     )
 
 
-def run_trial(index: int, config: ExperimentConfig) -> TrialOutcome:
+def run_trial(
+    index: int,
+    config: ExperimentConfig,
+    trace: Optional[TraceLog] = None,
+) -> TrialOutcome:
     """Run one trial and judge it.
 
     The total-order protocol holds back an unacknowledgeable tail on finite
@@ -91,7 +97,7 @@ def run_trial(index: int, config: ExperimentConfig) -> TrialOutcome:
     relaxed to "whatever was delivered is correctly ordered".
     """
     try:
-        result = run_experiment(config)
+        result = run_experiment(config, trace=trace)
     except Exception as exc:  # soak must report, not die
         return TrialOutcome(index, config, False, False, f"exception: {exc!r}")
     report = result.report
@@ -116,7 +122,12 @@ def run_trial(index: int, config: ExperimentConfig) -> TrialOutcome:
     return TrialOutcome(index, config, True, result.quiesced)
 
 
-def run_crash_trial(index: int, rng: random.Random, trial_seed: int) -> TrialOutcome:
+def run_crash_trial(
+    index: int,
+    rng: random.Random,
+    trial_seed: int,
+    trace: Optional[TraceLog] = None,
+) -> TrialOutcome:
     """A membership trial: random traffic, one random crash, survivors judged.
 
     Built directly on the cluster API (``run_experiment`` has no fault
@@ -140,6 +151,7 @@ def run_crash_trial(index: int, rng: random.Random, trial_seed: int) -> TrialOut
         cluster = build_cluster(
             n,
             config=ProtocolConfig(suspect_timeout=0.02),
+            trace=trace,
             loss=BernoulliLoss(loss_rate, protect_control=True) if loss_rate else None,
             rngs=RngRegistry(trial_seed),
         )
@@ -167,7 +179,12 @@ def run_crash_trial(index: int, rng: random.Random, trial_seed: int) -> TrialOut
     return TrialOutcome(index, config, True, True)
 
 
-def run_evict_trial(index: int, rng: random.Random, trial_seed: int) -> TrialOutcome:
+def run_evict_trial(
+    index: int,
+    rng: random.Random,
+    trial_seed: int,
+    trace: Optional[TraceLog] = None,
+) -> TrialOutcome:
     """A recovery trial: crash → agreed eviction → (sometimes) rejoin.
 
     Goes beyond :func:`run_crash_trial` by configuring ``evict_timeout`` so
@@ -199,6 +216,7 @@ def run_evict_trial(index: int, rng: random.Random, trial_seed: int) -> TrialOut
         cluster = build_cluster(
             n,
             config=ProtocolConfig(suspect_timeout=0.02, evict_timeout=0.05),
+            trace=trace,
             loss=BernoulliLoss(loss_rate, protect_control=True) if loss_rate else None,
             rngs=RngRegistry(trial_seed),
         )
@@ -236,24 +254,49 @@ def run_evict_trial(index: int, rng: random.Random, trial_seed: int) -> TrialOut
     return TrialOutcome(index, config, True, True)
 
 
-def run_soak(trials: int = 50, seed: int = 0, verbose: bool = False) -> SoakReport:
+def run_soak(
+    trials: int = 50,
+    seed: int = 0,
+    verbose: bool = False,
+    record_dir: Optional[str] = None,
+    recorder_capacity: int = 200_000,
+) -> SoakReport:
     """Run a full campaign and return the aggregate report.
 
     Roughly one in six trials injects a crash-stop fault and judges the
     survivors under the membership extension's semantics; a further one in
     six runs the full eviction (and, half the time, rejoin) machinery.
+
+    With ``record_dir`` every trial runs against a bounded
+    :class:`FlightRecorder` and a failing trial dumps its recording as
+    ``soak-trial-<index>.jsonl`` there for ``python -m repro inspect``.
     """
     rng = random.Random(seed)
     report = SoakReport(trials=trials)
     start = time.perf_counter()
+
+    def dump_on_failure(outcome: TrialOutcome, recorder: Optional[FlightRecorder]) -> None:
+        if outcome.ok or recorder is None:
+            return
+        os.makedirs(record_dir, exist_ok=True)
+        path = os.path.join(record_dir, f"soak-trial-{outcome.index}.jsonl")
+        recorder.dump_jsonl(path)
+        outcome.detail += f" [recording: {path}]"
+
     for index in range(trials):
+        recorder = (
+            FlightRecorder(capacity=recorder_capacity)
+            if record_dir is not None else None
+        )
         draw = rng.random()
         if draw < 2 / 6:
             kind, runner = (
                 ("crash-injection", run_crash_trial) if draw < 1 / 6
                 else ("evict-rejoin", run_evict_trial)
             )
-            outcome = runner(index, rng, trial_seed=seed * 100_003 + index)
+            outcome = runner(index, rng, trial_seed=seed * 100_003 + index,
+                             trace=recorder)
+            dump_on_failure(outcome, recorder)
             if verbose:
                 flag = "ok " if outcome.ok else "FAIL"
                 print(f"[{flag}] trial {index:3d}: {kind} {outcome.detail}")
@@ -263,7 +306,8 @@ def run_soak(trials: int = 50, seed: int = 0, verbose: bool = False) -> SoakRepo
                 report.messages_verified += 1
             continue
         config = random_config(rng, trial_seed=seed * 100_003 + index)
-        outcome = run_trial(index, config)
+        outcome = run_trial(index, config, trace=recorder)
+        dump_on_failure(outcome, recorder)
         if verbose:
             flag = "ok " if outcome.ok else "FAIL"
             print(f"[{flag}] trial {index:3d}: n={config.n} "
@@ -283,8 +327,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trials", type=int, default=50)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--verbose", action="store_true")
+    parser.add_argument("--record-dir", default=os.environ.get("REPRO_FLIGHT_DIR"),
+                        help="dump a JSONL flight recording here when a "
+                             "trial fails (default: $REPRO_FLIGHT_DIR)")
     args = parser.parse_args(argv)
-    report = run_soak(trials=args.trials, seed=args.seed, verbose=args.verbose)
+    report = run_soak(trials=args.trials, seed=args.seed, verbose=args.verbose,
+                      record_dir=args.record_dir)
     print(report.summary())
     for failure in report.failures:
         print(f"  trial {failure.index}: {failure.detail}")

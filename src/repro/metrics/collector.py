@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.metrics.stats import Histogram
 from repro.sim.trace import TraceLog
 
 MessageId = Tuple[int, int]
@@ -151,6 +152,47 @@ def latency_samples(
         else:
             raise ValueError(f"unknown latency kind: {kind}")
     return samples
+
+
+def latency_histogram(
+    lifecycles: Dict[MessageId, MessageLifecycle],
+    kind: str,
+    histogram: Optional[Histogram] = None,
+) -> Histogram:
+    """Aggregate one latency kind into a fixed-memory histogram.
+
+    Same kinds as :func:`latency_samples`; the default bucket shape spans
+    10 µs … ~5 min geometrically, wide enough for both the simulator's
+    sub-millisecond runs and wall-clock UDP runs.  Pass an existing
+    ``histogram`` to accumulate across traces (edges must match).
+    """
+    if histogram is None:
+        histogram = Histogram.exponential(start=10e-6, factor=2.0, buckets=25)
+    histogram.add_many(s.value for s in latency_samples(lifecycles, kind))
+    return histogram
+
+
+def gauge_histogram(
+    trace: TraceLog,
+    key: str,
+    entity: Optional[int] = None,
+    histogram: Optional[Histogram] = None,
+) -> Histogram:
+    """Distribution of one gauge (queue depth, occupancy) over a run.
+
+    Reads the ``gauge`` samples the hosts record on their tick — the
+    §2.1 buffer-occupancy signal and its siblings (``prl``, ``rrl``,
+    ``gap_backlog``, ...).
+    """
+    if histogram is None:
+        histogram = Histogram([1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                               1024, 4096, 16384])
+    histogram.add_many(
+        float(rec.get(key))
+        for rec in trace.select(category="gauge", entity=entity)
+        if rec.get(key) is not None
+    )
+    return histogram
 
 
 def hot_path_stats(entity_counters: Dict[str, int]) -> Dict[str, float]:

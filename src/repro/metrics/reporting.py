@@ -65,6 +65,28 @@ def format_series(
     return format_table(headers, rows, title=title)
 
 
+#: Eight-level block ramp for text sparklines (pure-ASCII fallback: see
+#: ``sparkline(..., ascii_only=True)``).
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+_SPARK_ASCII = " .:-=+*#"
+
+
+def sparkline(values: Sequence[float], ascii_only: bool = False) -> str:
+    """Render a value series as one line of block characters.
+
+    Scaled to the series' own max (an all-zero series renders as the
+    lowest block), which is the right view for "when did it spike".
+    """
+    ramp = _SPARK_ASCII if ascii_only else _SPARK_BLOCKS
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return ramp[0] * len(values)
+    top = len(ramp) - 1
+    return "".join(ramp[int(round(top * max(v, 0.0) / peak))] for v in values)
+
+
 def bar_chart(
     labels: Sequence[str],
     values: Sequence[float],

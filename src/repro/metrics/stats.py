@@ -7,8 +7,9 @@ assertions in benchmarks — Figure 8 claims *linear* growth in ``n``, which
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
 import numpy as np
 
@@ -49,6 +50,124 @@ def summarize(samples: Sequence[float]) -> Summary:
         minimum=float(arr.min()),
         maximum=float(arr.max()),
     )
+
+
+class Histogram:
+    """A fixed-bucket histogram with O(1) memory — the aggregation the
+    flight-recorder pipeline uses for latency and queue-depth samples.
+
+    ``edges`` are the bucket upper bounds; a value lands in the first
+    bucket whose edge is >= value, and values beyond the last edge land in
+    an unbounded overflow bucket.  Unlike raw sample lists, a histogram's
+    size is independent of run length, so live runtimes can keep one per
+    metric forever.
+
+    >>> h = Histogram([1.0, 10.0])
+    >>> for v in (0.5, 0.7, 5.0, 50.0): h.add(v)
+    >>> h.counts
+    [2, 1, 1]
+    """
+
+    def __init__(self, edges: Sequence[float]):
+        if not edges:
+            raise ValueError("a histogram needs at least one bucket edge")
+        ordered = list(edges)
+        if any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ValueError(f"edges must be strictly increasing: {ordered}")
+        self.edges: List[float] = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    @classmethod
+    def exponential(cls, start: float, factor: float = 2.0, buckets: int = 16) -> "Histogram":
+        """Geometric edges ``start, start*factor, ...`` — the default shape
+        for latencies, which span orders of magnitude."""
+        if start <= 0 or factor <= 1:
+            raise ValueError("start must be > 0 and factor > 1")
+        return cls([start * factor ** i for i in range(buckets)])
+
+    def add(self, value: float) -> None:
+        self.counts[bisect_right(self.edges, value)] += 1
+        self.total += 1
+        self.sum += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def add_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper-edge estimate of the ``q``-th percentile (0 <= q <= 100).
+
+        Conservative by construction: the true value is at or below the
+        reported edge.  The overflow bucket reports the observed maximum.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.total == 0:
+            return 0.0
+        rank = q / 100.0 * self.total
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank and count:
+                if index < len(self.edges):
+                    return self.edges[index]
+                return self.maximum
+        return self.maximum
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram with identical edges into this one."""
+        if other.edges != self.edges:
+            raise ValueError("cannot merge histograms with different edges")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.sum += other.sum
+        if other.total:
+            self.minimum = min(self.minimum, other.minimum)
+            self.maximum = max(self.maximum, other.maximum)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "min": self.minimum if self.total else None,
+            "max": self.maximum if self.total else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        h = cls(data["edges"])
+        h.counts = list(data["counts"])
+        h.total = int(data["total"])
+        h.sum = float(data["sum"])
+        h.minimum = float("inf") if data.get("min") is None else float(data["min"])
+        h.maximum = float("-inf") if data.get("max") is None else float(data["max"])
+        return h
+
+    def summary(self) -> Summary:
+        """The five-number view other report code already understands."""
+        if self.total == 0:
+            return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return Summary(
+            count=self.total,
+            mean=self.mean,
+            p50=self.percentile(50),
+            p95=self.percentile(95),
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )
 
 
 @dataclass(frozen=True)

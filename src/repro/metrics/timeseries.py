@@ -91,6 +91,30 @@ def delivery_latency_series(trace: TraceLog, bucket: float) -> Series:
     return _bucketize(samples, bucket, combine="mean")
 
 
+def gauge_series(
+    trace: TraceLog,
+    key: str,
+    bucket: float,
+    entity: Optional[int] = None,
+) -> Series:
+    """Mean value of one host-sampled gauge per bucket.
+
+    Gauges are point-in-time samples (the ``gauge`` trace category), so
+    bucket means — not counts — are the faithful reduction.
+    """
+    samples = [
+        (rec.time, float(rec.get(key)))
+        for rec in trace.select(category="gauge", entity=entity)
+        if rec.get(key) is not None
+    ]
+    return _bucketize(samples, bucket, combine="mean")
+
+
+def gauge_entities(trace: TraceLog) -> List[int]:
+    """The entities that contributed gauge samples to a trace."""
+    return sorted({rec.entity for rec in trace.select(category="gauge")})
+
+
 def resident_series(trace: TraceLog, bucket: float) -> Dict[str, Series]:
     """Protocol activity per bucket: acceptances, pre-acks, acks.
 

@@ -13,12 +13,37 @@ simulator.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, List, Optional
+import time
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.config import ProtocolConfig
 from repro.core.entity import COEntity, DeliveredMessage
 from repro.runtime.transport import LocalAsyncTransport
 from repro.sim.trace import TraceLog
+
+
+def lazy_loop_clock() -> Callable[[], float]:
+    """A monotonic clock that binds to the running loop's clock on first
+    in-loop call.
+
+    Hosts are constructed *before* ``asyncio.run`` starts the loop, so the
+    old ``lambda: 0.0`` placeholder stamped every engine's liveness state
+    (``_last_heard``, last-send time) at t=0 — the first real tick then saw
+    hours of apparent silence and suspected every peer at once.  This clock
+    returns ``time.monotonic()`` until a loop is running (the same epoch as
+    the default loop's clock), then pins ``loop.time`` permanently.
+    """
+    pinned: List[Callable[[], float]] = []
+
+    def clock() -> float:
+        if not pinned:
+            try:
+                pinned.append(asyncio.get_running_loop().time)
+            except RuntimeError:
+                return time.monotonic()
+        return pinned[0]()
+
+    return clock
 
 
 class AsyncEntityHost:
@@ -32,15 +57,24 @@ class AsyncEntityHost:
         transport: LocalAsyncTransport,
         trace: TraceLog,
         clock: Callable[[], float],
+        advertised_buf: Optional[Callable[[], int]] = None,
+        gauge_every: int = 8,
     ):
         self.index = index
         self.transport = transport
-        self.engine = COEntity(index, n, config, clock=clock, trace=trace)
+        self.trace = trace
+        self._clock = clock
+        self.engine = COEntity(
+            index, n, config, clock=clock, trace=trace,
+            advertised_buf=advertised_buf,
+        )
         self.engine.bind(send=self._send, deliver=self._on_deliver)
         self.delivered: List[DeliveredMessage] = []
         self._delivery_listeners: List[Callable[[DeliveredMessage], None]] = []
         self._tick_task: Optional["asyncio.Task"] = None
         self._tick_interval = config.tick_interval
+        self.gauge_every = gauge_every
+        self._ticks = 0
         transport.attach(index, self._on_pdu)
 
     # ------------------------------------------------------------------
@@ -62,6 +96,39 @@ class AsyncEntityHost:
         while True:
             await asyncio.sleep(self._tick_interval)
             self.engine.on_tick()
+            self._ticks += 1
+            if self.gauge_every and self._ticks % self.gauge_every == 0:
+                self.sample_gauges()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def sample_gauges(self) -> None:
+        """Record the engine's live occupancy gauges as a ``gauge`` trace
+        record (plus inbox occupancy when the transport has a per-member
+        receive buffer, as :class:`~repro.runtime.udp.UdpTransport` does).
+        """
+        sample = dict(self.engine.gauges())
+        inbox = getattr(self.transport, "inbox", None)
+        if inbox is not None:
+            sample["buf_used"] = inbox.used_units
+            sample["buf_free"] = inbox.free_units
+        self.trace.record(self._clock(), "gauge", self.index, **sample)
+
+    def counters(self) -> Dict[str, Dict[str, Any]]:
+        """The unified counters dict every runtime exports.
+
+        Same schema as the simulator's ``EntityHost.counters()``:
+        ``{"engine": ..., "buffer": ..., "transport": ...}`` (see
+        docs/PROTOCOL.md §13).
+        """
+        inbox = getattr(self.transport, "inbox", None)
+        transport_counters = getattr(self.transport, "counters", None)
+        return {
+            "engine": self.engine.counters.snapshot(),
+            "buffer": inbox.stats.snapshot() if inbox is not None else {},
+            "transport": transport_counters() if callable(transport_counters) else {},
+        }
 
     # ------------------------------------------------------------------
     # Application side
@@ -109,6 +176,7 @@ class AsyncCluster:
         delay: float = 0.0,
         seed: int = 0,
         trace: Optional[TraceLog] = None,
+        gauge_every: int = 8,
     ):
         if n < 2:
             raise ValueError(f"a cluster needs at least 2 members, got {n}")
@@ -121,11 +189,11 @@ class AsyncCluster:
         self.transport = LocalAsyncTransport(
             n, loss_rate=loss_rate, delay=delay, seed=seed,
         )
-        self._clock: Callable[[], float] = lambda: 0.0
+        self._clock = lazy_loop_clock()
         self.hosts = [
             AsyncEntityHost(
                 i, n, self.config, self.transport, self.trace,
-                clock=lambda: self._clock(),
+                clock=self._clock, gauge_every=gauge_every,
             )
             for i in range(n)
         ]
@@ -142,8 +210,6 @@ class AsyncCluster:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        loop = asyncio.get_event_loop()
-        self._clock = loop.time
         await self.transport.start()
         for host in self.hosts:
             host.start()
@@ -161,6 +227,10 @@ class AsyncCluster:
 
     def delivered(self, member: int) -> List[DeliveredMessage]:
         return list(self.hosts[member].delivered)
+
+    def counters(self) -> List[Dict[str, Dict[str, Any]]]:
+        """Per-member unified counters dicts (docs/PROTOCOL.md §13)."""
+        return [host.counters() for host in self.hosts]
 
     async def quiesce(self, timeout: float = 10.0, settle: float = 0.02) -> None:
         """Wait until every engine drains and the transport empties.

@@ -10,6 +10,14 @@ UDP gives exactly the MC failure model for free: datagrams can be dropped
 (full socket buffers) and the protocol's own sequence numbers detect and
 repair it.  An extra ``loss_rate`` can inject drops for testing.
 
+The inbox between the socket and the engine is a bounded
+:class:`~repro.net.buffers.ReceiveBuffer` — the paper's §2.1 receive
+buffer, not an unbounded queue.  A datagram arriving when the inbox is
+full is a counted overrun (``buffer_overruns``); the engine's gap
+detection and RET selective retransmission repair it, and because the
+member advertises the inbox's free units in every PDU's ``BUF`` field,
+peers' flow windows (§4.2) throttle before the next one.
+
 Usage::
 
     transport = UdpTransport(index=0, peers=["127.0.0.1:9001", ...])
@@ -26,7 +34,8 @@ from typing import Any, Awaitable, Callable, List, Optional, Sequence, Tuple
 from repro.core.codec import decode_pdu_safe, encode_pdu
 from repro.core.config import ProtocolConfig
 from repro.core.entity import COEntity, DeliveredMessage
-from repro.runtime.host import AsyncEntityHost
+from repro.net.buffers import ReceiveBuffer
+from repro.runtime.host import AsyncEntityHost, lazy_loop_clock
 from repro.sim.trace import TraceLog
 
 Address = Tuple[str, int]
@@ -62,6 +71,8 @@ class UdpTransport:
         peers: Sequence[str],
         loss_rate: float = 0.0,
         seed: int = 0,
+        inbox_capacity_units: int = 4096,
+        units_per_pdu: int = 1,
     ):
         if not 0 <= index < len(peers):
             raise ValueError(f"index {index} outside peer list of {len(peers)}")
@@ -74,7 +85,17 @@ class UdpTransport:
         self._sink: Optional[Sink] = None
         self._udp: Optional[asyncio.transports.DatagramTransport] = None
         self._dispatch: Optional["asyncio.Task"] = None
-        self._inbox: "asyncio.Queue[bytes]" = asyncio.Queue()
+        #: Bounded receive buffer between the socket and the engine — the
+        #: §2.1 model made literal.  Frames arriving when it is full are
+        #: overruns (counted in ``inbox.stats``), exactly the loss the
+        #: protocol's RET machinery repairs.
+        self.inbox = ReceiveBuffer(
+            capacity_units=inbox_capacity_units, units_per_pdu=units_per_pdu,
+        )
+        self._inbox_ready = asyncio.Event()
+        #: Called (with no arguments) on every inbox overrun; the member
+        #: wires this to a ``drop`` trace record.
+        self.on_overrun: Optional[Callable[[], None]] = None
         self.datagrams_sent = 0
         self.datagrams_dropped = 0
         self.decode_errors = 0
@@ -82,6 +103,22 @@ class UdpTransport:
         #: trailer rejects corrupted datagrams before they reach the engine).
         self.codec_counters = {"codec_corrupt_frames": 0}
         self.errors = 0
+
+    @property
+    def buffer_overruns(self) -> int:
+        """Datagrams dropped because the inbox was full."""
+        return self.inbox.stats.overruns
+
+    def counters(self) -> dict:
+        """Medium-specific counters (the ``transport`` leg of the unified
+        counters schema, docs/PROTOCOL.md §13)."""
+        return {
+            "datagrams_sent": self.datagrams_sent,
+            "datagrams_dropped": self.datagrams_dropped,
+            "decode_errors": self.decode_errors,
+            "socket_errors": self.errors,
+            **self.codec_counters,
+        }
 
     # ------------------------------------------------------------------
     # Host interface (same shape as LocalAsyncTransport)
@@ -132,16 +169,28 @@ class UdpTransport:
     # Receive path
     # ------------------------------------------------------------------
     def _on_datagram(self, data: bytes) -> None:
-        self._inbox.put_nowait(data)
+        if not self.inbox.offer(data):
+            # Buffer overrun: the datagram is gone, exactly as in §2.1.
+            # The sender's sequence numbers make the loss detectable and
+            # the RET path repairs it.
+            if self.on_overrun is not None:
+                self.on_overrun()
+            return
+        self._inbox_ready.set()
 
     async def _dispatch_loop(self) -> None:
         while True:
-            data = await self._inbox.get()
-            pdu = decode_pdu_safe(data, self.codec_counters)
-            if pdu is None:
-                self.decode_errors += 1
-                continue
-            await self._sink(pdu)
+            await self._inbox_ready.wait()
+            self._inbox_ready.clear()
+            # Drain everything queued; a datagram landing mid-drain re-sets
+            # the event, so the outer loop immediately comes back around.
+            while not self.inbox.empty:
+                data = self.inbox.pop()
+                pdu = decode_pdu_safe(data, self.codec_counters)
+                if pdu is None:
+                    self.decode_errors += 1
+                    continue
+                await self._sink(pdu)
 
 
 class UdpMember:
@@ -155,18 +204,29 @@ class UdpMember:
         loss_rate: float = 0.0,
         seed: int = 0,
         trace: Optional[TraceLog] = None,
+        inbox_capacity_units: int = 4096,
     ):
         self.config = config or ProtocolConfig(
             tick_interval=2e-3, deferred_interval=4e-3, ret_timeout=10e-3,
         )
+        self.index = index
         self.trace = trace if trace is not None else TraceLog()
         self.transport = UdpTransport(
             index, peers, loss_rate=loss_rate, seed=seed + index,
+            inbox_capacity_units=inbox_capacity_units,
+            units_per_pdu=self.config.units_per_pdu,
         )
-        self._clock: Callable[[], float] = lambda: 0.0
+        self.transport.on_overrun = self._record_overrun
+        # The engine's liveness state is stamped with clock() at
+        # construction, which happens before any loop runs — a lazy clock
+        # (not a 0.0 placeholder) keeps those stamps on the loop's epoch.
+        self._clock = lazy_loop_clock()
         self.host = AsyncEntityHost(
             index, len(peers), self.config, self.transport, self.trace,
-            clock=lambda: self._clock(),
+            clock=self._clock,
+            # The real §4.2 BUF advertisement: peers size their flow
+            # windows from this member's actual inbox headroom.
+            advertised_buf=lambda: self.transport.inbox.free_units,
         )
 
     @property
@@ -177,8 +237,19 @@ class UdpMember:
     def delivered(self) -> List[DeliveredMessage]:
         return self.host.delivered
 
+    @property
+    def buffer_overruns(self) -> int:
+        return self.transport.buffer_overruns
+
+    def counters(self) -> dict:
+        """The unified counters dict (docs/PROTOCOL.md §13)."""
+        return self.host.counters()
+
+    def _record_overrun(self) -> None:
+        self.trace.record(self._clock(), "drop", self.index,
+                          reason="inbox-overrun")
+
     async def start(self) -> None:
-        self._clock = asyncio.get_event_loop().time
         await self.transport.start()
         self.host.start()
 
@@ -197,6 +268,7 @@ async def udp_cluster(
     loss_rate: float = 0.0,
     seed: int = 0,
     shared_trace: bool = True,
+    inbox_capacity_units: int = 4096,
 ) -> List[UdpMember]:
     """Assemble and start a loopback UDP cluster.
 
@@ -208,7 +280,8 @@ async def udp_cluster(
     trace = TraceLog() if shared_trace else None
     members = [
         UdpMember(i, peers, config=config, loss_rate=loss_rate, seed=seed,
-                  trace=trace if shared_trace else None)
+                  trace=trace if shared_trace else None,
+                  inbox_capacity_units=inbox_capacity_units)
         for i in range(n)
     ]
     for member in members:

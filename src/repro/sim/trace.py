@@ -18,8 +18,10 @@ engines stick to the vocabulary in :data:`CATEGORIES`.
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 #: Vocabulary of record categories emitted by the engines in this repository.
 CATEGORIES = (
@@ -50,6 +52,7 @@ CATEGORIES = (
     "fence",         # a removed member's PDU was dropped at the view fence
     "join",          # a rejoining incarnation broadcast a join request
     "state-transfer",# a sponsor served (or a joiner applied) a state snapshot
+    "gauge",         # a host sampled its entity's live occupancy gauges
 )
 
 
@@ -144,8 +147,110 @@ class TraceLog:
 
     def format(self, limit: Optional[int] = None) -> str:
         """Human-readable dump of the first ``limit`` records."""
-        records = self._records if limit is None else self._records[:limit]
+        records = self._records if limit is None else list(self._records)[:limit]
         return "\n".join(str(rec) for rec in records)
 
     def clear(self) -> None:
         self._records.clear()
+
+    # ------------------------------------------------------------------
+    # Flight recordings (JSONL snapshot export)
+    # ------------------------------------------------------------------
+    def meta(self) -> Dict[str, Any]:
+        """Header fields written at the top of a JSONL recording."""
+        return {"kind": "trace", "records": len(self._records)}
+
+    def dump_jsonl(self, path: str) -> str:
+        """Write the retained records as a JSONL flight recording.
+
+        Line 1 is a ``{"meta": ...}`` header; every further line is one
+        record as ``{"t", "cat", "e", "d"}``.  Tuples in details are
+        JSON-encoded as lists (the only lossy conversion); everything a
+        recording consumer needs — :mod:`repro.metrics`,
+        :mod:`repro.analysis.recording` — reads either form.
+        """
+        with open(path, "w") as f:
+            f.write(json.dumps({"meta": self.meta()}, sort_keys=True) + "\n")
+            for rec in self._records:
+                f.write(json.dumps(
+                    {"t": rec.time, "cat": rec.category, "e": rec.entity,
+                     "d": rec.details},
+                    sort_keys=True, default=_jsonable,
+                ) + "\n")
+        return path
+
+
+def _jsonable(value: Any) -> Any:
+    """Fallback encoder: sets become sorted lists, objects become reprs."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return repr(value)
+
+
+def load_jsonl(path: str) -> Tuple["TraceLog", Dict[str, Any]]:
+    """Read a flight recording back into a (TraceLog, meta) pair.
+
+    The returned log is a plain :class:`TraceLog` regardless of whether a
+    bounded :class:`FlightRecorder` wrote it — the bound matters when
+    recording, not when analysing.
+    """
+    log = TraceLog()
+    meta: Dict[str, Any] = {}
+    with open(path) as f:
+        for line_number, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if line_number == 0 and "meta" in obj:
+                meta = obj["meta"]
+                continue
+            log.record(obj["t"], obj["cat"], obj["e"], **obj.get("d", {}))
+    return log, meta
+
+
+class FlightRecorder(TraceLog):
+    """A :class:`TraceLog` with a hard memory bound: a ring of the most
+    recent ``capacity`` records.
+
+    The paper's failure model is receiver-side overrun; an observability
+    layer that grows without bound while diagnosing one would be its own
+    overrun.  The recorder keeps the *tail* of the run — the window that
+    contains whatever just went wrong — and counts what it shed
+    (``evicted``) so a truncated recording is never mistaken for a short
+    run.  Drop-in everywhere a ``TraceLog`` goes: engines, clusters,
+    runtimes and harnesses record into it unchanged.
+    """
+
+    def __init__(self, capacity: int = 100_000, enabled: bool = True):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        super().__init__(enabled)
+        self.capacity = capacity
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)  # type: ignore[assignment]
+        #: Every record ever offered, including the ones the ring shed.
+        self.recorded_total = 0
+        #: Records pushed out by the ring bound.
+        self.evicted = 0
+
+    def record(self, time: float, category: str, entity: int, **details: Any) -> None:
+        if not self.enabled:
+            return
+        self.recorded_total += 1
+        if len(self._records) == self.capacity:
+            self.evicted += 1
+        self._records.append(TraceRecord(time, category, entity, details))
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        # deque indexing is O(n) but supports the TraceLog contract; the
+        # run helpers that index scan forward anyway.
+        return self._records[index]
+
+    def meta(self) -> Dict[str, Any]:
+        return {
+            "kind": "flight-recorder",
+            "capacity": self.capacity,
+            "records": len(self._records),
+            "recorded_total": self.recorded_total,
+            "evicted": self.evicted,
+        }

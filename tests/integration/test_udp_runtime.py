@@ -6,10 +6,12 @@ own port range so parallel pytest workers cannot collide.
 """
 
 import asyncio
+import time
 
 import pytest
 
 from repro.ordering.checker import verify_run
+from repro.runtime.host import lazy_loop_clock
 from repro.runtime.udp import UdpMember, UdpTransport, udp_cluster
 
 
@@ -128,6 +130,79 @@ class TestUdpCluster:
         members = run(scenario())
         assert members[1].transport.decode_errors >= 1
         assert [m.data for m in members[1].delivered] == [b"real"]
+
+
+class TestBoundedInbox:
+    def test_overrun_then_selective_retransmission_recovers(self):
+        """A member with a tiny inbox and a slow consumer must drop frames
+        (counted overruns, the §2.1 failure model) yet still converge: the
+        engines' gap detection and RET machinery repair every loss."""
+
+        async def scenario():
+            # capacity 12 with n=3 keeps the §4.2 window positive
+            # (12 // (1*2*3) = 2) while being easy to overflow.
+            members = await udp_cluster(
+                3, base_port=19950, seed=6, inbox_capacity_units=12,
+            )
+            victim = members[2]
+            original_sink = victim.transport._sink
+            stalled = 40
+
+            async def slow_sink(pdu):
+                nonlocal stalled
+                if stalled > 0:
+                    stalled -= 1
+                    await asyncio.sleep(0.003)
+                await original_sink(pdu)
+
+            victim.transport._sink = slow_sink
+            try:
+                for k in range(10):
+                    members[k % 2].broadcast(f"burst-{k}".encode())
+                await quiesce(members, timeout=30.0)
+            finally:
+                await stop_all(members)
+            return members
+
+        members = run(scenario())
+        assert members[2].buffer_overruns > 0
+        assert members[2].counters()["buffer"]["overruns"] > 0
+        # Every overrun-dropped PDU was repaired: full delivery everywhere.
+        for member in members:
+            assert len(member.delivered) == 10
+        assert members[2].trace.count("drop", entity=2) > 0
+        verify_run(members[0].trace, 3).assert_ok()
+
+    def test_inbox_free_units_are_advertised_as_buf(self):
+        member = UdpMember(0, ["127.0.0.1:1", "127.0.0.1:2"])
+        inbox = member.transport.inbox
+        assert member.engine._advertised_buf() == inbox.free_units
+        inbox.offer(b"frame")
+        assert member.engine._advertised_buf() == inbox.free_units
+
+
+class TestLazyClock:
+    def test_member_liveness_stamps_not_frozen_at_zero(self):
+        """Regression: members are constructed before the loop runs, and the
+        old ``lambda: 0.0`` placeholder stamped ``_last_heard`` at t=0 — the
+        first tick then saw the whole loop epoch as silence and suspected
+        every peer at once."""
+        before = time.monotonic()
+        member = UdpMember(0, ["127.0.0.1:1", "127.0.0.1:2"])
+        after = time.monotonic()
+        for stamp in member.engine._last_heard:
+            assert before <= stamp <= after
+
+    def test_lazy_clock_pins_running_loop_time(self):
+        clock = lazy_loop_clock()
+        assert clock() > 0.0  # pre-loop fallback: time.monotonic epoch
+
+        async def sample():
+            loop_now = asyncio.get_running_loop().time()
+            return clock(), loop_now
+
+        pinned, loop_now = asyncio.run(sample())
+        assert abs(pinned - loop_now) < 0.05
 
 
 class TestUdpTransportValidation:

@@ -76,3 +76,28 @@ def test_in_flight_counts_unconfirmed_own_pdus():
 def test_decision_reason_ok():
     flow, _ = make()
     assert flow.check(1).reason == "ok"
+
+
+def test_decision_reason_behind_window():
+    flow, state = make(window=4)
+    for observer in range(4):
+        state.merge_al(observer, (4, 1, 1, 1))  # seqs 1-3 accepted everywhere
+    # Window base has slid to 4; a stale probe for seq 2 is behind it,
+    # which is not a congestion signal.
+    decision = flow.check(2)
+    assert not decision.allowed
+    assert decision.reason == "behind-window"
+
+
+def test_decision_reason_covers_all_blocked_branches():
+    # window-full: in-window buffer, seq past the right edge.
+    flow, _ = make(window=4)
+    assert flow.check(5).reason == "window-full"
+    # buffer-exhausted: effective window collapsed to zero.
+    flow, state = make(n=4)
+    for j in range(4):
+        state.update_buf(j, 3)
+    assert flow.check(1).reason == "buffer-exhausted"
+    # behind-window wins over buffer-exhausted for stale seqs: even with a
+    # closed window, a seq below the base is reported as stale, not full.
+    assert flow.check(0).reason == "behind-window"
