@@ -81,6 +81,20 @@ State-snapshot PDU::
     (u16 src, u32 seq) * k
     u32 buf
 
+Batch frame (batching extension, docs/PROTOCOL.md §14)::
+
+    u8  type = 0x07
+    u8  flags = 0
+    u32 cid
+    u16 src
+    u16 n              vector length
+    u16 count          inner data-PDU count (0 = pure-confirmation frame)
+    u32 ack[n]
+    u32 pack[n]
+    u32 buf
+    (u32 body_len, body) * count   each body a type-0x01 data-PDU body
+                                   (no per-PDU checksum; one frame CRC)
+
 Every frame ends in a ``u32`` CRC-32 of everything before it.  The MC
 medium itself is error-free in the paper's model, but real transports (and
 the nemesis harness's bit-flip fault) are not; the checksum turns silent
@@ -98,6 +112,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.core.errors import ReproError
 from repro.core.pdu import (
+    BatchPdu,
     DataPdu,
     HeartbeatPdu,
     JoinPdu,
@@ -112,6 +127,7 @@ _TYPE_HEARTBEAT = 0x03
 _TYPE_VIEWCHANGE = 0x04
 _TYPE_JOIN = 0x05
 _TYPE_STATE = 0x06
+_TYPE_BATCH = 0x07
 
 _FLAG_NULL = 0x01
 _FLAG_PROBE = 0x01
@@ -123,7 +139,9 @@ _PHASE_NAMES = {code: name for name, code in _PHASE_CODES.items()}
 #: Trailing CRC-32 length in bytes.
 _CRC_BYTES = 4
 
-AnyPdu = Union[DataPdu, RetPdu, HeartbeatPdu, ViewChangePdu, JoinPdu, StatePdu]
+AnyPdu = Union[
+    DataPdu, RetPdu, HeartbeatPdu, ViewChangePdu, JoinPdu, StatePdu, BatchPdu,
+]
 
 
 class CodecError(ReproError, ValueError):
@@ -212,6 +230,22 @@ def _encode_body(pdu: AnyPdu) -> bytes:
             + prefix
             + struct.pack("!I", pdu.buf)
         )
+    if isinstance(pdu, BatchPdu):
+        head = struct.pack(
+            "!BBIHHH", _TYPE_BATCH, 0, pdu.cid, pdu.src, len(pdu.ack),
+            len(pdu.pdus),
+        )
+        inner = b"".join(
+            struct.pack("!I", len(body)) + body
+            for body in (_encode_body(p) for p in pdu.pdus)
+        )
+        return (
+            head
+            + _pack_vector(pdu.ack)
+            + _pack_vector(pdu.pack)
+            + struct.pack("!I", pdu.buf)
+            + inner
+        )
     raise CodecError(f"cannot encode {type(pdu).__name__}")
 
 
@@ -219,7 +253,11 @@ def decode_pdu(data: bytes) -> AnyPdu:
     """Parse bytes produced by :func:`encode_pdu`, verifying the CRC."""
     try:
         return _decode(_checked_body(data))
-    except (struct.error, IndexError) as exc:
+    except CodecError:
+        raise
+    except (struct.error, IndexError, ValueError) as exc:
+        # ValueError covers PDU-constructor validation (e.g. a frame whose
+        # fields decode but violate a dataclass invariant).
         raise CodecError(f"truncated or malformed PDU: {exc}") from exc
 
 
@@ -338,7 +376,75 @@ def _decode(data: bytes) -> AnyPdu:
             cid=cid, src=src, joiner=joiner, view=view, members=members,
             ack=ack, pack=pack, buf=buf, prefix=tuple(prefix),
         )
+    if kind == _TYPE_BATCH:
+        _, _, cid, src, n, count = struct.unpack_from("!BBIHHH", data, 0)
+        offset = struct.calcsize("!BBIHHH")
+        ack = struct.unpack_from(f"!{n}I", data, offset)
+        offset += 4 * n
+        pack = struct.unpack_from(f"!{n}I", data, offset)
+        offset += 4 * n
+        (buf,) = struct.unpack_from("!I", data, offset)
+        offset += 4
+        pdus = []
+        for _ in range(count):
+            (body_len,) = struct.unpack_from("!I", data, offset)
+            offset += 4
+            body = data[offset:offset + body_len]
+            if len(body) != body_len:
+                raise CodecError("inner PDU shorter than its declared length")
+            offset += body_len
+            inner = _decode(body)
+            if not isinstance(inner, DataPdu):
+                raise CodecError(
+                    "batch frames carry data PDUs only, got "
+                    f"{type(inner).__name__}"
+                )
+            pdus.append(inner)
+        return BatchPdu(
+            cid=cid, src=src, ack=ack, pack=pack, buf=buf, pdus=tuple(pdus),
+        )
     raise CodecError(f"unknown PDU type byte 0x{kind:02x}")
+
+
+def split_batch(pdu: BatchPdu, max_frame_bytes: int) -> "list[BatchPdu]":
+    """Split a batch into frames whose encoding fits ``max_frame_bytes``.
+
+    Every chunk repeats the original header (idempotent to fold twice —
+    receivers merge vectors element-wise max) and keeps the inner PDUs in
+    sequence order, so per-source FIFO survives the split.  A chunk always
+    carries at least one inner PDU even if that PDU alone exceeds the limit
+    (an oversized application payload cannot be split at this layer), so
+    the split always terminates.  An empty batch returns itself.
+    """
+    if max_frame_bytes < 1:
+        raise CodecError(f"max_frame_bytes must be positive, got {max_frame_bytes}")
+    if not pdu.pdus or encoded_size(pdu) <= max_frame_bytes:
+        return [pdu]
+    header_size = encoded_size(
+        BatchPdu(cid=pdu.cid, src=pdu.src, ack=pdu.ack, pack=pdu.pack,
+                 buf=pdu.buf)
+    )
+    chunks: "list[BatchPdu]" = []
+    current: "list[DataPdu]" = []
+    current_size = header_size
+    for p in pdu.pdus:
+        # u32 length prefix + body (bodies carry no per-PDU CRC).
+        cost = 4 + len(_encode_body(p))
+        if current and current_size + cost > max_frame_bytes:
+            chunks.append(
+                BatchPdu(cid=pdu.cid, src=pdu.src, ack=pdu.ack,
+                         pack=pdu.pack, buf=pdu.buf, pdus=tuple(current))
+            )
+            current = []
+            current_size = header_size
+        current.append(p)
+        current_size += cost
+    if current:
+        chunks.append(
+            BatchPdu(cid=pdu.cid, src=pdu.src, ack=pdu.ack,
+                     pack=pdu.pack, buf=pdu.buf, pdus=tuple(current))
+        )
+    return chunks
 
 
 def encoded_size(pdu: AnyPdu) -> int:

@@ -127,6 +127,18 @@ class ProtocolConfig:
     #: state-transfer protocol.  Requires ``suspect_timeout``.  ``None``
     #: (default) keeps the revocable suspect-only behaviour.
     evict_timeout: "float | None" = None
+    #: Frame batching (docs/PROTOCOL.md §14): accumulate up to this many
+    #: data PDUs per :class:`~repro.core.pdu.BatchPdu` frame before
+    #: flushing.  ``1`` (default) disables batching — every data PDU is its
+    #: own frame, byte-identical to the unbatched protocol.
+    batch_max_pdus: int = 1
+    #: Flush an open batch once its modelled wire size reaches this many
+    #: bytes (``0`` disables the byte cap).  Only meaningful with
+    #: ``batch_max_pdus > 1``.
+    batch_max_bytes: int = 0
+    #: Flush any open batch on the housekeeping tick, bounding the extra
+    #: latency a batched PDU can incur to one ``tick_interval``.
+    batch_flush_on_tick: bool = True
     #: Cluster identifier placed in every PDU's ``CID`` field.
     cluster_id: int = 1
 
@@ -155,6 +167,19 @@ class ProtocolConfig:
                 "the membership extension needs heartbeat keepalives, which "
                 "strict paper mode disables; choose one"
             )
+        if self.batch_max_pdus < 1:
+            raise ConfigurationError(
+                f"batch_max_pdus must be >= 1, got {self.batch_max_pdus}"
+            )
+        if self.batch_max_bytes < 0:
+            raise ConfigurationError(
+                f"batch_max_bytes must be non-negative, got {self.batch_max_bytes}"
+            )
+        if self.batching_enabled and self.strict_paper_mode:
+            raise ConfigurationError(
+                "batching coalesces the PACK vector into an out-of-band frame "
+                "header, which strict paper mode forbids; choose one"
+            )
         if self.ret_backoff_cap < 1:
             raise ConfigurationError(
                 f"ret_backoff_cap must be >= 1, got {self.ret_backoff_cap}"
@@ -177,6 +202,11 @@ class ProtocolConfig:
     def with_(self, **changes) -> "ProtocolConfig":
         """A copy with the given fields replaced (sugar over ``replace``)."""
         return replace(self, **changes)
+
+    @property
+    def batching_enabled(self) -> bool:
+        """True when data PDUs are accumulated into batch frames."""
+        return self.batch_max_pdus > 1
 
     @property
     def paper_faithful(self) -> bool:

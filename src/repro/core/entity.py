@@ -53,6 +53,7 @@ from repro.core.errors import ProtocolError
 from repro.core.flow import FlowController
 from repro.core.logs import CausalLog, Log, ReceiptSublogs, SendingLog
 from repro.core.pdu import (
+    BatchPdu,
     DataPdu,
     HeartbeatPdu,
     JoinPdu,
@@ -125,6 +126,24 @@ class EntityCounters:
     joins_sent: int = 0
     #: State snapshots served to joining members (as sponsor).
     state_transfers: int = 0
+    #: Batch frames sent (batching extension, docs/PROTOCOL.md §14).
+    sent_batches: int = 0
+    #: Data PDUs that travelled inside a batch frame.
+    batched_pdus: int = 0
+    #: Batch flushes because the frame reached ``batch_max_pdus``/``_bytes``.
+    batch_flush_full: int = 0
+    #: Batch flushes by the housekeeping tick (``batch_flush_on_tick``).
+    batch_flush_tick: int = 0
+    #: Batch flushes forced because another PDU had to go out first (the
+    #: FIFO rule: no sequenced or control PDU overtakes accumulated data).
+    batch_flush_inline: int = 0
+    #: Batch frames received.
+    recv_batches: int = 0
+    #: Data PDUs unbatched out of received frames.
+    recv_batched_pdus: int = 0
+    #: Heartbeats suppressed because a flushed batch header already carried
+    #: the same confirmation vectors (ACK coalescing).
+    acks_coalesced: int = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -273,6 +292,10 @@ class COEntity:
             )
         #: Application data waiting for the flow condition: (data, size).
         self._pending: Deque[Tuple[Any, int]] = deque()
+        #: Open batch frame: own data PDUs accumulated but not yet on the
+        #: wire (batching extension; always empty with ``batch_max_pdus=1``).
+        self._batch: List[DataPdu] = []
+        self._batch_bytes = 0
         #: Sources heard from since this entity's last transmission.
         self._heard_from: Set[int] = set()
         self._last_confirmed_req: Tuple[int, ...] = self.state.req_vector()
@@ -284,9 +307,14 @@ class COEntity:
         # retries; retrying them at a fixed rate can congest receivers whose
         # slowness caused the stall in the first place (their full buffers
         # then advertise BUF=0, which keeps the prober's window shut — a
-        # self-sustaining storm).  Doubles per fruitless probe, resets on
-        # any knowledge progress.
+        # self-sustaining storm).  Doubles per fruitless probe and resets
+        # only on *progress* — the needy backlog shrinking or a new
+        # acceptance — never on mere knowledge receipt: during cluster-wide
+        # convergence every heartbeat twitches some matrix entry, and a
+        # twitch-triggered reset pins every entity at the maximum probe
+        # rate, n² chatter that swamps the very receivers it is probing.
         self._probe_backoff = 1
+        self._probe_load = 0
         self.counters = EntityCounters()
         self._send_fn: Optional[SendFn] = None
         self._deliver_fn: Optional[DeliverFn] = None
@@ -344,6 +372,8 @@ class COEntity:
                     self._unsuspect(src)
         if isinstance(pdu, DataPdu):
             self._on_data(pdu)
+        elif isinstance(pdu, BatchPdu):
+            self._on_batch(pdu)
         elif isinstance(pdu, RetPdu):
             self._on_ret(pdu)
         elif isinstance(pdu, HeartbeatPdu):
@@ -382,6 +412,10 @@ class COEntity:
         """
         if isinstance(pdu, (JoinPdu, ViewChangePdu, StatePdu, RetPdu)):
             return True
+        if isinstance(pdu, BatchPdu):
+            # The frame passes; :meth:`_on_batch` re-applies the fence to
+            # each inner data PDU and skips the removed member's header.
+            return True
         if isinstance(pdu, DataPdu):
             cap = self._flush_cap.get(src)
             if cap is not None and pdu.seq < cap:
@@ -413,6 +447,12 @@ class COEntity:
         for gap in self.gaps.due(now, self.config.ret_timeout):
             self._send_ret(gap.src, gap.upto)
         self.counters.ret_retries = self.gaps.total_retries
+        if self._batch and self.config.batch_flush_on_tick:
+            # Bound the batching latency to one tick; the flush stamps
+            # ``_last_send_time``, so the deferred-confirmation check below
+            # stays quiet this round (the frame header is the confirmation).
+            self.counters.batch_flush_tick += 1
+            self._flush_batch()
         # While this entity is still waiting on the cluster — undrained
         # logs, open gaps, or data blocked by the flow window — keep
         # repeating the confirmation as a *probe* even if nothing changed:
@@ -423,6 +463,17 @@ class COEntity:
         needy = self._needy
         interval = self.config.deferred_interval
         if needy:
+            # Progress since the last look — a shrinking backlog — means the
+            # cluster is answering; probe eagerly again.  (Acceptances also
+            # reset the backoff directly, so a *growing* backlog of freshly
+            # accepted PDUs never reads as fruitlessness.)
+            load = (
+                self.rrl.total + len(self.prl) + self.gaps.open_gaps
+                + len(self._pending) + sum(len(s) for s in self._stash)
+            )
+            if load < self._probe_load:
+                self._probe_backoff = 1
+            self._probe_load = load
             interval *= self._probe_backoff
         if now - self._last_send_time >= interval:
             self._send_confirmation(force=True, resend=needy, probe=needy)
@@ -494,12 +545,59 @@ class COEntity:
             self.counters.sent_null += 1
         else:
             self.counters.sent_data += 1
+        if self.config.batching_enabled:
+            # Accumulate instead of sending; the PDU still self-accepts now
+            # (its ACK vector — its causal coordinates — was stamped above
+            # and is final).  The frame flushes when full, on the tick, or
+            # inline before any other PDU would overtake it.
+            self._batch.append(pdu)
+            self._batch_bytes += pdu.wire_size()
+            self._accept(pdu)
+            self._pack_action()
+            cfg = self.config
+            if len(self._batch) >= cfg.batch_max_pdus or (
+                cfg.batch_max_bytes and self._batch_bytes >= cfg.batch_max_bytes
+            ):
+                self.counters.batch_flush_full += 1
+                self._flush_batch()
+            return
         self._note_transmission()
         self._send(pdu)
         # Self-acceptance: the sender's own copy enters its receipt machinery
         # immediately, keeping REQ/AL uniform across the cluster.
         self._accept(pdu)
         self._pack_action()
+
+    def _flush_batch(self) -> None:
+        """Put the open batch on the wire as one frame.
+
+        The header vectors are stamped *now* — the freshest confirmation
+        this entity can give — and recorded as confirmed, so the next
+        deferred heartbeat carrying identical vectors is suppressed (ACK
+        coalescing, docs/PROTOCOL.md §14).
+        """
+        if not self._batch:
+            return
+        pack = tuple(self._preack_floor)
+        frame = BatchPdu(
+            cid=self.config.cluster_id,
+            src=self.index,
+            ack=self.state.req_vector(),
+            pack=pack,
+            buf=self._advertised_buf(),
+            pdus=tuple(self._batch),
+        )
+        self.counters.sent_batches += 1
+        self.counters.batched_pdus += frame.pdu_count
+        self._batch = []
+        self._batch_bytes = 0
+        self._note_transmission()
+        self._last_confirmed_pack = pack
+        self._trace.record(
+            self.now, "batch", self.index,
+            count=frame.pdu_count, seqs=list(frame.seqs),
+        )
+        self._send(frame)
 
     def _note_transmission(self) -> None:
         """Every outgoing sequenced PDU carries REQ — it *is* a confirmation."""
@@ -510,6 +608,13 @@ class COEntity:
     def _send(self, pdu: Any) -> None:
         if self._send_fn is None:
             raise ProtocolError("engine used before bind()")
+        if self._batch and not isinstance(pdu, BatchPdu):
+            # FIFO rule: accumulated data goes out before any other PDU.
+            # Anything built after the batch carries knowledge (REQ covers
+            # the batched seqs) that would otherwise make receivers request
+            # retransmission of data still sitting here.
+            self.counters.batch_flush_inline += 1
+            self._flush_batch()
         self._send_fn(pdu)
 
     def _merge_al(self, observer: int, vector: Sequence[int]) -> MergeResult:
@@ -614,6 +719,37 @@ class COEntity:
                 break
             self._accept(nxt)
 
+    def _on_batch(self, b: BatchPdu) -> None:
+        """Unbatch a frame: inner data PDUs first, header fold after.
+
+        Each inner PDU runs the ordinary acceptance path — Theorem 4.1
+        sequencing, gap detection and selective RET are untouched; batching
+        is invisible to the protocol state machine.  The coalesced header
+        folds *afterwards* because its ``ack[src]`` covers the batch's own
+        sequence numbers: folded first, failure condition (2) would request
+        retransmission of PDUs sitting in this very frame.
+        """
+        self.counters.recv_batches += 1
+        removed = self._is_removed(b.src)
+        for p in b.pdus:
+            if removed and not self._fence_admits(b.src, p):
+                continue
+            self.counters.recv_batched_pdus += 1
+            self._on_data(p)
+        if removed:
+            # A removed member's knowledge must not advance anyone's state;
+            # only its admitted (flushed-prefix) data PDUs count.
+            return
+        self._merge_al(b.src, b.ack)
+        self.state.merge_pal(b.src, b.pack)
+        self.state.update_buf(b.src, b.buf)
+        self._check_ack_gaps(b.ack, carrier=b.src)
+        # The frame is a confirmation from its source, like a heartbeat.
+        self._heard_from.add(b.src)
+        self._pack_action()
+        self._maybe_confirm()
+        self._pump()
+
     # ------------------------------------------------------------------
     # Failure condition (2) and RET handling (§4.3)
     # ------------------------------------------------------------------
@@ -711,10 +847,8 @@ class COEntity:
     def _on_heartbeat(self, h: HeartbeatPdu) -> None:
         if h.view > self._peer_view[h.src]:
             self._peer_view[h.src] = h.view
-        al_changed = self._merge_al(h.src, h.ack)
-        pal_changed = self.state.merge_pal(h.src, h.pack)
-        if al_changed or pal_changed or h.buf > self.state.buf[h.src]:
-            self._probe_backoff = 1
+        self._merge_al(h.src, h.ack)
+        self.state.merge_pal(h.src, h.pack)
         self.state.update_buf(h.src, h.buf)
         self._check_ack_gaps(h.ack, carrier=h.src)
         # Heartbeats count as "heard from" for the deferred-confirmation
@@ -737,7 +871,16 @@ class COEntity:
             (peer_stale or h.probe)
             and self.now - self._last_send_time >= self.config.deferred_interval
         ):
-            self._send_confirmation(force=True, resend=True, probe=False)
+            # Only an explicit probe bypasses the nothing-new suppression:
+            # the prober says it *lost* our last heartbeat, so repeat it.
+            # A merely-stale peer gets an answer only when our vectors
+            # changed since we last confirmed — otherwise every pairwise
+            # staleness during convergence triggers a full broadcast, and
+            # at large n the mutual answers swamp the receive buffers,
+            # whose overruns keep everyone stale: a self-sustaining
+            # confirmation storm (its victims still recover, via probes,
+            # but the tail is O(seconds) of redundant control traffic).
+            self._send_confirmation(force=True, resend=h.probe, probe=False)
         if h.view < self.view:
             # The peer missed a view installation (its heartbeat still
             # announces the old view): re-send the install, rate-limited.
@@ -1389,10 +1532,21 @@ class COEntity:
             return
         if self._pending:
             if self._pump():
+                if self._batch:
+                    # The pump accumulated without filling a frame; flush so
+                    # the confirmation actually reaches the wire.
+                    self.counters.acks_coalesced += 1
+                    self._flush_batch()
                 return
             # Flow-blocked data: fall through and confirm out of band (the
             # heartbeat also refreshes our BUF advertisement, which is what
             # usually reopens the window).
+        if self._batch:
+            # ACK coalescing: the open batch's header carries exactly the
+            # REQ/PACK vectors a heartbeat would — flush it instead.
+            self.counters.acks_coalesced += 1
+            self._flush_batch()
+            return
         if self.config.strict_paper_mode:
             if self.state.req_vector() == self._last_confirmed_req:
                 return
@@ -1473,6 +1627,7 @@ class COEntity:
             "peer_store": sum(len(s) for s in self._peer_store),
             "gap_backlog": self.gaps.open_gaps,
             "resident": self.resident_pdus,
+            "batch_open": len(self._batch),
         }
 
     @property
@@ -1480,6 +1635,7 @@ class COEntity:
         """No pending work: nothing to send, no open gaps, logs drained."""
         return (
             not self._pending
+            and not self._batch
             and self.gaps.open_gaps == 0
             and self.rrl.total == 0
             and not self.prl

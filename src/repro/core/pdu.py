@@ -42,6 +42,7 @@ _HEARTBEAT_FIXED_FIELDS = 4  # CID + SRC + BUF + VIEW
 _VIEWCHANGE_FIXED_FIELDS = 5  # CID + SRC + VIEW + PHASE + BUF
 _JOIN_FIXED_FIELDS = 4  # CID + SRC + READY + BUF
 _STATE_FIXED_FIELDS = 5  # CID + SRC + JOINER + VIEW + BUF
+_BATCH_FIXED_FIELDS = 4  # CID + SRC + COUNT + BUF
 
 
 @dataclass(frozen=True)
@@ -304,4 +305,76 @@ class StatePdu:
         return (
             f"STATE(src=E{self.src}, joiner=E{self.joiner}, view={self.view}, "
             f"frontier={list(self.ack)})"
+        )
+
+
+@dataclass(frozen=True)
+class BatchPdu:
+    """A frame carrying ≥0 data PDUs from one source plus one coalesced
+    confirmation header (batching extension, docs/PROTOCOL.md §14).
+
+    The inner PDUs are complete :class:`DataPdu` objects — each keeps the
+    ACK vector stamped when it was built, because that vector is the PDU's
+    causal coordinates (Theorem 4.1) and must not change between build and
+    transmission.  The *header* ``ack``/``pack``/``buf`` are stamped at
+    flush time: they are the sender's freshest receipt confirmation, making
+    a separate heartbeat redundant (ACK coalescing).  Receivers process the
+    inner PDUs first and fold the header afterwards — the header's
+    ``ack[src]`` covers the batch's own sequence numbers, so folding it
+    first would raise spurious failure-condition-(2) retransmission
+    requests for PDUs sitting in the very same frame.
+
+    An empty batch (``pdus == ()``) is semantically a heartbeat: pure
+    coalesced confirmation, no application data.
+    """
+
+    cid: int
+    src: int
+    ack: Tuple[int, ...]
+    pack: Tuple[int, ...]
+    buf: int
+    pdus: Tuple[DataPdu, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.ack) != len(self.pack):
+            raise ValueError("ack and pack vectors must have equal length")
+        prev = 0
+        for p in self.pdus:
+            if p.src != self.src:
+                raise ValueError(
+                    f"batch from E{self.src} cannot carry E{p.src}'s PDU "
+                    "(one source per frame — the MC local-order guarantee "
+                    "is per source)"
+                )
+            if p.cid != self.cid:
+                raise ValueError("inner PDUs must share the frame's cluster id")
+            if p.seq <= prev:
+                raise ValueError(
+                    f"inner seqs must ascend, got {p.seq} after {prev}"
+                )
+            prev = p.seq
+
+    #: Control-plane flag: an empty batch is pure confirmation traffic.
+    @property
+    def is_control(self) -> bool:
+        return not self.pdus
+
+    @property
+    def pdu_count(self) -> int:
+        """Data PDUs in the frame (receive buffers charge this many units)."""
+        return len(self.pdus)
+
+    @property
+    def seqs(self) -> Tuple[int, ...]:
+        return tuple(p.seq for p in self.pdus)
+
+    def wire_size(self) -> int:
+        """Modelled bytes: one header + the inner PDUs' own sizes."""
+        header = (_BATCH_FIXED_FIELDS + 2 * len(self.ack)) * _INT_BYTES
+        return header + sum(p.wire_size() for p in self.pdus)
+
+    def __str__(self) -> str:
+        return (
+            f"BATCH(src=E{self.src}, seqs={list(self.seqs)}, "
+            f"ack={list(self.ack)}, pack={list(self.pack)})"
         )

@@ -75,6 +75,9 @@ class ExperimentConfig:
     window: int = 8
     deferred_interval: float = 2e-3
     ret_timeout: float = 4e-3
+    #: Sender-side frame batching (1 = off, the classic one-PDU-per-frame
+    #: wire behaviour; >1 enables accumulation + ACK coalescing).
+    batch_max_pdus: int = 1
     cpu_base: float = 40e-6
     cpu_per_entity: float = 8e-6
     seed: int = 0
@@ -168,6 +171,7 @@ def _protocol_config(config: ExperimentConfig) -> ProtocolConfig:
         window=config.window,
         deferred_interval=config.deferred_interval,
         ret_timeout=config.ret_timeout,
+        batch_max_pdus=config.batch_max_pdus,
     )
     if config.protocol == "co-gbn":
         return base.with_(retransmission=RetransmissionScheme.GO_BACK_N)

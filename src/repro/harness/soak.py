@@ -22,7 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.harness.runner import ExperimentConfig, _build_workload, run_experiment
 from repro.sim.trace import FlightRecorder, TraceLog
 
 #: The pools each trial draws from.
@@ -317,7 +317,14 @@ def run_soak(
         if not outcome.ok:
             report.failures.append(outcome)
         else:
-            report.messages_verified += config.n * config.messages_per_entity
+            # Exact where the workload is deterministic (size-threaded via
+            # total_messages); randomized workloads fall back to the
+            # per-entity nominal count.
+            exact = _build_workload(config).total_messages(config.n)
+            report.messages_verified += (
+                exact if exact is not None
+                else config.n * config.messages_per_entity
+            )
     report.wall_seconds = time.perf_counter() - start
     return report
 

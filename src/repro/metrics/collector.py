@@ -92,16 +92,23 @@ def collect_lifecycles(trace: TraceLog) -> Dict[MessageId, MessageLifecycle]:
         if category == "submit":
             pending_submits.setdefault(rec.entity, []).append(rec.time)
         elif category == "broadcast":
-            seq = rec.get("seq")
-            if seq is None:
-                continue
-            message = (rec.entity, seq)
-            lc = get(message)
-            if lc.broadcast_time is None:
-                lc.broadcast_time = rec.time
-                queue = pending_submits.get(rec.entity)
-                if queue:
-                    lc.submit_time = queue.pop(0)
+            if rec.get("kind") == "BatchPdu":
+                # One frame, several data PDUs: each gets its own lifecycle,
+                # all sharing the frame's transmission time.
+                seqs = tuple(rec.get("seqs") or ())
+            else:
+                seq = rec.get("seq")
+                if seq is None:
+                    continue
+                seqs = (seq,)
+            for seq in seqs:
+                message = (rec.entity, seq)
+                lc = get(message)
+                if lc.broadcast_time is None:
+                    lc.broadcast_time = rec.time
+                    queue = pending_submits.get(rec.entity)
+                    if queue:
+                        lc.submit_time = queue.pop(0)
         elif category in ("accept", "preack", "ack", "deliver"):
             message = (rec.get("src"), rec.get("seq"))
             lc = get(message)

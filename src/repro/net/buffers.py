@@ -59,15 +59,36 @@ class ReceiveBuffer:
             raise ValueError("a single PDU must fit in the buffer")
         self.capacity_units = capacity_units
         self.units_per_pdu = units_per_pdu
+        #: Queue of ``(pdu, charged_units)`` — a batch frame charges units
+        #: for every data PDU it carries, so batching cannot smuggle k PDUs
+        #: past a buffer sized for one (§2.1 stays honest under batching).
         self._queue: Deque[Any] = deque()
+        self._used_units = 0
         self.stats = BufferStats()
+
+    def _units(self, pdu: Any) -> int:
+        """Units one arriving frame occupies: ``H`` per data PDU carried.
+
+        ``H`` is the paper's per-DT-PDU staging constant — the flow
+        condition ``minBUF/(H·2n)`` (§4.2) budgets the buffer in *data*
+        PDUs, so a control frame (heartbeat, RET, view traffic, empty
+        batch) charges a single unit: it is a fraction of a data PDU's
+        size, and charging it ``H`` would let unregulated control chatter
+        consume the capacity the flow condition promised to data.
+
+        Raw datagrams (which cannot be sized before decoding) charge one
+        data PDU's worth, exactly as before.
+        """
+        if getattr(pdu, "is_control", False):
+            return 1
+        return self.units_per_pdu * max(1, getattr(pdu, "pdu_count", 1))
 
     # ------------------------------------------------------------------
     # Capacity
     # ------------------------------------------------------------------
     @property
     def used_units(self) -> int:
-        return len(self._queue) * self.units_per_pdu
+        return self._used_units
 
     @property
     def free_units(self) -> int:
@@ -96,10 +117,12 @@ class ReceiveBuffer:
         there is not enough free space.
         """
         self.stats.offered += 1
-        if self.free_units < self.units_per_pdu:
+        need = self._units(pdu)
+        if self.free_units < need:
             self.stats.overruns += 1
             return False
-        self._queue.append(pdu)
+        self._queue.append((pdu, need))
+        self._used_units += need
         self.stats.accepted += 1
         if self.used_units > self.stats.high_water_units:
             self.stats.high_water_units = self.used_units
@@ -107,11 +130,14 @@ class ReceiveBuffer:
 
     def pop(self) -> Any:
         """Dequeue the oldest PDU; raises ``IndexError`` when empty."""
-        return self._queue.popleft()
+        pdu, units = self._queue.popleft()
+        self._used_units -= units
+        return pdu
 
     def peek(self) -> Optional[Any]:
         """The oldest PDU without removing it, or ``None`` when empty."""
-        return self._queue[0] if self._queue else None
+        return self._queue[0][0] if self._queue else None
 
     def clear(self) -> None:
         self._queue.clear()
+        self._used_units = 0

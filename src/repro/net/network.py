@@ -44,6 +44,10 @@ class NetworkStats:
     data_pdus: int = 0
     control_pdus: int = 0
     bytes_sent: int = 0
+    #: Batch frames broadcast (each counts once in data/control_pdus too).
+    batch_frames: int = 0
+    #: Data PDUs that travelled inside batch frames.
+    batched_data_pdus: int = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -136,10 +140,7 @@ class MCNetwork(SimProcess):
     def broadcast(self, src: int, pdu: Any) -> None:
         """Fan a PDU out to every other attached entity."""
         self.stats.broadcasts += 1
-        if getattr(pdu, "is_control", False):
-            self.stats.control_pdus += 1
-        else:
-            self.stats.data_pdus += 1
+        self._census(pdu)
         self.trace.record(
             self.now, "broadcast", src,
             kind=type(pdu).__name__, **_pdu_trace_fields(pdu),
@@ -154,10 +155,7 @@ class MCNetwork(SimProcess):
         if dst == src:
             raise ValueError("unicast to self is not modelled")
         self.stats.unicasts += 1
-        if getattr(pdu, "is_control", False):
-            self.stats.control_pdus += 1
-        else:
-            self.stats.data_pdus += 1
+        self._census(pdu)
         self.trace.record(
             self.now, "unicast", src, dst=dst,
             kind=type(pdu).__name__, **_pdu_trace_fields(pdu),
@@ -167,6 +165,17 @@ class MCNetwork(SimProcess):
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _census(self, pdu: Any) -> None:
+        """Classify one transmitted frame for the traffic counters."""
+        if getattr(pdu, "is_control", False):
+            self.stats.control_pdus += 1
+        else:
+            self.stats.data_pdus += 1
+        count = getattr(pdu, "pdu_count", None)
+        if count is not None:
+            self.stats.batch_frames += 1
+            self.stats.batched_data_pdus += count
+
     def _send_copy(self, src: int, dst: int, pdu: Any) -> None:
         if self.duplication is not None:
             extra = self.duplication.extra_copies(src, dst, pdu, self._dup_rng)
@@ -215,4 +224,9 @@ def _pdu_trace_fields(pdu: Any) -> Dict[str, Any]:
         value = getattr(pdu, attr, None)
         if value is not None:
             fields[attr] = value
+    seqs = getattr(pdu, "seqs", None)
+    if seqs is not None:
+        # Batch frame: record the carried sequence numbers so the ordering
+        # oracle can attribute one send event to every inner data PDU.
+        fields["seqs"] = list(seqs)
     return fields

@@ -31,6 +31,20 @@ MessageId = Tuple[int, int]
 DATA_KINDS = frozenset({"DataPdu", "CbcastMessage", "PoPdu", "RawMessage", "TotalOrderPdu"})
 
 
+def _broadcast_seqs(rec) -> "tuple":
+    """Sequence numbers one broadcast record sends, batch frames included.
+
+    A ``BatchPdu`` broadcast carries several data PDUs at once; the network
+    records their sequence numbers as ``seqs``, and each is its own sending
+    event.  An empty batch (pure coalesced confirmation) sends nothing.
+    """
+    if rec.get("kind") == "BatchPdu":
+        return tuple(rec.get("seqs") or ())
+    if rec.get("kind") not in DATA_KINDS:
+        return ()
+    return (rec.get("seq"),)
+
+
 @dataclass(frozen=True)
 class ProtocolEvent:
     """One protocol-level event at one entity."""
@@ -53,15 +67,23 @@ def extract_events(trace: TraceLog) -> List[ProtocolEvent]:
     first_broadcast: Set[MessageId] = set()
     for rec in trace:
         if rec.category == "broadcast":
-            if rec.get("kind") not in DATA_KINDS:
-                continue
-            message = (rec.entity, rec.get("seq"))
-            if message in first_broadcast:
-                continue  # retransmission: same sending event
-            first_broadcast.add(message)
-            events.append(ProtocolEvent(rec.time, rec.entity, "send", message))
+            for seq in _broadcast_seqs(rec):
+                message = (rec.entity, seq)
+                if message in first_broadcast:
+                    continue  # retransmission: same sending event
+                first_broadcast.add(message)
+                events.append(ProtocolEvent(rec.time, rec.entity, "send", message))
         elif rec.category == "accept":
             message = (rec.get("src"), rec.get("seq"))
+            if message[0] == rec.entity and message not in first_broadcast:
+                # Self-acceptance precedes the wire frame only when the PDU
+                # sits in an open batch: its ACK vector — its causal
+                # coordinates — was stamped *here*, so this, not the later
+                # frame flush, is the sending event.  (Unbatched engines
+                # broadcast before self-accepting, so this branch never
+                # fires for them.)
+                first_broadcast.add(message)
+                events.append(ProtocolEvent(rec.time, rec.entity, "send", message))
             events.append(ProtocolEvent(rec.time, rec.entity, "accept", message))
         elif rec.category == "deliver":
             message = (rec.get("src"), rec.get("seq"))
@@ -97,11 +119,12 @@ def sent_messages(trace: TraceLog, data_only: bool = True) -> List[MessageId]:
                 null_ids.add(message)
             else:
                 nonnull_ids.add(message)
-        elif rec.category == "broadcast" and rec.get("kind") in DATA_KINDS:
-            message = (rec.entity, rec.get("seq"))
-            if message not in seen:
-                seen.add(message)
-                order.append(message)
+        elif rec.category == "broadcast":
+            for seq in _broadcast_seqs(rec):
+                message = (rec.entity, seq)
+                if message not in seen:
+                    seen.add(message)
+                    order.append(message)
     if not data_only:
         return order
     return [m for m in order if m not in null_ids or m in nonnull_ids]

@@ -31,7 +31,8 @@ import asyncio
 import random
 from typing import Any, Awaitable, Callable, List, Optional, Sequence, Tuple
 
-from repro.core.codec import decode_pdu_safe, encode_pdu
+from repro.core.codec import decode_pdu_safe, encode_pdu, split_batch
+from repro.core.pdu import BatchPdu
 from repro.core.config import ProtocolConfig
 from repro.core.entity import COEntity, DeliveredMessage
 from repro.net.buffers import ReceiveBuffer
@@ -73,14 +74,24 @@ class UdpTransport:
         seed: int = 0,
         inbox_capacity_units: int = 4096,
         units_per_pdu: int = 1,
+        max_frame_bytes: int = 1400,
     ):
         if not 0 <= index < len(peers):
             raise ValueError(f"index {index} outside peer list of {len(peers)}")
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if max_frame_bytes <= 0:
+            raise ValueError(f"max_frame_bytes must be positive, got {max_frame_bytes}")
         self.index = index
         self.addresses: List[Address] = [_parse(p) for p in peers]
         self.loss_rate = loss_rate
+        #: MTU budget for one datagram: batch frames whose encoding would
+        #: exceed it are split into several smaller frames, each a valid
+        #: BatchPdu repeating the confirmation header (folding it twice is
+        #: idempotent).  Non-batch PDUs are never split.
+        self.max_frame_bytes = max_frame_bytes
+        #: Batch frames split because they outgrew ``max_frame_bytes``.
+        self.frames_split = 0
         self._rng = random.Random(seed)
         self._sink: Optional[Sink] = None
         self._udp: Optional[asyncio.transports.DatagramTransport] = None
@@ -117,6 +128,7 @@ class UdpTransport:
             "datagrams_dropped": self.datagrams_dropped,
             "decode_errors": self.decode_errors,
             "socket_errors": self.errors,
+            "frames_split": self.frames_split,
             **self.codec_counters,
         }
 
@@ -154,16 +166,28 @@ class UdpTransport:
             self._udp = None
 
     def broadcast(self, src: int, pdu: Any) -> None:
-        """Encode once, unicast to every peer."""
-        payload = encode_pdu(pdu)
+        """Encode once, unicast to every peer.
+
+        Batch frames larger than ``max_frame_bytes`` go out as several
+        datagrams (each a self-contained BatchPdu chunk); losing one chunk
+        loses only its inner PDUs, repaired by the normal RET machinery.
+        """
+        if isinstance(pdu, BatchPdu):
+            chunks = split_batch(pdu, self.max_frame_bytes)
+            if len(chunks) > 1:
+                self.frames_split += 1
+        else:
+            chunks = [pdu]
+        payloads = [encode_pdu(chunk) for chunk in chunks]
         for dst, address in enumerate(self.addresses):
             if dst == src:
                 continue
-            self.datagrams_sent += 1
-            if self.loss_rate and self._rng.random() < self.loss_rate:
-                self.datagrams_dropped += 1
-                continue
-            self._udp.sendto(payload, address)
+            for payload in payloads:
+                self.datagrams_sent += 1
+                if self.loss_rate and self._rng.random() < self.loss_rate:
+                    self.datagrams_dropped += 1
+                    continue
+                self._udp.sendto(payload, address)
 
     # ------------------------------------------------------------------
     # Receive path
@@ -205,6 +229,7 @@ class UdpMember:
         seed: int = 0,
         trace: Optional[TraceLog] = None,
         inbox_capacity_units: int = 4096,
+        max_frame_bytes: int = 1400,
     ):
         self.config = config or ProtocolConfig(
             tick_interval=2e-3, deferred_interval=4e-3, ret_timeout=10e-3,
@@ -215,6 +240,7 @@ class UdpMember:
             index, peers, loss_rate=loss_rate, seed=seed + index,
             inbox_capacity_units=inbox_capacity_units,
             units_per_pdu=self.config.units_per_pdu,
+            max_frame_bytes=max_frame_bytes,
         )
         self.transport.on_overrun = self._record_overrun
         # The engine's liveness state is stamped with clock() at
@@ -269,6 +295,7 @@ async def udp_cluster(
     seed: int = 0,
     shared_trace: bool = True,
     inbox_capacity_units: int = 4096,
+    max_frame_bytes: int = 1400,
 ) -> List[UdpMember]:
     """Assemble and start a loopback UDP cluster.
 
@@ -281,7 +308,8 @@ async def udp_cluster(
     members = [
         UdpMember(i, peers, config=config, loss_rate=loss_rate, seed=seed,
                   trace=trace if shared_trace else None,
-                  inbox_capacity_units=inbox_capacity_units)
+                  inbox_capacity_units=inbox_capacity_units,
+                  max_frame_bytes=max_frame_bytes)
         for i in range(n)
     ]
     for member in members:

@@ -76,7 +76,10 @@ class StormWorkload(Workload):
 
     @property
     def expected_messages(self) -> int:
-        return None  # batch * n; n unknown here
+        return None  # depends on cluster size; see total_messages(n)
+
+    def total_messages(self, n: int) -> int:
+        return self.batch * n
 
 
 @dataclass
@@ -98,3 +101,6 @@ class HotspotWorkload(Workload):
                 self.hot_interval * self.hot_messages / 2 + i * 1e-5,
                 cluster.submit, i, f"trickle-{i}", self.payload_size,
             )
+
+    def total_messages(self, n: int) -> int:
+        return self.hot_messages + (n - 1)

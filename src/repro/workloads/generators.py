@@ -29,6 +29,16 @@ class Workload:
         """Total DT requests the workload will make, if statically known."""
         return None
 
+    def total_messages(self, n: int) -> Optional[int]:
+        """Total DT requests for a cluster of ``n`` entities, if exact.
+
+        Most per-entity workloads scale with the cluster size, which a bare
+        ``expected_messages`` property cannot see — this is the
+        size-threaded version the soak/report accounting uses.  ``None``
+        means genuinely not statically known (randomized arrival counts).
+        """
+        return self.expected_messages
+
 
 @dataclass
 class ContinuousWorkload(Workload):
@@ -54,7 +64,10 @@ class ContinuousWorkload(Workload):
 
     @property
     def expected_messages(self) -> Optional[int]:
-        return None  # depends on cluster size; see per-entity count
+        return None  # depends on cluster size; see total_messages(n)
+
+    def total_messages(self, n: int) -> Optional[int]:
+        return self.messages_per_entity * n
 
 
 @dataclass
@@ -155,3 +168,13 @@ class RequestReplyWorkload(Workload):
                 self.request_interval * k, cluster.submit, 0,
                 f"req:{k}", self.payload_size,
             )
+
+    def total_messages(self, n: int) -> Optional[int]:
+        # Exact only in the deterministic single-generation case: each of
+        # the n-1 non-askers replies to every request, replies spawn nothing
+        # further.  Probabilistic replies or deeper chains are not static.
+        if self.reply_probability == 0.0:
+            return self.requests
+        if self.reply_probability == 1.0 and self.max_depth == 1:
+            return self.requests * n
+        return None

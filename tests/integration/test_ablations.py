@@ -25,10 +25,13 @@ class TestGoBackN:
         result.report.assert_ok()
 
     def test_gbn_retransmits_more_than_selective(self):
+        # Enough traffic and loss that several multi-PDU gaps open: with
+        # only a handful of loss events both schemes resend the same few
+        # PDUs and the counts can tie.
         def retx(protocol):
             result = run_experiment(ExperimentConfig(
-                protocol=protocol, n=4, messages_per_entity=25,
-                loss_rate=0.10, seed=6,
+                protocol=protocol, n=4, messages_per_entity=40,
+                loss_rate=0.15, seed=6,
             ))
             result.report.assert_ok()
             return result.entity_counters["retransmissions"]

@@ -140,3 +140,55 @@ class TestScriptedCluster:
         cluster.advance(0.5)
         cluster.submit(0, "x")
         assert cluster.trace.select("submit")[0].time == 0.5
+
+
+class TestTotalMessages:
+    """Cluster-size-threaded accounting: exact totals where statically known.
+
+    The old ``expected_messages`` property could not see the cluster size,
+    so per-entity workloads (Storm, Continuous) reported ``None`` and the
+    soak accounting had to approximate.  ``total_messages(n)`` is exact.
+    """
+
+    def test_storm_scales_with_cluster_size(self):
+        from repro.workloads.adversarial import StormWorkload
+
+        workload = StormWorkload(batch=10)
+        assert workload.expected_messages is None  # size-blind: unknowable
+        assert workload.total_messages(4) == 40
+        assert workload.total_messages(8) == 80
+
+    def test_storm_total_matches_actual_submissions(self):
+        from repro.workloads.adversarial import StormWorkload
+
+        workload = StormWorkload(batch=5)
+        cluster = build_cluster(3)
+        workload.install(cluster, RngRegistry(1))
+        cluster.run_until_quiescent(max_time=30.0)
+        assert cluster.trace.count("submit") == workload.total_messages(3)
+
+    def test_continuous_total(self):
+        workload = ContinuousWorkload(messages_per_entity=7)
+        assert workload.total_messages(5) == 35
+
+    def test_hotspot_total(self):
+        from repro.workloads.adversarial import HotspotWorkload
+
+        assert HotspotWorkload(hot_messages=10).total_messages(4) == 13
+
+    def test_chain_total_is_size_independent(self):
+        from repro.workloads.adversarial import ChainWorkload
+
+        assert ChainWorkload(hops=9).total_messages(4) == 9
+
+    def test_request_reply_exact_only_when_deterministic(self):
+        deterministic = RequestReplyWorkload(requests=3, reply_probability=1.0,
+                                             max_depth=1)
+        assert deterministic.total_messages(4) == 12
+        no_replies = RequestReplyWorkload(requests=3, reply_probability=0.0)
+        assert no_replies.total_messages(4) == 3
+        random_replies = RequestReplyWorkload(requests=3, reply_probability=0.5)
+        assert random_replies.total_messages(4) is None
+
+    def test_poisson_is_not_statically_known(self):
+        assert PoissonWorkload().total_messages(4) is None
