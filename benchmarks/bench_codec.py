@@ -1,20 +1,111 @@
-"""Microbenchmarks of the wire codec (encode/decode throughput).
+"""Microbenchmarks of the wire codec (encode/decode throughput + churn).
 
 Not a paper artifact — supporting evidence for the §5 header argument:
 CO's integer headers are trivially cheap to marshal at any cluster size.
+
+Besides pytest-benchmark throughput cases, this module exports
+:func:`measure_allocation_churn` and :func:`churn_report` — tracemalloc
+measurements of transient bytes allocated per frame — which
+``benchmarks/regression.py`` folds into ``BENCH_hotpath.json`` so codec
+allocation regressions fail CI like timing regressions do.
 """
+
+import tracemalloc
+from typing import Any, Callable, Dict, List
 
 import pytest
 
-from repro.core.codec import decode_pdu, encode_pdu
-from repro.core.pdu import DataPdu, HeartbeatPdu, RetPdu
+from repro.core.codec import decode_pdu, encode_pdu, encode_pdu_view
+from repro.core.pdu import BatchPdu, DataPdu, HeartbeatPdu, RetPdu
 
 
-def make_data(n: int, payload: int) -> DataPdu:
+def make_data(n: int, payload: int, seq: int = 123) -> DataPdu:
     return DataPdu(
-        cid=1, src=0, seq=123, ack=tuple(range(1, n + 1)), buf=64,
+        cid=1, src=0, seq=seq, ack=tuple(range(1, n + 1)), buf=64,
         data=b"x" * payload, data_size=payload,
     )
+
+
+def make_batch(n: int, k: int, payload: int) -> BatchPdu:
+    return BatchPdu(
+        cid=1, src=0,
+        ack=tuple(range(130, 130 + n)), pack=tuple(range(120, 120 + n)),
+        buf=64,
+        pdus=tuple(make_data(n, payload, seq=123 + i) for i in range(k)),
+    )
+
+
+def measure_allocation_churn(fn: Callable[[], Any], iterations: int = 256) -> float:
+    """Mean transient bytes allocated per call of ``fn``.
+
+    tracemalloc's peak-over-baseline per call counts every intermediate
+    object the call creates (even ones freed before it returns), which is
+    exactly the codec's allocation churn: a scratch-reusing encoder shows
+    the returned frame and little else, a copying one shows every
+    intermediate slice.  The first call runs un-traced so one-time caches
+    (per-length Struct objects, scratch growth) do not bill the steady
+    state.
+    """
+    fn()  # warm: struct caches, scratch buffer growth
+    total = 0
+    tracemalloc.start()
+    try:
+        for _ in range(iterations):
+            tracemalloc.reset_peak()
+            before = tracemalloc.get_traced_memory()[0]
+            fn()
+            peak = tracemalloc.get_traced_memory()[1]
+            total += peak - before
+    finally:
+        tracemalloc.stop()
+    return total / iterations
+
+
+#: Absolute per-frame churn ceilings (bytes) for the smoke-mode CI gate.
+#: Pinned at ~3x the measured steady state of the scratch-reusing codec
+#: (encode-data ~230 B, decode-data ~920 B, encode-batch8 ~1.4 KiB,
+#: encode-view-batch8 ~420 B, decode-batch8 ~2.9 KiB on CPython 3.11) —
+#: loose enough for allocator and version noise, tight enough that
+#: reintroducing per-field copies (a >=2x jump) fails the gate.  For
+#: scale: the pre-refactor codec measured encode-data ~410 B,
+#: encode-batch8 ~3.1 KiB, decode-batch8 ~4.3 KiB on the same harness.
+CHURN_LIMITS: Dict[str, float] = {
+    "encode-data": 768.0,
+    "encode-view-data": 768.0,
+    "decode-data": 2816.0,
+    "encode-batch8": 4096.0,
+    "encode-view-batch8": 1536.0,
+    "decode-batch8": 8704.0,
+}
+
+
+def churn_report(n: int = 16, batch: int = 8, payload: int = 64,
+                 iterations: int = 256) -> List[Dict[str, Any]]:
+    """Bytes-per-frame churn for the tracked codec shapes."""
+    data = make_data(n, payload)
+    data_frame = encode_pdu(data)
+    batch_pdu = make_batch(n, batch, payload)
+    batch_frame = encode_pdu(batch_pdu)
+    shapes = (
+        ("encode-data", len(data_frame), lambda: encode_pdu(data)),
+        ("encode-view-data", len(data_frame), lambda: encode_pdu_view(data)),
+        ("decode-data", len(data_frame), lambda: decode_pdu(data_frame)),
+        (f"encode-batch{batch}", len(batch_frame),
+         lambda: encode_pdu(batch_pdu)),
+        (f"encode-view-batch{batch}", len(batch_frame),
+         lambda: encode_pdu_view(batch_pdu)),
+        (f"decode-batch{batch}", len(batch_frame),
+         lambda: decode_pdu(batch_frame)),
+    )
+    return [
+        {
+            "n": n,
+            "op": op,
+            "frame_bytes": size,
+            "bytes_per_op": measure_allocation_churn(fn, iterations),
+        }
+        for op, size, fn in shapes
+    ]
 
 
 @pytest.mark.parametrize("n", [4, 16, 64])
@@ -49,3 +140,29 @@ def test_roundtrip_heartbeat(benchmark):
         return decode_pdu(encode_pdu(pdu))
 
     assert benchmark(roundtrip) == pdu
+
+
+@pytest.mark.parametrize("k", [2, 8])
+def test_encode_batch(benchmark, k):
+    pdu = make_batch(16, k, payload=64)
+    encoded = benchmark(encode_pdu, pdu)
+    assert len(encoded) > k * 64
+
+
+@pytest.mark.parametrize("k", [2, 8])
+def test_decode_batch(benchmark, k):
+    blob = encode_pdu(make_batch(16, k, payload=64))
+    decoded = benchmark(decode_pdu, blob)
+    assert len(decoded.pdus) == k
+
+
+def test_allocation_churn_within_limits():
+    """The smoke-gate invariant, also runnable as a plain test: per-frame
+    transient allocations stay within the pinned ceilings."""
+    for point in churn_report(iterations=64):
+        limit = CHURN_LIMITS.get(point["op"])
+        assert limit is not None, f"no churn limit pinned for {point['op']}"
+        assert point["bytes_per_op"] <= limit, (
+            f"{point['op']}: {point['bytes_per_op']:.0f} B/frame exceeds "
+            f"pinned ceiling {limit:.0f} B"
+        )

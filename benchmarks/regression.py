@@ -52,6 +52,11 @@ SRC_DIR = os.path.join(REPO_ROOT, "src")
 if SRC_DIR not in sys.path:
     sys.path.insert(0, SRC_DIR)
 
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+from bench_codec import CHURN_LIMITS, churn_report  # noqa: E402
 from repro.core.config import ProtocolConfig  # noqa: E402
 from repro.core.entity import COEntity  # noqa: E402
 from repro.core.pdu import DataPdu  # noqa: E402
@@ -78,6 +83,7 @@ TRACKED = (
     ("experiments", "deliveries_per_sec", -1),
     ("batching", "frames_per_delivered_pdu", +1),
     ("batching", "per_pdu_us", +1),
+    ("codec_churn", "bytes_per_op", +1),
 )
 
 
@@ -270,6 +276,7 @@ def measure(mode: Dict[str, Any], smoke: bool, skip_suites: bool) -> Dict[str, A
         "engine": [],
         "experiments": [],
         "batching": [],
+        "codec_churn": [],
         "suites": {},
     }
     for n in mode["sizes"]:
@@ -278,6 +285,14 @@ def measure(mode: Dict[str, Any], smoke: bool, skip_suites: bool) -> Dict[str, A
         print(f"[engine] n={n}: {point['per_pdu_us']:.1f} us/PDU, "
               f"resident high-water {point['resident_high_water']}")
         report["engine"].append(point)
+    by_n = {p["n"]: p["per_pdu_us"] for p in report["engine"]}
+    lo, hi = min(by_n), max(by_n)
+    if lo != hi and by_n[lo] > 0:
+        # The scaling headline: per-PDU cost growth across the measured
+        # cluster-size range (the flat-array target is <= 1.5x for 8->32).
+        ratio = by_n[hi] / by_n[lo]
+        report["engine_scaling"] = {"n_lo": lo, "n_hi": hi, "ratio": ratio}
+        print(f"[engine] per-PDU cost ratio n={hi} vs n={lo}: {ratio:.2f}x")
     for n in mode["sizes"]:
         print(f"[experiment] n={n} ...", flush=True)
         point = experiment_point(n, mode["messages_per_entity"],
@@ -304,6 +319,11 @@ def measure(mode: Dict[str, Any], smoke: bool, skip_suites: bool) -> Dict[str, A
                      / max(cells[top]["frames_per_delivered_pdu"], 1e-12))
             print(f"[batching] n={n}: batch={top} sends {ratio:.2f}x fewer "
                   f"frames per delivered PDU than batch=1")
+    print("[codec] allocation churn ...", flush=True)
+    for point in churn_report():
+        print(f"[codec] {point['op']}: {point['bytes_per_op']:.0f} "
+              f"bytes/frame churn ({point['frame_bytes']} B frames)")
+        report["codec_churn"].append(point)
     if not skip_suites:
         report["suites"] = run_suites(smoke)
         for suite, outcome in report["suites"].items():
@@ -311,9 +331,32 @@ def measure(mode: Dict[str, Any], smoke: bool, skip_suites: bool) -> Dict[str, A
     return report
 
 
+def churn_gate(report: Dict[str, Any]) -> List[str]:
+    """Absolute ceilings on codec allocation churn (the CI smoke gate).
+
+    Unlike the relative --compare check this needs no baseline file: each
+    tracked shape carries a pinned bytes-per-frame ceiling
+    (``bench_codec.CHURN_LIMITS``), so a smoke run in CI fails outright if
+    the codec starts copying again.
+    """
+    failures: List[str] = []
+    for point in report.get("codec_churn", []):
+        limit = CHURN_LIMITS.get(point["op"])
+        if limit is not None and point["bytes_per_op"] > limit:
+            failures.append(
+                f"codec_churn[{point['op']}]: {point['bytes_per_op']:.0f} "
+                f"bytes/frame exceeds pinned ceiling {limit:.0f}"
+            )
+    return failures
+
+
 def _index_points(section: List[Dict[str, Any]]) -> Dict[Tuple, Dict[str, Any]]:
-    # Batching points carry a second axis; plain points key on n alone.
-    return {(point["n"], point.get("batch")): point for point in section}
+    # Batching points carry a second axis and codec-churn points a shape
+    # label; plain points key on n alone.
+    return {
+        (point["n"], point.get("batch"), point.get("op")): point
+        for point in section
+    }
 
 
 def compare(current: Dict[str, Any], baseline: Dict[str, Any],
@@ -333,7 +376,9 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
     for section, key, direction in TRACKED:
         base_points = _index_points(baseline.get(section, []))
         for point in current.get(section, []):
-            base = base_points.get((point["n"], point.get("batch")))
+            base = base_points.get(
+                (point["n"], point.get("batch"), point.get("op"))
+            )
             if base is None or key not in base or key not in point:
                 continue
             old, new = float(base[key]), float(point[key])
@@ -348,6 +393,8 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
             axis = f"n={point['n']}"
             if point.get("batch") is not None:
                 axis += f",batch={point['batch']}"
+            if point.get("op") is not None:
+                axis += f",op={point['op']}"
             lines.append(
                 f"{section}[{axis}].{key}: {old:.2f} -> {new:.2f} "
                 f"({delta * 100:+.1f}%, {better})"
@@ -414,6 +461,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     failed = [s for s, outcome in report["suites"].items() if outcome != "passed"]
     if failed:
         print(f"FAIL: benchmark suites failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+
+    churn_failures = churn_gate(report)
+    if churn_failures:
+        print("FAIL: codec allocation churn beyond pinned ceilings:",
+              file=sys.stderr)
+        for failure in churn_failures:
+            print(f"  {failure}", file=sys.stderr)
         return 1
 
     if args.compare:

@@ -31,9 +31,12 @@ TIMELINE_CATEGORIES = (
     "accept", "deliver", "drop", "gap", "ret", "retransmit", "duplicate",
 )
 
-#: Gauge keys worth a per-entity sparkline, in display order.
+#: Gauge keys worth a per-entity sparkline, in display order.  ``min_buf``
+#: samples of -1 ("no advertisement seen yet") are dropped by
+#: :func:`~repro.metrics.timeseries.gauge_series` before bucketing.
 GAUGE_KEYS = (
-    "buf_used", "rrl", "prl", "gap_backlog", "in_flight", "sending_log",
+    "buf_used", "min_buf", "rrl", "prl", "gap_backlog", "in_flight",
+    "sending_log",
 )
 
 #: Sparkline width (buckets) when the caller does not pick a bucket size.

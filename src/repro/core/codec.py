@@ -102,6 +102,23 @@ corruption into a counted, rejected frame instead of a mis-parsed PDU.
 
 Application payloads must be ``bytes`` (or ``str``, encoded as UTF-8 and
 decoded back to ``bytes`` — the codec does not guess application types).
+
+Hot-path mechanics
+------------------
+
+The wire format above is frozen (tests/unit/test_codec_golden.py pins
+byte-identical frames), but the implementation assembles frames with
+``struct.pack_into`` over a reusable module-level scratch ``bytearray``
+instead of concatenating per-field ``bytes`` — one output allocation per
+frame rather than one per field.  :func:`encode_pdu_into` exposes the
+in-place form for callers that manage their own buffers, and
+:func:`encode_pdu_view` hands out a read-only view of the scratch buffer
+(valid until the next encode) for transports that copy-on-send anyway.
+Decoding accepts any buffer and works over ``memoryview`` slices, so a
+batch frame's inner bodies are parsed in place instead of being copied
+out first.  The scratch buffer makes encoding non-reentrant and not
+thread-safe — fine for the single-threaded engine loops, the only
+callers.
 """
 
 from __future__ import annotations
@@ -143,9 +160,42 @@ AnyPdu = Union[
     DataPdu, RetPdu, HeartbeatPdu, ViewChangePdu, JoinPdu, StatePdu, BatchPdu,
 ]
 
+Buffer = Union[bytes, bytearray, memoryview]
+
 
 class CodecError(ReproError, ValueError):
     """Malformed bytes, or a PDU the codec cannot represent."""
+
+
+# Precompiled fixed headers (struct.Struct avoids re-parsing format strings
+# on every frame) and per-length vector formats, cached by length.
+_S_DATA = struct.Struct("!BBIHIH")
+_S_DATA_TAIL = struct.Struct("!II")
+_S_RET = struct.Struct("!BBIHHIH")
+_S_HEARTBEAT = struct.Struct("!BBIHH")
+_S_VIEWCHANGE = struct.Struct("!BBIHIHHH")
+_S_JOIN = struct.Struct("!BBIHI")
+_S_STATE = struct.Struct("!BBIHHIHHI")
+_S_BATCH = struct.Struct("!BBIHHH")
+_S_U32 = struct.Struct("!I")
+_S_PREFIX = struct.Struct("!HI")
+
+_VEC_CACHE: Dict[int, struct.Struct] = {}
+_MEM_CACHE: Dict[int, struct.Struct] = {}
+
+
+def _vec(n: int) -> struct.Struct:
+    s = _VEC_CACHE.get(n)
+    if s is None:
+        s = _VEC_CACHE[n] = struct.Struct(f"!{n}I")
+    return s
+
+
+def _mem(m: int) -> struct.Struct:
+    s = _MEM_CACHE.get(m)
+    if s is None:
+        s = _MEM_CACHE[m] = struct.Struct(f"!{m}H")
+    return s
 
 
 def _payload_bytes(data: Any) -> bytes:
@@ -161,98 +211,208 @@ def _payload_bytes(data: Any) -> bytes:
     )
 
 
-def _pack_vector(vector: Tuple[int, ...]) -> bytes:
-    return struct.pack(f"!{len(vector)}I", *vector)
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+#: Reusable scratch buffer for whole-frame assembly, with cached base
+#: views: a fresh ``memoryview`` object costs ~184 bytes — more than a
+#: small frame — so slicing cached views instead of materialising new
+#: ones per encode is where the allocation-churn win actually comes from.
+_SCRATCH = bytearray(2048)
+_SCRATCH_MV = memoryview(_SCRATCH)
+_SCRATCH_RO = _SCRATCH_MV.toreadonly()
+#: Read-only scratch slices cached by frame length: steady-state traffic
+#: has a handful of distinct frame sizes (fixed n), so the hot encode
+#: path reuses the same view object instead of allocating one per frame.
+_VIEW_CACHE: Dict[int, memoryview] = {}
 
 
-def _pack_members(members: Tuple[int, ...]) -> bytes:
-    return struct.pack(f"!{len(members)}H", *members)
+def _scratch_for(need: int) -> bytearray:
+    """The scratch buffer, guaranteed to hold ``need`` bytes.
+
+    Growth *replaces* the buffer rather than resizing it: a caller may
+    still hold the view returned by the previous :func:`encode_pdu_view`
+    (e.g. a send loop's last payload), and ``bytearray.extend`` with an
+    exported buffer raises ``BufferError`` — whereas after replacement the
+    old view stays valid over the old buffer until dropped.
+    """
+    global _SCRATCH, _SCRATCH_MV, _SCRATCH_RO
+    if len(_SCRATCH) < need:
+        _SCRATCH = bytearray(max(need, 2 * len(_SCRATCH)))
+        _SCRATCH_MV = memoryview(_SCRATCH)
+        _SCRATCH_RO = _SCRATCH_MV.toreadonly()
+        _VIEW_CACHE.clear()
+    return _SCRATCH
+
+
+def _scratch_view(end: int) -> memoryview:
+    """Read-only view of the scratch's first ``end`` bytes, cached."""
+    view = _VIEW_CACHE.get(end)
+    if view is None:
+        if len(_VIEW_CACHE) >= 64:
+            _VIEW_CACHE.clear()
+        view = _SCRATCH_RO[:end]
+        _VIEW_CACHE[end] = view
+    return view
+
+
+def _encode_scratch(pdu: AnyPdu) -> int:
+    """Encode a whole frame at offset 0 of the scratch; return its length."""
+    buf = _scratch_for(encoded_size(pdu))
+    body_end = _encode_body_into(pdu, buf, 0)
+    # The CRC's body slice goes through the view cache too — it would
+    # otherwise be the encode path's last per-frame allocation.
+    _S_U32.pack_into(buf, body_end, zlib.crc32(_scratch_view(body_end)))
+    return body_end + _CRC_BYTES
 
 
 def encode_pdu(pdu: AnyPdu) -> bytes:
     """Serialise any PDU kind to bytes, with a trailing CRC-32."""
-    body = _encode_body(pdu)
-    return body + struct.pack("!I", zlib.crc32(body))
+    return bytes(_scratch_view(_encode_scratch(pdu)))
 
 
-def _encode_body(pdu: AnyPdu) -> bytes:
+def encode_pdu_view(pdu: AnyPdu) -> memoryview:
+    """Encode into the shared scratch buffer, returning a read-only view.
+
+    Allocation-free variant of :func:`encode_pdu` for send paths whose
+    transport copies the buffer anyway (``socket.sendto`` does).  The view
+    is only valid until the next encode call — callers must consume it
+    immediately and never store it (a later encode of an equal-length
+    frame returns the *same* view object over new contents).
+    """
+    return _scratch_view(_encode_scratch(pdu))
+
+
+def encode_pdu_into(pdu: AnyPdu, buf: bytearray, offset: int = 0) -> int:
+    """Encode ``pdu`` (body + CRC) into ``buf`` at ``offset`` in place.
+
+    Grows ``buf`` as needed and returns the end offset of the frame, so
+    several frames can be packed back to back into one buffer.
+    """
+    need = offset + encoded_size(pdu)
+    if len(buf) < need:
+        buf.extend(bytes(need - len(buf)))
+    body_end = _encode_body_into(pdu, buf, offset)
+    _S_U32.pack_into(
+        buf, body_end, zlib.crc32(memoryview(buf)[offset:body_end]),
+    )
+    return body_end + _CRC_BYTES
+
+
+def _encode_body_into(pdu: AnyPdu, buf: bytearray, offset: int) -> int:
     if isinstance(pdu, DataPdu):
         payload = _payload_bytes(pdu.data)
-        flags = _FLAG_NULL if pdu.is_null else 0
-        head = struct.pack(
-            "!BBIHIH", _TYPE_DATA, flags, pdu.cid, pdu.src, pdu.seq, len(pdu.ack),
+        n = len(pdu.ack)
+        _S_DATA.pack_into(
+            buf, offset, _TYPE_DATA, _FLAG_NULL if pdu.is_null else 0,
+            pdu.cid, pdu.src, pdu.seq, n,
         )
-        tail = struct.pack("!II", pdu.buf, len(payload))
-        return head + _pack_vector(pdu.ack) + tail + payload
+        offset += _S_DATA.size
+        _vec(n).pack_into(buf, offset, *pdu.ack)
+        offset += 4 * n
+        _S_DATA_TAIL.pack_into(buf, offset, pdu.buf, len(payload))
+        offset += _S_DATA_TAIL.size
+        buf[offset:offset + len(payload)] = payload
+        return offset + len(payload)
     if isinstance(pdu, RetPdu):
-        head = struct.pack(
-            "!BBIHHIH", _TYPE_RET, 0, pdu.cid, pdu.src, pdu.lsrc, pdu.lseq,
-            len(pdu.ack),
+        n = len(pdu.ack)
+        _S_RET.pack_into(
+            buf, offset, _TYPE_RET, 0, pdu.cid, pdu.src, pdu.lsrc, pdu.lseq, n,
         )
-        return head + _pack_vector(pdu.ack) + struct.pack("!I", pdu.buf)
+        offset += _S_RET.size
+        _vec(n).pack_into(buf, offset, *pdu.ack)
+        offset += 4 * n
+        _S_U32.pack_into(buf, offset, pdu.buf)
+        return offset + 4
     if isinstance(pdu, HeartbeatPdu):
-        flags = _FLAG_PROBE if pdu.probe else 0
-        head = struct.pack(
-            "!BBIHH", _TYPE_HEARTBEAT, flags, pdu.cid, pdu.src, len(pdu.ack),
+        n = len(pdu.ack)
+        _S_HEARTBEAT.pack_into(
+            buf, offset, _TYPE_HEARTBEAT, _FLAG_PROBE if pdu.probe else 0,
+            pdu.cid, pdu.src, n,
         )
-        return (
-            head
-            + _pack_vector(pdu.ack)
-            + _pack_vector(pdu.pack)
-            + struct.pack("!II", pdu.buf, pdu.view)
-        )
+        offset += _S_HEARTBEAT.size
+        _vec(n).pack_into(buf, offset, *pdu.ack)
+        offset += 4 * n
+        _vec(n).pack_into(buf, offset, *pdu.pack)
+        offset += 4 * n
+        _S_DATA_TAIL.pack_into(buf, offset, pdu.buf, pdu.view)
+        return offset + _S_DATA_TAIL.size
     if isinstance(pdu, ViewChangePdu):
-        head = struct.pack(
-            "!BBIHIHHH", _TYPE_VIEWCHANGE, _PHASE_CODES[pdu.phase], pdu.cid,
-            pdu.src, pdu.view, len(pdu.members), len(pdu.ack), len(pdu.flush),
+        m, n, f = len(pdu.members), len(pdu.ack), len(pdu.flush)
+        _S_VIEWCHANGE.pack_into(
+            buf, offset, _TYPE_VIEWCHANGE, _PHASE_CODES[pdu.phase], pdu.cid,
+            pdu.src, pdu.view, m, n, f,
         )
-        return (
-            head
-            + _pack_members(pdu.members)
-            + _pack_vector(pdu.ack)
-            + _pack_vector(pdu.flush)
-            + struct.pack("!I", pdu.buf)
-        )
+        offset += _S_VIEWCHANGE.size
+        _mem(m).pack_into(buf, offset, *pdu.members)
+        offset += 2 * m
+        _vec(n).pack_into(buf, offset, *pdu.ack)
+        offset += 4 * n
+        _vec(f).pack_into(buf, offset, *pdu.flush)
+        offset += 4 * f
+        _S_U32.pack_into(buf, offset, pdu.buf)
+        return offset + 4
     if isinstance(pdu, JoinPdu):
-        flags = _FLAG_READY if pdu.ready else 0
-        return struct.pack("!BBIHI", _TYPE_JOIN, flags, pdu.cid, pdu.src, pdu.buf)
+        _S_JOIN.pack_into(
+            buf, offset, _TYPE_JOIN, _FLAG_READY if pdu.ready else 0,
+            pdu.cid, pdu.src, pdu.buf,
+        )
+        return offset + _S_JOIN.size
     if isinstance(pdu, StatePdu):
-        head = struct.pack(
-            "!BBIHHIHHI", _TYPE_STATE, 0, pdu.cid, pdu.src, pdu.joiner,
-            pdu.view, len(pdu.members), len(pdu.ack), len(pdu.prefix),
+        m, n, k = len(pdu.members), len(pdu.ack), len(pdu.prefix)
+        _S_STATE.pack_into(
+            buf, offset, _TYPE_STATE, 0, pdu.cid, pdu.src, pdu.joiner,
+            pdu.view, m, n, k,
         )
-        prefix = b"".join(struct.pack("!HI", s, q) for s, q in pdu.prefix)
-        return (
-            head
-            + _pack_members(pdu.members)
-            + _pack_vector(pdu.ack)
-            + _pack_vector(pdu.pack)
-            + prefix
-            + struct.pack("!I", pdu.buf)
-        )
+        offset += _S_STATE.size
+        _mem(m).pack_into(buf, offset, *pdu.members)
+        offset += 2 * m
+        _vec(n).pack_into(buf, offset, *pdu.ack)
+        offset += 4 * n
+        _vec(n).pack_into(buf, offset, *pdu.pack)
+        offset += 4 * n
+        for s, q in pdu.prefix:
+            _S_PREFIX.pack_into(buf, offset, s, q)
+            offset += _S_PREFIX.size
+        _S_U32.pack_into(buf, offset, pdu.buf)
+        return offset + 4
     if isinstance(pdu, BatchPdu):
-        head = struct.pack(
-            "!BBIHHH", _TYPE_BATCH, 0, pdu.cid, pdu.src, len(pdu.ack),
-            len(pdu.pdus),
+        n = len(pdu.ack)
+        _S_BATCH.pack_into(
+            buf, offset, _TYPE_BATCH, 0, pdu.cid, pdu.src, n, len(pdu.pdus),
         )
-        inner = b"".join(
-            struct.pack("!I", len(body)) + body
-            for body in (_encode_body(p) for p in pdu.pdus)
-        )
-        return (
-            head
-            + _pack_vector(pdu.ack)
-            + _pack_vector(pdu.pack)
-            + struct.pack("!I", pdu.buf)
-            + inner
-        )
+        offset += _S_BATCH.size
+        _vec(n).pack_into(buf, offset, *pdu.ack)
+        offset += 4 * n
+        _vec(n).pack_into(buf, offset, *pdu.pack)
+        offset += 4 * n
+        _S_U32.pack_into(buf, offset, pdu.buf)
+        offset += 4
+        for p in pdu.pdus:
+            # Reserve the u32 length prefix, encode the body in place, then
+            # backpatch the prefix with the measured body length.
+            length_at = offset
+            offset += 4
+            body_end = _encode_body_into(p, buf, offset)
+            _S_U32.pack_into(buf, length_at, body_end - offset)
+            offset = body_end
+        return offset
     raise CodecError(f"cannot encode {type(pdu).__name__}")
 
 
-def decode_pdu(data: bytes) -> AnyPdu:
-    """Parse bytes produced by :func:`encode_pdu`, verifying the CRC."""
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+def decode_pdu(data: Buffer) -> AnyPdu:
+    """Parse a frame produced by :func:`encode_pdu`, verifying the CRC.
+
+    Accepts ``bytes``, ``bytearray`` or ``memoryview``; batch frames'
+    inner bodies are parsed through ``memoryview`` slices without copying.
+    """
     try:
-        return _decode(_checked_body(data))
+        return _decode(data, _checked_len(data))
     except CodecError:
         raise
     except (struct.error, IndexError, ValueError) as exc:
@@ -262,7 +422,7 @@ def decode_pdu(data: bytes) -> AnyPdu:
 
 
 def decode_pdu_safe(
-    data: bytes, counters: Optional[Dict[str, int]] = None
+    data: Buffer, counters: Optional[Dict[str, int]] = None
 ) -> Optional[AnyPdu]:
     """Like :func:`decode_pdu` but never raises mid-dispatch.
 
@@ -280,120 +440,159 @@ def decode_pdu_safe(
         return None
 
 
-def _checked_body(data: bytes) -> bytes:
-    if len(data) <= _CRC_BYTES:
+def _checked_len(data: Buffer) -> int:
+    """Verify the trailing CRC; return the body length.
+
+    The CRC's transient views are dropped before :func:`_decode` starts
+    allocating the PDU object graph, and the body is never sliced off —
+    ``_decode`` reads the original buffer against an explicit bound — so a
+    decode's peak allocation is the PDU itself, not view bookkeeping.
+    """
+    total = len(data)
+    if total <= _CRC_BYTES:
         raise CodecError("frame shorter than its checksum")
-    body, trailer = data[:-_CRC_BYTES], data[-_CRC_BYTES:]
-    (expected,) = struct.unpack("!I", trailer)
-    actual = zlib.crc32(body)
+    body_len = total - _CRC_BYTES
+    (expected,) = _S_U32.unpack_from(data, body_len)
+    actual = zlib.crc32(memoryview(data)[:body_len])
     if actual != expected:
         raise CodecError(
             f"checksum mismatch: frame carries 0x{expected:08x}, "
             f"computed 0x{actual:08x} (corrupted or truncated frame)"
         )
-    return body
+    return body_len
 
 
-def _decode(data: bytes) -> AnyPdu:
-    if not data:
+def _decode(data: Buffer, end: int) -> AnyPdu:
+    """Parse one PDU body from ``data[:end]``.
+
+    ``data`` is the *original* input buffer (the CRC trailer is excluded
+    by ``end``, not by slicing); every variable-length read is bounds-
+    checked against ``end`` explicitly, so a malformed count field raises
+    instead of silently consuming checksum bytes.  Slices — inner batch
+    bodies, payloads — are cheap copies for ``bytes`` input and zero-copy
+    views for ``memoryview`` input.
+    """
+    if end <= 0:
         raise CodecError("empty buffer")
     kind = data[0]
     if kind == _TYPE_DATA:
-        _, flags, cid, src, seq, n = struct.unpack_from("!BBIHIH", data, 0)
-        offset = struct.calcsize("!BBIHIH")
-        ack = struct.unpack_from(f"!{n}I", data, offset)
-        offset += 4 * n
-        buf, payload_len = struct.unpack_from("!II", data, offset)
-        offset += 8
-        payload = data[offset:offset + payload_len]
-        if len(payload) != payload_len:
+        if _S_DATA.size > end:
+            raise CodecError("truncated data PDU header")
+        _, flags, cid, src, seq, n = _S_DATA.unpack_from(data, 0)
+        offset = _S_DATA.size + 4 * n
+        if offset + _S_DATA_TAIL.size > end:
+            raise CodecError("truncated data PDU")
+        ack = _vec(n).unpack_from(data, _S_DATA.size)
+        buf, payload_len = _S_DATA_TAIL.unpack_from(data, offset)
+        offset += _S_DATA_TAIL.size
+        if offset + payload_len > end:
             raise CodecError("payload shorter than its declared length")
         is_null = bool(flags & _FLAG_NULL)
         return DataPdu(
             cid=cid, src=src, seq=seq, ack=ack, buf=buf,
-            data=None if is_null else payload,
+            data=None if is_null else bytes(data[offset:offset + payload_len]),
             data_size=payload_len,
         )
     if kind == _TYPE_RET:
-        _, _, cid, src, lsrc, lseq, n = struct.unpack_from("!BBIHHIH", data, 0)
-        offset = struct.calcsize("!BBIHHIH")
-        ack = struct.unpack_from(f"!{n}I", data, offset)
-        offset += 4 * n
-        (buf,) = struct.unpack_from("!I", data, offset)
+        if _S_RET.size > end:
+            raise CodecError("truncated RET PDU header")
+        _, _, cid, src, lsrc, lseq, n = _S_RET.unpack_from(data, 0)
+        offset = _S_RET.size + 4 * n
+        if offset + 4 > end:
+            raise CodecError("truncated RET PDU")
+        ack = _vec(n).unpack_from(data, _S_RET.size)
+        (buf,) = _S_U32.unpack_from(data, offset)
         return RetPdu(cid=cid, src=src, lsrc=lsrc, lseq=lseq, ack=ack, buf=buf)
     if kind == _TYPE_HEARTBEAT:
-        _, flags, cid, src, n = struct.unpack_from("!BBIHH", data, 0)
-        offset = struct.calcsize("!BBIHH")
-        ack = struct.unpack_from(f"!{n}I", data, offset)
+        if _S_HEARTBEAT.size > end:
+            raise CodecError("truncated heartbeat header")
+        _, flags, cid, src, n = _S_HEARTBEAT.unpack_from(data, 0)
+        offset = _S_HEARTBEAT.size
+        if offset + 8 * n + _S_DATA_TAIL.size > end:
+            raise CodecError("truncated heartbeat")
+        ack = _vec(n).unpack_from(data, offset)
         offset += 4 * n
-        pack = struct.unpack_from(f"!{n}I", data, offset)
+        pack = _vec(n).unpack_from(data, offset)
         offset += 4 * n
-        buf, view = struct.unpack_from("!II", data, offset)
+        buf, view = _S_DATA_TAIL.unpack_from(data, offset)
         return HeartbeatPdu(
             cid=cid, src=src, ack=ack, pack=pack, buf=buf,
             probe=bool(flags & _FLAG_PROBE), view=view,
         )
     if kind == _TYPE_VIEWCHANGE:
-        _, phase_code, cid, src, view, m, n, f = struct.unpack_from(
-            "!BBIHIHHH", data, 0,
+        if _S_VIEWCHANGE.size > end:
+            raise CodecError("truncated view-change header")
+        _, phase_code, cid, src, view, m, n, f = _S_VIEWCHANGE.unpack_from(
+            data, 0,
         )
         phase = _PHASE_NAMES.get(phase_code)
         if phase is None:
             raise CodecError(f"unknown view-change phase code {phase_code}")
-        offset = struct.calcsize("!BBIHIHHH")
-        members = struct.unpack_from(f"!{m}H", data, offset)
+        offset = _S_VIEWCHANGE.size
+        if offset + 2 * m + 4 * n + 4 * f + 4 > end:
+            raise CodecError("truncated view-change PDU")
+        members = _mem(m).unpack_from(data, offset)
         offset += 2 * m
-        ack = struct.unpack_from(f"!{n}I", data, offset)
+        ack = _vec(n).unpack_from(data, offset)
         offset += 4 * n
-        flush = struct.unpack_from(f"!{f}I", data, offset)
+        flush = _vec(f).unpack_from(data, offset)
         offset += 4 * f
-        (buf,) = struct.unpack_from("!I", data, offset)
+        (buf,) = _S_U32.unpack_from(data, offset)
         return ViewChangePdu(
             cid=cid, src=src, view=view, phase=phase, members=members,
             ack=ack, buf=buf, flush=flush,
         )
     if kind == _TYPE_JOIN:
-        _, flags, cid, src, buf = struct.unpack_from("!BBIHI", data, 0)
+        if _S_JOIN.size > end:
+            raise CodecError("truncated join PDU")
+        _, flags, cid, src, buf = _S_JOIN.unpack_from(data, 0)
         return JoinPdu(cid=cid, src=src, buf=buf, ready=bool(flags & _FLAG_READY))
     if kind == _TYPE_STATE:
-        _, _, cid, src, joiner, view, m, n, k = struct.unpack_from(
-            "!BBIHHIHHI", data, 0,
-        )
-        offset = struct.calcsize("!BBIHHIHHI")
-        members = struct.unpack_from(f"!{m}H", data, offset)
+        if _S_STATE.size > end:
+            raise CodecError("truncated state header")
+        _, _, cid, src, joiner, view, m, n, k = _S_STATE.unpack_from(data, 0)
+        offset = _S_STATE.size
+        if offset + 2 * m + 8 * n + 6 * k + 4 > end:
+            raise CodecError("truncated state PDU")
+        members = _mem(m).unpack_from(data, offset)
         offset += 2 * m
-        ack = struct.unpack_from(f"!{n}I", data, offset)
+        ack = _vec(n).unpack_from(data, offset)
         offset += 4 * n
-        pack = struct.unpack_from(f"!{n}I", data, offset)
+        pack = _vec(n).unpack_from(data, offset)
         offset += 4 * n
         prefix = []
         for _ in range(k):
-            entry = struct.unpack_from("!HI", data, offset)
-            offset += 6
+            entry = _S_PREFIX.unpack_from(data, offset)
+            offset += _S_PREFIX.size
             prefix.append(entry)
-        (buf,) = struct.unpack_from("!I", data, offset)
+        (buf,) = _S_U32.unpack_from(data, offset)
         return StatePdu(
             cid=cid, src=src, joiner=joiner, view=view, members=members,
             ack=ack, pack=pack, buf=buf, prefix=tuple(prefix),
         )
     if kind == _TYPE_BATCH:
-        _, _, cid, src, n, count = struct.unpack_from("!BBIHHH", data, 0)
-        offset = struct.calcsize("!BBIHHH")
-        ack = struct.unpack_from(f"!{n}I", data, offset)
+        if _S_BATCH.size > end:
+            raise CodecError("truncated batch header")
+        _, _, cid, src, n, count = _S_BATCH.unpack_from(data, 0)
+        offset = _S_BATCH.size
+        if offset + 8 * n + 4 > end:
+            raise CodecError("truncated batch PDU")
+        ack = _vec(n).unpack_from(data, offset)
         offset += 4 * n
-        pack = struct.unpack_from(f"!{n}I", data, offset)
+        pack = _vec(n).unpack_from(data, offset)
         offset += 4 * n
-        (buf,) = struct.unpack_from("!I", data, offset)
+        (buf,) = _S_U32.unpack_from(data, offset)
         offset += 4
         pdus = []
         for _ in range(count):
-            (body_len,) = struct.unpack_from("!I", data, offset)
+            if offset + 4 > end:
+                raise CodecError("truncated inner PDU length")
+            (body_len,) = _S_U32.unpack_from(data, offset)
             offset += 4
-            body = data[offset:offset + body_len]
-            if len(body) != body_len:
+            if offset + body_len > end:
                 raise CodecError("inner PDU shorter than its declared length")
+            inner = _decode(data[offset:offset + body_len], body_len)
             offset += body_len
-            inner = _decode(body)
             if not isinstance(inner, DataPdu):
                 raise CodecError(
                     "batch frames carry data PDUs only, got "
@@ -405,6 +604,10 @@ def _decode(data: bytes) -> AnyPdu:
         )
     raise CodecError(f"unknown PDU type byte 0x{kind:02x}")
 
+
+# ----------------------------------------------------------------------
+# Sizes and splitting
+# ----------------------------------------------------------------------
 
 def split_batch(pdu: BatchPdu, max_frame_bytes: int) -> "list[BatchPdu]":
     """Split a batch into frames whose encoding fits ``max_frame_bytes``.
@@ -420,16 +623,14 @@ def split_batch(pdu: BatchPdu, max_frame_bytes: int) -> "list[BatchPdu]":
         raise CodecError(f"max_frame_bytes must be positive, got {max_frame_bytes}")
     if not pdu.pdus or encoded_size(pdu) <= max_frame_bytes:
         return [pdu]
-    header_size = encoded_size(
-        BatchPdu(cid=pdu.cid, src=pdu.src, ack=pdu.ack, pack=pdu.pack,
-                 buf=pdu.buf)
-    )
+    # Chunk header: batch head + two vectors + buf + frame CRC.
+    header_size = _S_BATCH.size + 8 * len(pdu.ack) + 4 + _CRC_BYTES
     chunks: "list[BatchPdu]" = []
     current: "list[DataPdu]" = []
     current_size = header_size
     for p in pdu.pdus:
         # u32 length prefix + body (bodies carry no per-PDU CRC).
-        cost = 4 + len(_encode_body(p))
+        cost = 4 + _body_size(p)
         if current and current_size + cost > max_frame_bytes:
             chunks.append(
                 BatchPdu(cid=pdu.cid, src=pdu.src, ack=pdu.ack,
@@ -447,10 +648,41 @@ def split_batch(pdu: BatchPdu, max_frame_bytes: int) -> "list[BatchPdu]":
     return chunks
 
 
+def _body_size(pdu: AnyPdu) -> int:
+    """Exact body length (no CRC trailer), computed arithmetically."""
+    if isinstance(pdu, DataPdu):
+        return (
+            _S_DATA.size + 4 * len(pdu.ack) + _S_DATA_TAIL.size
+            + len(_payload_bytes(pdu.data))
+        )
+    if isinstance(pdu, RetPdu):
+        return _S_RET.size + 4 * len(pdu.ack) + 4
+    if isinstance(pdu, HeartbeatPdu):
+        return _S_HEARTBEAT.size + 8 * len(pdu.ack) + _S_DATA_TAIL.size
+    if isinstance(pdu, ViewChangePdu):
+        return (
+            _S_VIEWCHANGE.size + 2 * len(pdu.members)
+            + 4 * len(pdu.ack) + 4 * len(pdu.flush) + 4
+        )
+    if isinstance(pdu, JoinPdu):
+        return _S_JOIN.size
+    if isinstance(pdu, StatePdu):
+        return (
+            _S_STATE.size + 2 * len(pdu.members) + 8 * len(pdu.ack)
+            + _S_PREFIX.size * len(pdu.prefix) + 4
+        )
+    if isinstance(pdu, BatchPdu):
+        return (
+            _S_BATCH.size + 8 * len(pdu.ack) + 4
+            + sum(4 + _body_size(p) for p in pdu.pdus)
+        )
+    raise CodecError(f"cannot encode {type(pdu).__name__}")
+
+
 def encoded_size(pdu: AnyPdu) -> int:
-    """Exact wire length of the encoded PDU.
+    """Exact wire length of the encoded PDU, without encoding it.
 
     Like the model in :mod:`repro.core.pdu`, this is linear in the cluster
     size — the §5 observation that the PDU length is O(n).
     """
-    return len(encode_pdu(pdu))
+    return _body_size(pdu) + _CRC_BYTES

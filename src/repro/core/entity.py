@@ -241,6 +241,9 @@ class COEntity:
         self._suppressor = RetransmitSuppressor(config.ret_suppression_interval)
         #: Out-of-order arrivals per source (selective retransmission only).
         self._stash: List[Dict[int, DataPdu]] = [{} for _ in range(n)]
+        #: Total stashed PDUs across sources, maintained at the stash /
+        #: drain sites so resident_pdus stays O(1) per accepted PDU.
+        self._stash_size = 0
         #: Accepted PDUs from peers, kept to re-serve RETs addressed to a
         #: suspected (crashed) source — the membership extension's
         #: peer-assisted retransmission.  Pruned below the live minAL.
@@ -469,7 +472,7 @@ class COEntity:
             # accepted PDUs never reads as fruitlessness.)
             load = (
                 self.rrl.total + len(self.prl) + self.gaps.open_gaps
-                + len(self._pending) + sum(len(s) for s in self._stash)
+                + len(self._pending) + self._stash_size
             )
             if load < self._probe_load:
                 self._probe_backoff = 1
@@ -633,7 +636,12 @@ class COEntity:
     # ------------------------------------------------------------------
     # Data-PDU receipt: acceptance + failure condition (1)  (§4.2, §4.3)
     # ------------------------------------------------------------------
-    def _on_data(self, p: DataPdu) -> None:
+    def _on_data(self, p: DataPdu, folded: bool = False) -> None:
+        """``folded=True`` marks an inner PDU of a batch whose ACK vectors
+        were already merged column-wise in one pass (:meth:`_on_batch`):
+        the per-PDU AL/BUF folds and the per-PDU failure-condition-(2)
+        check are skipped — the frame-level fold and the end-of-batch
+        header check dominate them."""
         src = p.src
         if src == self.index:
             # Our own rebroadcast echoed back by a peer relay — impossible in
@@ -653,10 +661,11 @@ class COEntity:
             # PDU's ACK vector, duplicates included.
             self.counters.duplicates += 1
             self._trace.record(self.now, "duplicate", self.index, src=src, seq=p.seq)
-            self._merge_al(src, p.ack)
-            self.state.update_buf(src, p.buf)
+            if not folded:
+                self._merge_al(src, p.ack)
+                self.state.update_buf(src, p.buf)
         elif p.seq == expected:
-            self._accept(p)
+            self._accept(p, folded=folded)
             self._drain_stash(src)
         else:
             # Failure condition (1): REQ_src < p.SEQ.
@@ -664,11 +673,13 @@ class COEntity:
                 self.now, "gap", self.index,
                 kind="F1", src=src, missing_from=expected, missing_upto=p.seq,
             )
-            self._merge_al(src, p.ack)
-            self.state.update_buf(src, p.buf)
+            if not folded:
+                self._merge_al(src, p.ack)
+                self.state.update_buf(src, p.buf)
             if self.config.retransmission is RetransmissionScheme.SELECTIVE:
                 if p.seq not in self._stash[src]:
                     self._stash[src][p.seq] = p
+                    self._stash_size += 1
                     self.counters.stashed += 1
                     self._trace.record(self.now, "stash", self.index, src=src, seq=p.seq)
             else:
@@ -676,22 +687,28 @@ class COEntity:
             if self.gaps.note(src, p.seq, self.now):
                 self._send_ret(src, p.seq)
         # Failure condition (2) applies to every received PDU's ACK vector.
-        self._check_ack_gaps(p.ack, carrier=src)
+        if not folded:
+            self._check_ack_gaps(p.ack, carrier=src)
         self._pack_action()
         self._maybe_confirm()
         self._pump()
 
-    def _accept(self, p: DataPdu) -> None:
+    def _accept(self, p: DataPdu, folded: bool = False) -> None:
         """The acceptance action (§4.2)."""
-        self.state.advance_req(p.src, p.seq)
-        self._merge_al(p.src, p.ack)
-        if p.src != self.index:
-            # Own BUF advertisements never constrain our window: broadcasts
-            # land in *other* entities' buffers (self-acceptance bypasses
-            # ours), so the self entry stays at its non-binding initial.
-            self.state.update_buf(p.src, p.buf)
-        # Our own row of AL is our own REQ vector, which just advanced.
-        self._merge_al(self.index, self.state.req_vector())
+        # REQ_src advances and our own AL row — our own REQ vector — moves
+        # with it: one O(1) combined step instead of an O(n) re-fold of the
+        # whole vector per accepted PDU.
+        outcome = self.state.accept(p.src, p.seq)
+        if outcome.dirty:
+            self._pack_dirty.update(outcome.dirty)
+        if not folded:
+            self._merge_al(p.src, p.ack)
+            if p.src != self.index:
+                # Own BUF advertisements never constrain our window:
+                # broadcasts land in *other* entities' buffers
+                # (self-acceptance bypasses ours), so the self entry stays
+                # at its non-binding initial.
+                self.state.update_buf(p.src, p.buf)
         self.rrl.enqueue(p)
         # The sublog gained a (possibly new) head: re-examine this source.
         self._pack_dirty.add(p.src)
@@ -717,6 +734,7 @@ class COEntity:
             nxt = stash.pop(self.state.req[src], None)
             if nxt is None:
                 break
+            self._stash_size -= 1
             self._accept(nxt)
 
     def _on_batch(self, b: BatchPdu) -> None:
@@ -731,18 +749,27 @@ class COEntity:
         """
         self.counters.recv_batches += 1
         removed = self._is_removed(b.src)
+        if not removed:
+            # Single-pass fold: the column-wise maximum of the header and
+            # every inner ACK vector is merged once, so a frame of k inner
+            # PDUs costs one AL row walk instead of k+1.  Folding the
+            # knowledge early is monotone-sound (element-wise max of
+            # vectors the source truly sent); the failure-condition-(2)
+            # check stays *after* the inner PDUs, as before, because
+            # ``ack[src]`` covers sequence numbers sitting in this frame.
+            # The header BUF (flush-stamped, freshest) lands now too.
+            self._merge_al(b.src, b.fold_ack())
+            self.state.update_buf(b.src, b.buf)
         for p in b.pdus:
             if removed and not self._fence_admits(b.src, p):
                 continue
             self.counters.recv_batched_pdus += 1
-            self._on_data(p)
+            self._on_data(p, folded=not removed)
         if removed:
             # A removed member's knowledge must not advance anyone's state;
             # only its admitted (flushed-prefix) data PDUs count.
             return
-        self._merge_al(b.src, b.ack)
         self.state.merge_pal(b.src, b.pack)
-        self.state.update_buf(b.src, b.buf)
         self._check_ack_gaps(b.ack, carrier=b.src)
         # The frame is a confirmation from its source, like a heartbeat.
         self._heard_from.add(b.src)
@@ -1040,20 +1067,21 @@ class COEntity:
         stores stop shrinking past it; a real deployment would eventually
         evict the member for good (view change — out of scope here).
         """
-        floor = self.state.min_al_all_rows(self.index)
-        if floor > self._pruned_below[self.index]:
-            self._pruned_below[self.index] = floor
-            self.sl.prune_below(floor)
-            self._suppressor.forget_below(floor)
-        for j in range(self.n):
-            if j == self.index:
-                continue
+        # Event-driven: only the columns whose all-rows minimum actually
+        # moved since the last prune can raise a release floor, and the
+        # state tracks exactly those (a full per-PDU sweep of all n
+        # sources made every acknowledgment O(n)).
+        for j in self.state.drain_al_all_dirty():
             keep_from = self.state.min_al_all_rows(j)
             # Store entries are accepted PDUs, so their seqs only grow past
             # any floor already applied: an unmoved floor means nothing to do.
             if keep_from <= self._pruned_below[j]:
                 continue
             self._pruned_below[j] = keep_from
+            if j == self.index:
+                self.sl.prune_below(keep_from)
+                self._suppressor.forget_below(keep_from)
+                continue
             store = self._peer_store[j]
             if not store:
                 continue
@@ -1592,8 +1620,10 @@ class COEntity:
         ARL is excluded: acknowledged PDUs are kept only "in record" and a
         production implementation would release them on delivery.
         """
-        stash = sum(len(s) for s in self._stash)
-        return self.sl.retained + self.rrl.total + len(self.prl) + stash
+        return (
+            self.sl.retained + self.rrl.total + len(self.prl)
+            + self._stash_size
+        )
 
     @property
     def resident_high_water(self) -> int:
@@ -1628,6 +1658,14 @@ class COEntity:
             "gap_backlog": self.gaps.open_gaps,
             "resident": self.resident_pdus,
             "batch_open": len(self._batch),
+            # The flow-gating minBUF.  Before any live peer has advertised,
+            # min_buf() is the optimistic cold-start sentinel, not a
+            # measurement — report -1 ("unknown") so the flight recorder
+            # never charts a nonsense 10⁹; series consumers clamp negative
+            # samples out (docs/PROTOCOL.md §13).
+            "min_buf": (
+                self.state.min_buf() if self.state.min_buf_known() else -1
+            ),
         }
 
     @property

@@ -243,23 +243,30 @@ class ReceiptSublogs:
 
     def __init__(self, n: int):
         self._sublogs: List[Log[DataPdu]] = [Log() for _ in range(n)]
+        self._total = 0
 
     def sublog(self, src: int) -> Log[DataPdu]:
         return self._sublogs[src]
 
     def enqueue(self, pdu: DataPdu) -> None:
         self._sublogs[pdu.src].enqueue(pdu)
+        self._total += 1
 
     def top(self, src: int) -> Optional[DataPdu]:
         return self._sublogs[src].top
 
     def dequeue(self, src: int) -> DataPdu:
-        return self._sublogs[src].dequeue()
+        pdu = self._sublogs[src].dequeue()
+        self._total -= 1
+        return pdu
 
     @property
     def total(self) -> int:
-        """PDUs resident across all sublogs (buffer-usage metric)."""
-        return sum(len(log) for log in self._sublogs)
+        """PDUs resident across all sublogs (buffer-usage metric).
+
+        Cached: ``resident_pdus`` reads this once per accepted PDU, so a
+        ``sum`` over the sublogs would make every receipt O(n)."""
+        return self._total
 
     def __iter__(self) -> Iterator[Log[DataPdu]]:
         return iter(self._sublogs)

@@ -368,6 +368,23 @@ class BatchPdu:
     def seqs(self) -> Tuple[int, ...]:
         return tuple(p.seq for p in self.pdus)
 
+    def fold_ack(self) -> Tuple[int, ...]:
+        """Column-wise maximum of the header and every inner ACK vector.
+
+        Per-source ACK vectors are monotone in send order, so the fold
+        dominates each constituent and one element-wise-max merge of it is
+        equivalent to merging all ``k+1`` vectors in turn — a receiver pays
+        one knowledge-row walk per frame instead of one per inner PDU.
+        (With a flush-stamped header the fold *is* the header vector; the
+        explicit maximum keeps the equivalence exact for any frame decoded
+        off the wire.)
+        """
+        if not self.pdus:
+            return self.ack
+        return tuple(
+            max(column) for column in zip(self.ack, *(p.ack for p in self.pdus))
+        )
+
     def wire_size(self) -> int:
         """Modelled bytes: one header + the inner PDUs' own sizes."""
         header = (_BATCH_FIXED_FIELDS + 2 * len(self.ack)) * _INT_BYTES

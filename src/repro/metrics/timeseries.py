@@ -100,13 +100,19 @@ def gauge_series(
     """Mean value of one host-sampled gauge per bucket.
 
     Gauges are point-in-time samples (the ``gauge`` trace category), so
-    bucket means — not counts — are the faithful reduction.
+    bucket means — not counts — are the faithful reduction.  Negative
+    samples are the schema's "unknown" convention (docs/PROTOCOL.md §13:
+    ``min_buf`` is -1 until a buffer advertisement has been seen) and are
+    dropped, not averaged — a cold-start placeholder is not a measurement
+    and must not drag percentiles or sparklines.
     """
     samples = [
-        (rec.time, float(rec.get(key)))
+        (rec.time, value)
         for rec in trace.select(category="gauge", entity=entity)
-        if rec.get(key) is not None
+        for value in (rec.get(key),)
+        if value is not None and float(value) >= 0.0
     ]
+    samples = [(t, float(v)) for t, v in samples]
     return _bucketize(samples, bucket, combine="mean")
 
 

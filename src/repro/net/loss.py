@@ -197,13 +197,15 @@ class CorruptionLoss(LossModel):
     def should_drop(self, src: int, dst: int, pdu: Any, rng: random.Random) -> bool:
         if self.rate == 0.0 or rng.random() >= self.rate:
             return False
-        from repro.core.codec import decode_pdu_safe, encode_pdu
+        from repro.core.codec import decode_pdu_safe, encode_pdu_into
 
-        frame = bytearray(encode_pdu(pdu))
+        frame = bytearray()
+        end = encode_pdu_into(pdu, frame)
+        del frame[end:]
         position = rng.randrange(len(frame))
         flip = rng.randrange(1, 256)
         frame[position] ^= flip
-        if decode_pdu_safe(bytes(frame)) is None:
+        if decode_pdu_safe(frame) is None:
             self.corrupt_frames += 1
         else:
             self.undetected_corruptions += 1

@@ -31,7 +31,7 @@ import asyncio
 import random
 from typing import Any, Awaitable, Callable, List, Optional, Sequence, Tuple
 
-from repro.core.codec import decode_pdu_safe, encode_pdu, split_batch
+from repro.core.codec import decode_pdu_safe, encode_pdu_view, split_batch
 from repro.core.pdu import BatchPdu
 from repro.core.config import ProtocolConfig
 from repro.core.entity import COEntity, DeliveredMessage
@@ -178,11 +178,16 @@ class UdpTransport:
                 self.frames_split += 1
         else:
             chunks = [pdu]
-        payloads = [encode_pdu(chunk) for chunk in chunks]
-        for dst, address in enumerate(self.addresses):
-            if dst == src:
-                continue
-            for payload in payloads:
+        for chunk in chunks:
+            # Encode each chunk once into the codec's scratch buffer and
+            # fan the view out to every peer — sendto copies the buffer
+            # synchronously (immediately on the fast path, via bytes() when
+            # the socket would block), so the view never outlives the
+            # scratch contents.
+            payload = encode_pdu_view(chunk)
+            for dst, address in enumerate(self.addresses):
+                if dst == src:
+                    continue
                 self.datagrams_sent += 1
                 if self.loss_rate and self._rng.random() < self.loss_rate:
                     self.datagrams_dropped += 1

@@ -100,15 +100,25 @@ def test_decoder_never_crashes_on_garbage(blob):
 
 
 @given(data_pdus())
-def test_truncation_is_detected(pdu):
+def test_truncation_is_detected_at_every_byte_offset(pdu):
     encoded = encode_pdu(pdu)
-    for cut in (1, len(encoded) // 2, len(encoded) - 1):
-        if cut < len(encoded):
-            with pytest.raises(CodecError):
-                decoded = decode_pdu(encoded[:cut])
-                # Truncating the payload alone may still parse only if the
-                # declared length matched -- it cannot, since we cut bytes.
-                assert decoded is not None
+    for cut in range(len(encoded)):
+        with pytest.raises(CodecError):
+            decoded = decode_pdu(encoded[:cut])
+            # Truncating the payload alone may still parse only if the
+            # declared length matched -- it cannot, since we cut bytes.
+            assert decoded is not None
+
+
+@given(data_pdus())
+def test_memoryview_truncation_is_detected_at_every_byte_offset(pdu):
+    # The zero-copy decode path must reject truncation exactly like the
+    # bytes path — memoryview slicing silently shortens instead of
+    # raising, so every length check has to hold on views too.
+    view = memoryview(encode_pdu(pdu))
+    for cut in range(len(view)):
+        with pytest.raises(CodecError):
+            decode_pdu(view[:cut])
 
 
 def test_str_payload_roundtrips_as_bytes():
@@ -188,6 +198,53 @@ def test_every_single_byte_flip_is_rejected(pdu):
         damaged = bytearray(frame)
         damaged[position] ^= 0xA5
         assert decode_pdu_safe(bytes(damaged)) is None
+
+
+# ----------------------------------------------------------------------
+# Zero-copy paths: memoryview inputs, in-place encoding, arithmetic sizes
+# ----------------------------------------------------------------------
+from repro.core.codec import encode_pdu_into, encode_pdu_view
+
+
+@given(st.one_of(data_pdus(), ret_pdus(), heartbeat_pdus(),
+                 viewchange_pdus(), state_pdus()))
+def test_memoryview_decode_matches_bytes_decode(pdu):
+    frame = encode_pdu(pdu)
+    assert decode_pdu(memoryview(frame)) == decode_pdu(frame)
+    assert decode_pdu(bytearray(frame)) == decode_pdu(frame)
+
+
+@given(st.one_of(data_pdus(), ret_pdus(), heartbeat_pdus(),
+                 viewchange_pdus(), state_pdus()))
+def test_encoded_size_is_exact_without_encoding(pdu):
+    assert encoded_size(pdu) == len(encode_pdu(pdu))
+
+
+@given(data_pdus(), st.integers(min_value=0, max_value=37))
+def test_encode_pdu_into_at_offset_round_trips(pdu, offset):
+    buf = bytearray(offset)  # deliberately too small: must grow in place
+    end = encode_pdu_into(pdu, buf, offset)
+    assert end == offset + encoded_size(pdu)
+    frame = bytes(buf[offset:end])
+    assert frame == encode_pdu(pdu)
+    assert decode_pdu(frame) == pdu
+
+
+@given(data_pdus(), ret_pdus())
+def test_encode_pdu_into_packs_frames_back_to_back(first, second):
+    buf = bytearray()
+    mid = encode_pdu_into(first, buf, 0)
+    end = encode_pdu_into(second, buf, mid)
+    assert decode_pdu(memoryview(buf)[:mid]) == decode_pdu(encode_pdu(first))
+    assert decode_pdu(memoryview(buf)[mid:end]) == second
+
+
+@given(data_pdus())
+def test_encode_pdu_view_matches_encode_pdu(pdu):
+    view = encode_pdu_view(pdu)
+    assert view.readonly
+    frame = bytes(view)  # consume immediately: valid until the next encode
+    assert frame == encode_pdu(pdu)
 
 
 @given(heartbeat_pdus())

@@ -135,3 +135,133 @@ def test_snapshot_is_deep_copy():
     snap["req"][0] = 99
     assert st.al[0][0] == 1
     assert st.req[0] == 1
+
+
+def test_snapshot_includes_membership_and_cached_minima():
+    # Regression: snapshot() used to return only req/al/pal/buf, so
+    # view-change assertions and `repro inspect` dumps silently missed the
+    # exclusion flags and every cached minimum.
+    st = KnowledgeState(3, 0)
+    st.merge_al(1, (4, 2, 3))
+    st.merge_pal(1, (2, 2, 2))
+    st.update_buf(2, 17)
+    st.set_excluded(2, True)
+    snap = st.snapshot()
+    assert snap["excluded"] == [False, False, True]
+    assert snap["evicted"] == [False, False, False]
+    assert snap["min_al"] == [st.min_al(k) for k in range(3)]
+    assert snap["min_pal"] == [st.min_pal(k) for k in range(3)]
+    assert snap["min_al_all"] == [st.min_al_all_rows(k) for k in range(3)]
+    assert snap["min_buf"] == st.min_buf()
+    # Deep copy: mutating the snapshot does not reach the live caches.
+    snap["min_al"][0] = 99
+    snap["excluded"][1] = True
+    assert st.min_al(0) != 99
+    assert st.excluded[1] is False
+
+
+def test_check_cache_consistency_clean_and_after_churn():
+    st = KnowledgeState(4, 1)
+    assert st.check_cache_consistency() == {}
+    st.merge_al(0, (5, 2, 3, 1))
+    st.merge_pal(2, (1, 4, 2, 2))
+    st.update_buf(3, 9)
+    st.accept(0, 1)
+    st.set_excluded(3, True)
+    st.set_evicted(2, True)
+    st.set_evicted(2, False)
+    st.set_excluded(3, False)
+    assert st.check_cache_consistency() == {}
+
+
+def test_check_cache_consistency_reports_corruption():
+    st = KnowledgeState(3, 0)
+    st.merge_al(1, (4, 4, 4))
+    st._min_al[0] = 77  # sabotage the cache
+    problems = st.check_cache_consistency()
+    assert "min_al[0]" in problems
+    assert problems["min_al[0]"] == (77, 1)
+
+
+def test_accept_matches_advance_plus_own_row_merge():
+    # accept(src, seq) is the fused form of advance_req + folding the REQ
+    # vector into the own AL row; both must leave identical state.
+    fused, classic = KnowledgeState(3, 0), KnowledgeState(3, 0)
+    for src, seq in [(1, 1), (2, 1), (1, 2), (0, 1)]:
+        outcome = fused.accept(src, seq)
+        classic.advance_req(src, seq)
+        changed = classic.merge_al(0, classic.req_vector())
+        assert outcome.changed == changed.changed
+        assert outcome.dirty == changed.dirty
+    assert fused.snapshot() == classic.snapshot()
+    assert fused.check_cache_consistency() == {}
+
+
+def test_accept_out_of_order_rejected():
+    st = KnowledgeState(3, 0)
+    with pytest.raises(ValueError):
+        st.accept(1, 2)
+    st.accept(1, 1)
+    with pytest.raises(ValueError):
+        st.accept(1, 1)  # duplicate
+
+
+def test_min_buf_known_tracks_first_live_advertisement():
+    st = KnowledgeState(3, 0)
+    assert st.min_buf_known() is False
+    assert st.min_buf() == INITIAL_BUF  # flow stays optimistic pre-contact
+    st.update_buf(1, 42)
+    assert st.min_buf_known() is True
+    assert st.min_buf() == 42
+
+
+def test_min_buf_unknown_while_only_excluded_rows_advertised():
+    st = KnowledgeState(3, 0)
+    st.set_excluded(1, True)
+    st.update_buf(1, 5)  # recorded, but the row gates nothing
+    assert st.min_buf() == INITIAL_BUF
+    assert st.min_buf_known() is False
+
+
+def test_exclude_advertise_reinclude_refreshes_min_buf():
+    # Regression (satellite audit): an advertisement that arrives while the
+    # observer is excluded must be folded back into minBUF on re-inclusion,
+    # not leave the cache stale at the pre-exclusion value.
+    st = KnowledgeState(3, 0)
+    st.update_buf(1, 50)
+    st.update_buf(2, 80)
+    assert st.min_buf() == 50
+    st.set_excluded(1, True)
+    assert st.min_buf() == 80  # row 1 no longer gates
+    st.update_buf(1, 7)        # advertisement lands while excluded
+    assert st.min_buf() == 80
+    st.set_excluded(1, False)  # re-include: the value advertised meanwhile
+    assert st.min_buf() == 7   # must gate again, not the stale 50
+    assert st.check_cache_consistency() == {}
+
+
+def test_evict_advertise_readmit_refreshes_min_buf():
+    # Same invariant through the eviction/rejoin path.
+    st = KnowledgeState(3, 0)
+    st.update_buf(1, 50)
+    st.update_buf(2, 80)
+    st.set_evicted(1, True)
+    st.update_buf(1, 3)
+    assert st.min_buf() == 80
+    st.set_evicted(1, False)
+    assert st.min_buf() == 3
+    assert st.check_cache_consistency() == {}
+
+
+def test_matrix_views_read_like_lists():
+    st = KnowledgeState(3, 0)
+    st.merge_al(1, (3, 1, 2))
+    assert list(st.al[1]) == [3, 1, 2]
+    assert st.al[1][:] == [3, 1, 2]
+    assert st.al[1][-1] == 2
+    assert len(st.al) == 3 and len(st.al[0]) == 3
+    assert [row[:] for row in st.al] == [[1, 1, 1], [3, 1, 2], [1, 1, 1]]
+    assert st.al == [[1, 1, 1], [3, 1, 2], [1, 1, 1]]
+    assert st.al != [[1, 1, 1], [3, 1, 9], [1, 1, 1]]
+    with pytest.raises(IndexError):
+        st.al[0][3]
