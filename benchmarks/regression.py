@@ -14,6 +14,10 @@ held against a committed baseline:
   bench_scale shape): deliveries per wall-clock second, resident
   high-water, modelled/measured Tco, with the §2.3 ordering-checker
   oracle (`repro.ordering.checker.verify_run`) asserted on every run;
+* **convergence points** — time-to-converge after a loss storm: a
+  repair-enabled cluster runs a fixed storm window against one victim,
+  the storm stops, and the simulated time until the nemesis convergence
+  oracle holds is recorded (the §15 repair-latency axis);
 * **suites** — the existing pytest benchmark suites (``bench_micro``,
   ``bench_fig8_processing``, ``bench_scale``) executed for pass/fail.
 
@@ -69,10 +73,12 @@ SUITES = ("bench_micro.py", "bench_fig8_processing.py", "bench_scale.py")
 
 FULL = dict(sizes=(4, 8, 16, 32), rounds=160, lag=32, repeats=3,
             messages_per_entity=5, exp_repeats=2,
-            batch_sizes=(1, 8), batch_ns=(8, 32))
+            batch_sizes=(1, 8), batch_ns=(8, 32),
+            converge_ns=(8, 32), converge_seeds=(11, 12, 13))
 SMOKE = dict(sizes=(4, 8), rounds=40, lag=8, repeats=2,
              messages_per_entity=3, exp_repeats=1,
-             batch_sizes=(1, 8), batch_ns=(4,))
+             batch_sizes=(1, 8), batch_ns=(4,),
+             converge_ns=(8,), converge_seeds=(11,))
 
 #: Metrics compared against the baseline: (section, key, direction).
 #: direction +1 means "bigger is worse", -1 means "smaller is worse".
@@ -84,6 +90,7 @@ TRACKED = (
     ("batching", "frames_per_delivered_pdu", +1),
     ("batching", "per_pdu_us", +1),
     ("codec_churn", "bytes_per_op", +1),
+    ("convergence", "converge_sim_s_mean", +1),
 )
 
 
@@ -244,6 +251,68 @@ def batching_point(n: int, messages_per_entity: int, batch: int,
     }
 
 
+def convergence_point(n: int, seeds: Tuple[int, ...],
+                      messages_per_entity: int) -> Dict[str, Any]:
+    """The time-to-converge axis (docs/PROTOCOL.md §15).
+
+    A repair-enabled cluster submits its whole workload under a loss storm
+    aimed at one victim (most inbound copies dropped, control PDUs
+    included); the storm stops after a fixed simulated window.  The metric
+    is the *simulated* time from submission until the nemesis convergence
+    oracle holds — every live entity accounts for the same ids and every
+    payload is delivered.  It measures the repair tiers' healing latency,
+    not host CPU, so it is deterministic per seed; the point reports the
+    mean and max across the seed set plus the repair-counter totals that
+    prove the healing went through the anti-entropy path.
+    """
+    from repro.core.cluster import build_cluster
+    from repro.harness.nemesis import run_until_converged
+    from repro.net.loss import TargetedLoss
+    from repro.sim.rng import RngRegistry
+
+    storm_rate, storm_window = 0.75, 0.15
+    times: List[float] = []
+    wall = float("inf")
+    repair_totals: Dict[str, int] = {}
+    for seed in seeds:
+        storm = TargetedLoss({n - 1}, rate=storm_rate)
+        config = ProtocolConfig(
+            suspect_timeout=0.05,
+            anti_entropy_interval=0.01,
+            delta_sync_threshold=8,
+        )
+        cluster = build_cluster(
+            n, config=config, loss=storm, rngs=RngRegistry(seed),
+        )
+        expected = []
+        for k in range(messages_per_entity):
+            for i in range(n):
+                payload = f"c-{i}-{k}"
+                cluster.submit(i, payload)
+                expected.append(payload)
+        start = time.perf_counter()
+        cluster.run_for(storm_window)
+        storm.rate = 0.0
+        times.append(storm_window + run_until_converged(
+            cluster, list(range(n)), expected=expected, max_time=60.0,
+        ))
+        wall = min(wall, time.perf_counter() - start)
+        for member in cluster.counters():
+            for key, value in member["engine"].items():
+                if key.startswith(("digests", "pull", "delta", "repair")):
+                    repair_totals[key] = repair_totals.get(key, 0) + value
+    return {
+        "n": n,
+        "seeds": list(seeds),
+        "storm_rate": storm_rate,
+        "storm_window_s": storm_window,
+        "converge_sim_s_mean": sum(times) / len(times),
+        "converge_sim_s_max": max(times),
+        "wall_s": wall,
+        "repair": repair_totals,
+    }
+
+
 def run_suites(smoke: bool) -> Dict[str, str]:
     """Execute the existing benchmark suites; record pass/fail."""
     outcomes: Dict[str, str] = {}
@@ -276,6 +345,7 @@ def measure(mode: Dict[str, Any], smoke: bool, skip_suites: bool) -> Dict[str, A
         "engine": [],
         "experiments": [],
         "batching": [],
+        "convergence": [],
         "codec_churn": [],
         "suites": {},
     }
@@ -319,6 +389,15 @@ def measure(mode: Dict[str, Any], smoke: bool, skip_suites: bool) -> Dict[str, A
                      / max(cells[top]["frames_per_delivered_pdu"], 1e-12))
             print(f"[batching] n={n}: batch={top} sends {ratio:.2f}x fewer "
                   f"frames per delivered PDU than batch=1")
+    for n in mode["converge_ns"]:
+        print(f"[convergence] n={n} ...", flush=True)
+        point = convergence_point(n, mode["converge_seeds"],
+                                  mode["messages_per_entity"])
+        print(f"[convergence] n={n}: "
+              f"{point['converge_sim_s_mean'] * 1e3:.1f} ms mean, "
+              f"{point['converge_sim_s_max'] * 1e3:.1f} ms max "
+              f"time-to-converge over {len(point['seeds'])} seed(s)")
+        report["convergence"].append(point)
     print("[codec] allocation churn ...", flush=True)
     for point in churn_report():
         print(f"[codec] {point['op']}: {point['bytes_per_op']:.0f} "

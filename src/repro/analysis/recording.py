@@ -7,6 +7,8 @@ recording:
 * per-phase latency percentiles (submit→deliver, accept→pre-ack,
   accept→ack) — the Figure 8 / claim C2 view of the captured window;
 * the PDU census (broadcasts, accepts, drops, RETs, retransmits, ...);
+* the repair-activity ledger (digests, pulls by trigger, ranges and bytes
+  served, delta bursts) when the anti-entropy layer was on;
 * overrun / retransmission timelines as bucketed sparklines — the "when
   did it go wrong" view;
 * per-entity gauge sparklines (receive-buffer occupancy, PRL/RRL depth,
@@ -29,6 +31,7 @@ from repro.sim.trace import TraceLog, load_jsonl
 #: Timeline categories worth a sparkline, in display order.
 TIMELINE_CATEGORIES = (
     "accept", "deliver", "drop", "gap", "ret", "retransmit", "duplicate",
+    "pull", "delta",
 )
 
 #: Gauge keys worth a per-entity sparkline, in display order.  ``min_buf``
@@ -70,6 +73,7 @@ def summarize_recording(
         _header_section(trace, meta),
         _latency_section(trace),
         _census_section(trace),
+        _repair_section(trace),
         _timeline_section(trace, bucket),
         _gauge_section(trace, bucket),
     ]
@@ -119,6 +123,42 @@ def _census_section(trace: TraceLog) -> str:
     if not rows:
         return ""
     return format_table(["event", "count"], rows, title="-- PDU census --")
+
+
+def _repair_section(trace: TraceLog) -> str:
+    """Anti-entropy activity (docs/PROTOCOL.md §15): what the repair layer
+    did during the captured window, reconstructed from the trace alone."""
+    pulls = [r for r in trace if r.category == "pull"]
+    serves = [r for r in trace if r.category == "pull-serve"]
+    deltas = [r for r in trace if r.category == "delta"]
+    stash_drops = [r for r in trace if r.category == "stash-drop"]
+    digests = trace.count("digest")
+    if not (digests or pulls or serves or deltas or stash_drops):
+        return ""
+    escalations = sum(
+        1 for r in pulls if r.details.get("reason") == "escalate"
+    )
+    repaired_bytes = sum(r.details.get("bytes", 0) for r in serves)
+    repaired_bytes += sum(r.details.get("bytes", 0) for r in deltas)
+    rows = [
+        ["digests sent", digests],
+        ["pulls sent", len(pulls)],
+        ["  .. from digest compare", len(pulls) - escalations],
+        ["  .. from RET escalation", escalations],
+        ["pull ranges requested",
+         sum(r.details.get("ranges", 0) for r in pulls)],
+        ["pull ranges served",
+         sum(r.details.get("ranges", 0) for r in serves)],
+        ["pull PDUs served", sum(r.details.get("pdus", 0) for r in serves)],
+        ["delta bursts", len(deltas)],
+        ["delta PDUs pushed", sum(r.details.get("pdus", 0) for r in deltas)],
+        ["bytes repaired", repaired_bytes],
+        ["evicted-source stash drops",
+         sum(r.details.get("count", 0) for r in stash_drops)],
+    ]
+    rows = [row for row in rows if row[1]]
+    return format_table(["repair activity", "count"], rows,
+                        title="-- repair activity --")
 
 
 def _timeline_section(trace: TraceLog, bucket: float) -> str:

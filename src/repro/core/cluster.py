@@ -415,7 +415,10 @@ class Cluster:
         # a *data* PDU always comes with submit/accept records elsewhere,
         # while keepalives raining on a crashed host drop forever.  Gauge
         # samples are pure observation and never count as progress.
-        ignored = frozenset({"heartbeat", "broadcast", "arrive", "drop", "gauge"})
+        # Periodic anti-entropy digests are keepalives with a payload: a
+        # drained cluster keeps exchanging them forever, so they cannot
+        # count as progress either — the pulls/deltas they *trigger* do.
+        ignored = frozenset({"heartbeat", "broadcast", "arrive", "drop", "gauge", "digest"})
         # A bounded FlightRecorder sheds old records, so progress is judged
         # on the *tail*: recorded_total tracks every record ever offered.
         def total() -> int:

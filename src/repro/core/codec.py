@@ -95,6 +95,32 @@ Batch frame (batching extension, docs/PROTOCOL.md §14)::
     (u32 body_len, body) * count   each body a type-0x01 data-PDU body
                                    (no per-PDU checksum; one frame CRC)
 
+Anti-entropy digest (repair extension, docs/PROTOCOL.md §15)::
+
+    u8  type = 0x08
+    u8  flags = 0
+    u32 cid
+    u16 src
+    u16 target
+    u32 view
+    u16 n              vector length
+    u32 ack[n]
+    u32 delivered[n]
+    u32 buf
+
+Repair-pull PDU::
+
+    u8  type = 0x09
+    u8  flags = 0
+    u32 cid
+    u16 src
+    u16 target
+    u16 n              ACK-vector length
+    u16 r              range count
+    u32 ack[n]
+    (u16 lsrc, u32 lo, u32 hi) * r
+    u32 buf
+
 Every frame ends in a ``u32`` CRC-32 of everything before it.  The MC
 medium itself is error-free in the paper's model, but real transports (and
 the nemesis harness's bit-flip fault) are not; the checksum turns silent
@@ -131,8 +157,10 @@ from repro.core.errors import ReproError
 from repro.core.pdu import (
     BatchPdu,
     DataPdu,
+    DigestPdu,
     HeartbeatPdu,
     JoinPdu,
+    RepairPullPdu,
     RetPdu,
     StatePdu,
     ViewChangePdu,
@@ -145,6 +173,8 @@ _TYPE_VIEWCHANGE = 0x04
 _TYPE_JOIN = 0x05
 _TYPE_STATE = 0x06
 _TYPE_BATCH = 0x07
+_TYPE_DIGEST = 0x08
+_TYPE_REPAIR_PULL = 0x09
 
 _FLAG_NULL = 0x01
 _FLAG_PROBE = 0x01
@@ -158,6 +188,7 @@ _CRC_BYTES = 4
 
 AnyPdu = Union[
     DataPdu, RetPdu, HeartbeatPdu, ViewChangePdu, JoinPdu, StatePdu, BatchPdu,
+    DigestPdu, RepairPullPdu,
 ]
 
 Buffer = Union[bytes, bytearray, memoryview]
@@ -177,8 +208,11 @@ _S_VIEWCHANGE = struct.Struct("!BBIHIHHH")
 _S_JOIN = struct.Struct("!BBIHI")
 _S_STATE = struct.Struct("!BBIHHIHHI")
 _S_BATCH = struct.Struct("!BBIHHH")
+_S_DIGEST = struct.Struct("!BBIHHIH")
+_S_REPAIR_PULL = struct.Struct("!BBIHHHH")
 _S_U32 = struct.Struct("!I")
 _S_PREFIX = struct.Struct("!HI")
+_S_RANGE = struct.Struct("!HII")
 
 _VEC_CACHE: Dict[int, struct.Struct] = {}
 _MEM_CACHE: Dict[int, struct.Struct] = {}
@@ -377,6 +411,33 @@ def _encode_body_into(pdu: AnyPdu, buf: bytearray, offset: int) -> int:
             offset += _S_PREFIX.size
         _S_U32.pack_into(buf, offset, pdu.buf)
         return offset + 4
+    if isinstance(pdu, DigestPdu):
+        n = len(pdu.ack)
+        _S_DIGEST.pack_into(
+            buf, offset, _TYPE_DIGEST, 0, pdu.cid, pdu.src, pdu.target,
+            pdu.view, n,
+        )
+        offset += _S_DIGEST.size
+        _vec(n).pack_into(buf, offset, *pdu.ack)
+        offset += 4 * n
+        _vec(n).pack_into(buf, offset, *pdu.delivered)
+        offset += 4 * n
+        _S_U32.pack_into(buf, offset, pdu.buf)
+        return offset + 4
+    if isinstance(pdu, RepairPullPdu):
+        n, r = len(pdu.ack), len(pdu.ranges)
+        _S_REPAIR_PULL.pack_into(
+            buf, offset, _TYPE_REPAIR_PULL, 0, pdu.cid, pdu.src, pdu.target,
+            n, r,
+        )
+        offset += _S_REPAIR_PULL.size
+        _vec(n).pack_into(buf, offset, *pdu.ack)
+        offset += 4 * n
+        for lsrc, lo, hi in pdu.ranges:
+            _S_RANGE.pack_into(buf, offset, lsrc, lo, hi)
+            offset += _S_RANGE.size
+        _S_U32.pack_into(buf, offset, pdu.buf)
+        return offset + 4
     if isinstance(pdu, BatchPdu):
         n = len(pdu.ack)
         _S_BATCH.pack_into(
@@ -570,6 +631,40 @@ def _decode(data: Buffer, end: int) -> AnyPdu:
             cid=cid, src=src, joiner=joiner, view=view, members=members,
             ack=ack, pack=pack, buf=buf, prefix=tuple(prefix),
         )
+    if kind == _TYPE_DIGEST:
+        if _S_DIGEST.size > end:
+            raise CodecError("truncated digest header")
+        _, _, cid, src, target, view, n = _S_DIGEST.unpack_from(data, 0)
+        offset = _S_DIGEST.size
+        if offset + 8 * n + 4 > end:
+            raise CodecError("truncated digest PDU")
+        ack = _vec(n).unpack_from(data, offset)
+        offset += 4 * n
+        delivered = _vec(n).unpack_from(data, offset)
+        offset += 4 * n
+        (buf,) = _S_U32.unpack_from(data, offset)
+        return DigestPdu(
+            cid=cid, src=src, target=target, view=view,
+            ack=ack, delivered=delivered, buf=buf,
+        )
+    if kind == _TYPE_REPAIR_PULL:
+        if _S_REPAIR_PULL.size > end:
+            raise CodecError("truncated repair-pull header")
+        _, _, cid, src, target, n, r = _S_REPAIR_PULL.unpack_from(data, 0)
+        offset = _S_REPAIR_PULL.size
+        if offset + 4 * n + _S_RANGE.size * r + 4 > end:
+            raise CodecError("truncated repair-pull PDU")
+        ack = _vec(n).unpack_from(data, offset)
+        offset += 4 * n
+        ranges = []
+        for _ in range(r):
+            ranges.append(_S_RANGE.unpack_from(data, offset))
+            offset += _S_RANGE.size
+        (buf,) = _S_U32.unpack_from(data, offset)
+        return RepairPullPdu(
+            cid=cid, src=src, target=target, ranges=tuple(ranges),
+            ack=ack, buf=buf,
+        )
     if kind == _TYPE_BATCH:
         if _S_BATCH.size > end:
             raise CodecError("truncated batch header")
@@ -675,6 +770,13 @@ def _body_size(pdu: AnyPdu) -> int:
         return (
             _S_BATCH.size + 8 * len(pdu.ack) + 4
             + sum(4 + _body_size(p) for p in pdu.pdus)
+        )
+    if isinstance(pdu, DigestPdu):
+        return _S_DIGEST.size + 8 * len(pdu.ack) + 4
+    if isinstance(pdu, RepairPullPdu):
+        return (
+            _S_REPAIR_PULL.size + 4 * len(pdu.ack)
+            + _S_RANGE.size * len(pdu.ranges) + 4
         )
     raise CodecError(f"cannot encode {type(pdu).__name__}")
 

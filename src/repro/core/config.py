@@ -139,6 +139,29 @@ class ProtocolConfig:
     #: Flush any open batch on the housekeeping tick, bounding the extra
     #: latency a batched PDU can incur to one ``tick_interval``.
     batch_flush_on_tick: bool = True
+    #: Anti-entropy repair layer (docs/PROTOCOL.md §15): every this many
+    #: seconds, send a compact digest (delivered + receipt frontiers + view
+    #: id) to one deterministically-rotated live peer, who answers with a
+    #: range pull and/or a bounded delta sync for whatever the digest shows
+    #: missing.  ``None`` (default) disables the repair layer entirely —
+    #: recovery then relies on the paper's RET machinery and, for rejoin,
+    #: the full state snapshot.
+    anti_entropy_interval: "float | None" = None
+    #: Maximum ``(source, [from, to))`` ranges one RepairPull PDU may carry.
+    #: Larger deficits are repaired across several digest rounds.
+    pull_max_ranges: int = 16
+    #: A gap escalates from RET to a repair pull after this many fruitless
+    #: timer-driven RET retries (tier-2 escalation).  Only meaningful with
+    #: ``anti_entropy_interval`` set.
+    pull_after_retries: int = 2
+    #: When a digest/pull exchange shows a peer missing at least this many
+    #: PDUs, the serving side treats the answer as a *delta sync*: a bounded
+    #: partial state transfer replacing the full-snapshot path for healed
+    #: partitions and stale stragglers (tier-3 escalation).
+    delta_sync_threshold: int = 24
+    #: Upper bound on the data PDUs one delta-sync burst may re-send; a
+    #: larger deficit drains across successive digest rounds.
+    delta_sync_max_pdus: int = 128
     #: Cluster identifier placed in every PDU's ``CID`` field.
     cluster_id: int = 1
 
@@ -198,6 +221,22 @@ class ProtocolConfig:
                     "evict_timeout needs suspect_timeout: eviction promotes a "
                     "suspicion, it cannot originate one"
                 )
+        if self.anti_entropy_interval is not None:
+            if self.anti_entropy_interval <= 0:
+                raise ConfigurationError(
+                    "anti_entropy_interval must be positive or None, got "
+                    f"{self.anti_entropy_interval}"
+                )
+            if self.strict_paper_mode:
+                raise ConfigurationError(
+                    "anti-entropy digests are out-of-band control frames, "
+                    "which strict paper mode forbids; choose one"
+                )
+        for name in ("pull_max_ranges", "pull_after_retries",
+                     "delta_sync_threshold", "delta_sync_max_pdus"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {value}")
 
     def with_(self, **changes) -> "ProtocolConfig":
         """A copy with the given fields replaced (sugar over ``replace``)."""
@@ -207,6 +246,11 @@ class ProtocolConfig:
     def batching_enabled(self) -> bool:
         """True when data PDUs are accumulated into batch frames."""
         return self.batch_max_pdus > 1
+
+    @property
+    def repair_enabled(self) -> bool:
+        """True when the anti-entropy repair layer is active."""
+        return self.anti_entropy_interval is not None
 
     @property
     def paper_faithful(self) -> bool:

@@ -55,12 +55,15 @@ from repro.core.logs import CausalLog, Log, ReceiptSublogs, SendingLog
 from repro.core.pdu import (
     BatchPdu,
     DataPdu,
+    DigestPdu,
     HeartbeatPdu,
     JoinPdu,
+    RepairPullPdu,
     RetPdu,
     StatePdu,
     ViewChangePdu,
 )
+from repro.core.repair import RepairManager
 from repro.core.retransmit import GapTracker, RetransmitSuppressor
 from repro.core.state import KnowledgeState, MergeResult
 from repro.sim.trace import TraceLog
@@ -144,6 +147,26 @@ class EntityCounters:
     #: Heartbeats suppressed because a flushed batch header already carried
     #: the same confirmation vectors (ACK coalescing).
     acks_coalesced: int = 0
+    #: Anti-entropy digests sent (repair extension, docs/PROTOCOL.md §15).
+    digests_sent: int = 0
+    #: Digests received (as target or bystander).
+    digests_received: int = 0
+    #: Repair-pull requests sent (digest comparison or RET escalation).
+    pulls_sent: int = 0
+    #: Total ``(source, range)`` entries requested across sent pulls.
+    pull_ranges_requested: int = 0
+    #: Range entries this entity answered with at least one PDU.
+    pull_ranges_served: int = 0
+    #: Data PDUs re-sent in answer to repair pulls.
+    pull_pdus_served: int = 0
+    #: Gaps escalated from RET to pull after fruitless retries.
+    repair_escalations: int = 0
+    #: Delta-sync bursts served (pull or push side past the threshold).
+    delta_syncs: int = 0
+    #: Data PDUs re-sent inside delta-sync bursts (push side).
+    delta_pdus_sent: int = 0
+    #: Modelled bytes of repair traffic served (pull answers + deltas).
+    repair_bytes: int = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -227,6 +250,16 @@ class COEntity:
             backoff_jitter=config.ret_backoff_jitter,
             owner=index,
         )
+        #: Anti-entropy repair bookkeeping (docs/PROTOCOL.md §15).  Inert
+        #: (never consulted, never ticks) unless ``anti_entropy_interval``
+        #: is configured.
+        self.repair = RepairManager(index, n, config)
+        #: delivered_floor[j]: every PDU from E_j with seq below this has
+        #: been acknowledged (hence delivered) locally; the digest's
+        #: delivered frontier.  Same-source acks are in seq order.
+        self._delivered_floor: List[int] = [1] * n
+        #: Rotation counter spreading escalated pulls over live peers.
+        self._pull_rotation = 0
         #: preack_floor[j]: every PDU from E_j with seq below this has been
         #: pre-acknowledged locally (same-source pre-acks are in seq order).
         self._preack_floor: List[int] = [1] * n
@@ -387,6 +420,10 @@ class COEntity:
             self._on_join(pdu)
         elif isinstance(pdu, StatePdu):
             self._on_state(pdu)
+        elif isinstance(pdu, DigestPdu):
+            self._on_digest(pdu)
+        elif isinstance(pdu, RepairPullPdu):
+            self._on_repair_pull(pdu)
         else:
             raise ProtocolError(f"unknown PDU type: {type(pdu).__name__}")
 
@@ -411,9 +448,12 @@ class COEntity:
         peers carry the original source, so they pass the same test.
         RET requests also pass: a primed joiner fetches the flushed prefix
         it is missing *before* its re-admission installs, and answering a
-        request advances no one's knowledge.
+        request advances no one's knowledge.  Repair pulls pass for the
+        same reason (they are RETs with explicit ranges); digests do not —
+        a digest exists only to advance knowledge, which is exactly what
+        the fence forbids.
         """
-        if isinstance(pdu, (JoinPdu, ViewChangePdu, StatePdu, RetPdu)):
+        if isinstance(pdu, (JoinPdu, ViewChangePdu, StatePdu, RetPdu, RepairPullPdu)):
             return True
         if isinstance(pdu, BatchPdu):
             # The frame passes; :meth:`_on_batch` re-applies the fence to
@@ -447,9 +487,22 @@ class COEntity:
                     self._suspect(j)
             self._maybe_propose_eviction(now)
         self._drive_view_round(now)
+        escalated: List[Tuple[int, int, int]] = []
         for gap in self.gaps.due(now, self.config.ret_timeout):
-            self._send_ret(gap.src, gap.upto)
+            if self.repair.should_escalate(gap.retries):
+                # Tier-2 escalation (docs/PROTOCOL.md §15): repeated RETs
+                # went unanswered, so name the range explicitly and address
+                # a peer — any resident holder may answer a pull, so it
+                # survives source death and asymmetric partitions.
+                escalated.append((gap.src, self.state.req[gap.src], gap.upto))
+                self.gaps.mark_ret(gap.src, now)
+            else:
+                self._send_ret(gap.src, gap.upto)
+        if escalated:
+            self.counters.repair_escalations += len(escalated)
+            self._send_pull(self._pull_target(), escalated, reason="escalate")
         self.counters.ret_retries = self.gaps.total_retries
+        self._repair_tick(now)
         if self._batch and self.config.batch_flush_on_tick:
             # Bound the batching latency to one tick; the flush stamps
             # ``_last_send_time``, so the deferred-confirmation check below
@@ -869,6 +922,223 @@ class COEntity:
         self._pump()
 
     # ------------------------------------------------------------------
+    # Anti-entropy repair (robustness extension, docs/PROTOCOL.md §15)
+    # ------------------------------------------------------------------
+    def _repair_tick(self, now: float) -> None:
+        """Tier 1: send the periodic digest when one is due."""
+        if not self.repair.enabled:
+            return
+        candidates = [j for j in self.members if j != self.index]
+        target = self.repair.digest_target(now, candidates)
+        if target is None:
+            return
+        d = DigestPdu(
+            cid=self.config.cluster_id,
+            src=self.index,
+            target=target,
+            view=self.view,
+            ack=self.state.req_vector(),
+            delivered=tuple(self._delivered_floor),
+            buf=self._advertised_buf(),
+        )
+        self.counters.digests_sent += 1
+        self._trace.record(self.now, "digest", self.index, target=target)
+        self._send(d)
+
+    def _on_digest(self, d: DigestPdu) -> None:
+        """Fold a digest; as its target, compare frontiers and repair.
+
+        Bystanders only fold the carried knowledge — deliberately *without*
+        the failure-condition-(2) scan, so a digest between two healed
+        stragglers cannot fan out into an n-wide RET storm; the named
+        target answers with targeted pulls instead, and everyone else
+        learns of the same holes through ordinary data-plane traffic.
+        """
+        self.counters.digests_received += 1
+        if d.view > self._peer_view[d.src]:
+            self._peer_view[d.src] = d.view
+        self._merge_al(d.src, d.ack)
+        self.state.update_buf(d.src, d.buf)
+        self._heard_from.add(d.src)
+        if d.target == self.index:
+            self._compare_digest(d)
+        if d.view < self.view:
+            self._resend_install_to_laggards()
+        self._pack_action()
+        self._maybe_confirm()
+        self._pump()
+
+    def _compare_digest(self, d: DigestPdu) -> None:
+        """Tier 2/3 decisions from one frontier comparison."""
+        ranges = self.repair.plan_ranges(self.state.req, d.ack)
+        if ranges:
+            # Note the holes so the RET timer re-drives (and re-escalates)
+            # the fetch if this pull is itself lost.
+            for (lsrc, _lo, hi) in ranges:
+                self.gaps.note(lsrc, hi, self.now)
+            self._send_pull(d.src, ranges, reason="digest")
+        deficit = self.repair.deficit(d.ack, self.state.req, skip=(d.src,))
+        if self.repair.delta_due(d.src, deficit, self.now):
+            self._push_delta(d.src, d.ack, deficit)
+
+    def _pull_target(self) -> int:
+        """A live peer to address an escalated pull to (rotating).
+
+        Pulls are broadcast — the target merely names who *must* answer —
+        so rotating over all non-evicted members (suspected included: after
+        an asymmetric partition the holder often looks suspected from here)
+        eventually lands on a peer that both holds the data and can reach
+        us.
+        """
+        candidates = sorted(self.members - {self.index}) or [self.index]
+        target = candidates[self._pull_rotation % len(candidates)]
+        self._pull_rotation += 1
+        return target
+
+    def _send_pull(self, target: int, ranges: Sequence[Tuple[int, int, int]], reason: str) -> None:
+        pull = RepairPullPdu(
+            cid=self.config.cluster_id,
+            src=self.index,
+            target=target,
+            ranges=tuple(ranges),
+            ack=self.state.req_vector(),
+            buf=self._advertised_buf(),
+        )
+        self.counters.pulls_sent += 1
+        self.counters.pull_ranges_requested += len(ranges)
+        self._trace.record(
+            self.now, "pull", self.index,
+            target=target, ranges=len(ranges), pdus=pull.requested_pdus,
+            reason=reason,
+        )
+        self._send(pull)
+
+    def _on_repair_pull(self, p: RepairPullPdu) -> None:
+        """Serve a repair pull addressed to this entity."""
+        self._merge_al(p.src, p.ack)
+        self.state.update_buf(p.src, p.buf)
+        self._check_ack_gaps(p.ack, carrier=p.src)
+        if p.target == self.index and not self.joining:
+            self._serve_ranges(p)
+        self._pack_action()
+        self._pump()
+
+    def _serve_ranges(self, p: RepairPullPdu) -> None:
+        """Re-send the requested ranges from the resident stores.
+
+        Own PDUs come from the sending log (BUF re-stamped, SEQ/ACK
+        untouched — they are the causal coordinates); other sources' from
+        the peer store, verbatim.  Bounded to ``delta_sync_max_pdus`` per
+        answer, suppressor-gated like RET answers so several stragglers
+        pulling the same ranges cannot multiply the rebroadcasts.
+        """
+        served = 0
+        served_bytes = 0
+        ranges_served = 0
+        cap = self.config.delta_sync_max_pdus
+        for (lsrc, lo, hi) in p.ranges:
+            if served >= cap:
+                break
+            if not 0 <= lsrc < self.n:
+                continue
+            hit = False
+            if lsrc == self.index:
+                for pdu in self.sl.get_range(lo, min(hi, self.sl.next_seq)):
+                    if served >= cap:
+                        break
+                    if self._suppressor.should_send(pdu.seq, self.now):
+                        out = replace(pdu, buf=self._advertised_buf())
+                        self.counters.retransmissions += 1
+                        served += 1
+                        served_bytes += out.wire_size()
+                        hit = True
+                        self._send(out)
+                    else:
+                        self.counters.retransmissions_suppressed += 1
+            else:
+                store = self._peer_store[lsrc]
+                for seq in range(lo, min(hi, max(store, default=0) + 1)):
+                    pdu = store.get(seq)
+                    if pdu is None:
+                        continue
+                    if served >= cap:
+                        break
+                    if self._assist_suppressor.should_send((lsrc, seq), self.now):
+                        self.counters.retransmissions += 1
+                        served += 1
+                        served_bytes += pdu.wire_size()
+                        hit = True
+                        self._send(pdu)
+                    else:
+                        self.counters.retransmissions_suppressed += 1
+            if hit:
+                ranges_served += 1
+        if not served:
+            return
+        self.counters.pull_ranges_served += ranges_served
+        self.counters.pull_pdus_served += served
+        self.counters.repair_bytes += served_bytes
+        if p.requested_pdus >= self.config.delta_sync_threshold:
+            # A pull this large is the tier-3 path: a bounded partial state
+            # transfer standing in for what used to need a full snapshot.
+            self.counters.delta_syncs += 1
+        self._trace.record(
+            self.now, "pull-serve", self.index,
+            to=p.src, ranges=ranges_served, pdus=served, bytes=served_bytes,
+        )
+
+    def _push_delta(self, to: int, their_ack: Sequence[int], deficit: int) -> None:
+        """Tier 3, push side: feed a straggler everything it provably lacks.
+
+        Driven by the straggler's own digest, bounded per burst and
+        rate-limited per peer by :meth:`RepairManager.delta_due`; unlike
+        :meth:`_serve_ranges` it skips the suppressors — the rate limit
+        already bounds it, and a healed straggler must not be starved just
+        because some third party recently pulled the same seqs.
+        """
+        sent = 0
+        sent_bytes = 0
+        cap = self.config.delta_sync_max_pdus
+        for j in range(self.n):
+            if sent >= cap:
+                break
+            if j == to:
+                continue
+            lo, hi = their_ack[j], self.state.req[j]
+            if hi <= lo:
+                continue
+            if j == self.index:
+                for pdu in self.sl.get_range(lo, hi):
+                    if sent >= cap:
+                        break
+                    out = replace(pdu, buf=self._advertised_buf())
+                    self.counters.retransmissions += 1
+                    sent += 1
+                    sent_bytes += out.wire_size()
+                    self._send(out)
+            else:
+                store = self._peer_store[j]
+                for seq in range(lo, hi):
+                    if sent >= cap:
+                        break
+                    pdu = store.get(seq)
+                    if pdu is None:
+                        continue
+                    self.counters.retransmissions += 1
+                    sent += 1
+                    sent_bytes += pdu.wire_size()
+                    self._send(pdu)
+        if not sent:
+            return
+        self.counters.delta_syncs += 1
+        self.counters.delta_pdus_sent += sent
+        self.counters.repair_bytes += sent_bytes
+        self._trace.record(
+            self.now, "delta", self.index,
+            to=to, pdus=sent, bytes=sent_bytes, deficit=deficit,
+        )
+
+    # ------------------------------------------------------------------
     # Heartbeats (quiescence extension, DESIGN.md §2)
     # ------------------------------------------------------------------
     def _on_heartbeat(self, h: HeartbeatPdu) -> None:
@@ -1030,6 +1300,7 @@ class COEntity:
                 break
             self.prl.popleft()
             self.arl.enqueue(p)
+            self._delivered_floor[p.src] = p.seq + 1
             self.counters.acknowledged += 1
             self._trace.record(self.now, "ack", self.index, src=p.src, seq=p.seq)
             self._on_acknowledged(p)
@@ -1302,6 +1573,21 @@ class COEntity:
             self._suspect_since.pop(m, None)
             self._flush_cap[m] = r.flush[m]
             self.state.set_evicted(m, True)
+            # The install barrier just proved REQ_m >= flush_m, so any gap
+            # still open for the member targets seqs at or above the flush
+            # — PDUs that never existed as far as the surviving view is
+            # concerned.  Left in place, its RET timer would re-request
+            # them from the dead peer forever; the matching stashed copies
+            # (accepted by nobody, so necessarily above the flush) would
+            # likewise never drain and block quiescence.  Drop both.
+            self.gaps.drop_source(m)
+            stale = self._stash[m]
+            if stale:
+                self._stash_size -= len(stale)
+                self._trace.record(
+                    self.now, "stash-drop", self.index, src=m, count=len(stale),
+                )
+                stale.clear()
             self.counters.evictions += 1
             self._trace.record(
                 self.now, "evict", self.index, src=m, flush=r.flush[m],
@@ -1512,6 +1798,10 @@ class COEntity:
         self.state.merge_pal(self.index, s.pack)
         self.state.merge_pal(s.src, s.pack)
         self.state.update_buf(s.src, s.buf)
+        # Everything below the sponsor's frontier is delivered cluster-wide
+        # (we hold its ids in the recovered prefix), so the digest's
+        # delivered floor resumes there too.
+        self._delivered_floor = list(s.ack)
         self.recovered_prefix = tuple(s.prefix)
         self._join_primed = True
         self._last_heard = [self.now] * self.n

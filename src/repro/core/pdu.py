@@ -43,6 +43,8 @@ _VIEWCHANGE_FIXED_FIELDS = 5  # CID + SRC + VIEW + PHASE + BUF
 _JOIN_FIXED_FIELDS = 4  # CID + SRC + READY + BUF
 _STATE_FIXED_FIELDS = 5  # CID + SRC + JOINER + VIEW + BUF
 _BATCH_FIXED_FIELDS = 4  # CID + SRC + COUNT + BUF
+_DIGEST_FIXED_FIELDS = 5  # CID + SRC + TARGET + VIEW + BUF
+_REPAIR_PULL_FIXED_FIELDS = 4  # CID + SRC + TARGET + BUF
 
 
 @dataclass(frozen=True)
@@ -306,6 +308,99 @@ class StatePdu:
             f"STATE(src=E{self.src}, joiner=E{self.joiner}, view={self.view}, "
             f"frontier={list(self.ack)})"
         )
+
+
+@dataclass(frozen=True)
+class DigestPdu:
+    """Anti-entropy digest (repair extension, docs/PROTOCOL.md §15).
+
+    A compact summary of the sender's receipt state, addressed to one
+    deterministically-rotated live peer (``target``) per anti-entropy
+    interval.  ``ack`` is the sender's receipt frontier (its REQ vector);
+    ``delivered[j]`` is one past the highest sequence number from ``E_j``
+    the sender has *acknowledged* (= delivered at the default level).  The
+    ``view`` field lets the comparison reject stale cross-view digests and
+    doubles as a laggard detector for install re-sends.
+
+    Broadcast like everything else on the MC medium: bystanders fold the
+    ``ack`` vector as ordinary knowledge, only ``target`` runs the frontier
+    comparison (issuing pulls and/or a delta sync back).
+    """
+
+    cid: int
+    src: int
+    target: int
+    view: int
+    ack: Tuple[int, ...]
+    delivered: Tuple[int, ...]
+    buf: int
+
+    is_control = True
+
+    def __post_init__(self) -> None:
+        if self.target < 0:
+            raise ValueError(f"target must be a valid entity index, got {self.target}")
+        if len(self.ack) != len(self.delivered):
+            raise ValueError("ack and delivered vectors must have equal length")
+        if any(a < 1 for a in self.ack) or any(d < 1 for d in self.delivered):
+            raise ValueError("frontier entries start at 1")
+
+    def wire_size(self) -> int:
+        return (_DIGEST_FIXED_FIELDS + 2 * len(self.ack)) * _INT_BYTES
+
+    def __str__(self) -> str:
+        return (
+            f"DIGEST(src=E{self.src}, target=E{self.target}, view={self.view}, "
+            f"ack={list(self.ack)}, delivered={list(self.delivered)})"
+        )
+
+
+@dataclass(frozen=True)
+class RepairPullPdu:
+    """Explicit range-repair request (repair extension, docs/PROTOCOL.md §15).
+
+    Asks ``target`` to re-serve, for each ``(lsrc, lo, hi)`` entry, the
+    PDUs originated by ``E_lsrc`` with ``lo <= seq < hi`` — from its
+    sending log when ``lsrc == target``, from its peer store otherwise.
+    Unlike a RET (which is addressed to the *source* and falls back to
+    peer assist only for suspected members), a pull names the peer whose
+    digest or frontier proved it holds the range, so repair works even
+    when the original source is partitioned away or long evicted.
+
+    Carries the usual ``ack``/``buf`` piggyback so it updates knowledge
+    like any other control PDU.
+    """
+
+    cid: int
+    src: int
+    target: int
+    ranges: Tuple[Tuple[int, int, int], ...]
+    ack: Tuple[int, ...]
+    buf: int
+
+    is_control = True
+
+    def __post_init__(self) -> None:
+        if self.target < 0:
+            raise ValueError(f"target must be a valid entity index, got {self.target}")
+        for lsrc, lo, hi in self.ranges:
+            if lsrc < 0:
+                raise ValueError(f"range source must be a valid index, got {lsrc}")
+            if lo < 1 or hi <= lo:
+                raise ValueError(f"ranges must satisfy 1 <= lo < hi, got [{lo},{hi})")
+
+    @property
+    def requested_pdus(self) -> int:
+        """Total PDUs the request covers (escalation accounting)."""
+        return sum(hi - lo for _, lo, hi in self.ranges)
+
+    def wire_size(self) -> int:
+        vectors = len(self.ack) + 3 * len(self.ranges)
+        return (_REPAIR_PULL_FIXED_FIELDS + vectors) * _INT_BYTES
+
+    def __str__(self) -> str:
+        spans = [f"E{s}:[{lo},{hi})" for s, lo, hi in self.ranges]
+        return f"PULL(src=E{self.src}, target=E{self.target}, {' '.join(spans)})"
 
 
 @dataclass(frozen=True)

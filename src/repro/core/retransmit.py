@@ -132,6 +132,19 @@ class GapTracker:
             wait *= 1.0 + self.backoff_jitter * frac
         return wait
 
+    def drop_source(self, src: int) -> bool:
+        """Forget the open gap for ``src`` entirely (view-change eviction).
+
+        A member removed by an installed view can never answer a RET again,
+        and the install barrier guarantees every survivor's ``REQ`` covers
+        the agreed flush — so any gap still open for the member targets
+        sequence numbers at or above the flush, which never existed as far
+        as the surviving view is concerned.  Without this, the RET timer
+        fires against the dead peer forever.  Returns ``True`` if a gap was
+        dropped.
+        """
+        return self._gaps.pop(src, None) is not None
+
     def mark_ret(self, src: int, now: float) -> None:
         gap = self._gaps.get(src)
         if gap is not None:

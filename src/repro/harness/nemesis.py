@@ -51,8 +51,10 @@ from repro.net.loss import (
     CompositeLoss,
     CorruptionLoss,
     DuplicatingChannel,
+    LinkLoss,
     LossModel,
     PartitionLoss,
+    TargetedLoss,
 )
 from repro.ordering.checker import verify_run
 from repro.sim.rng import RngRegistry
@@ -200,6 +202,77 @@ def check_prune_resumption(cluster: Cluster, live: Sequence[int]) -> None:
             )
 
 
+def delivered_cover(cluster: Cluster, i: int) -> set:
+    """The message ids entity ``i`` accounts for: own deliveries plus the
+    snapshot prefix a rejoined incarnation recovered out of band."""
+    cover = {(m.src, m.seq) for m in cluster.delivered(i)}
+    cover.update(cluster.hosts[i].engine.recovered_prefix)
+    return cover
+
+
+def check_convergence(cluster: Cluster, live: Sequence[int]) -> None:
+    """The convergence oracle: all live entities account for the *same* set
+    of message ids.  Together with prefix consistency this means identical
+    delivered prefixes — after the faults stop, nobody is left stale."""
+    covers = {i: delivered_cover(cluster, i) for i in live}
+    reference = covers[live[0]]
+    for i in live[1:]:
+        if covers[i] != reference:
+            diff = sorted(covers[i] ^ reference)[:8]
+            raise InvariantViolation(
+                f"live entities did not converge: E{live[0]} and E{i} "
+                f"disagree on {len(covers[i] ^ reference)} ids, e.g. {diff}"
+            )
+
+
+def _converged(cluster: Cluster, live: Sequence[int], expected: set) -> bool:
+    covers = [delivered_cover(cluster, i) for i in live]
+    if any(c != covers[0] for c in covers[1:]):
+        return False
+    if expected:
+        for i in live:
+            if not expected <= {m.data for m in cluster.delivered(i)}:
+                return False
+    return True
+
+
+def run_until_converged(
+    cluster: Cluster,
+    live: Sequence[int],
+    expected: Sequence[Any] = (),
+    max_time: float = 30.0,
+    chunk: float = 0.02,
+) -> float:
+    """Step the sim until the convergence oracle holds; return the elapsed
+    simulated time (the scenario's *time-to-converge* once faults stop).
+
+    ``expected`` payloads must additionally appear in every live entity's
+    delivery log, so a transient agreement on a shared stale prefix is not
+    mistaken for convergence while submissions are still outstanding.
+    """
+    start = cluster.sim.now
+    want = set(expected)
+    while True:
+        if _converged(cluster, live, want):
+            return cluster.sim.now - start
+        if cluster.sim.now - start >= max_time:
+            counts = {i: len(delivered_cover(cluster, i)) for i in live}
+            raise InvariantViolation(
+                f"no convergence within {max_time} simulated seconds of the "
+                f"last fault (covered ids per live entity: {counts})"
+            )
+        cluster.run_for(chunk)
+
+
+def _engine_totals(cluster: Cluster) -> Dict[str, int]:
+    """Cluster-wide sums of the per-engine counters."""
+    totals: Dict[str, int] = {}
+    for member in cluster.counters():
+        for key, value in member["engine"].items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
 def _observations(cluster: Cluster, live: Sequence[int]) -> Dict[str, Any]:
     """Determinism fingerprint: view logs + per-entity delivery ids."""
     return {
@@ -235,6 +308,29 @@ def _cluster(
         loss=loss,
         duplication=duplication,
         rngs=RngRegistry(seed),
+    )
+
+
+def _repair_cluster(
+    n: int,
+    seed: int,
+    loss: Optional[LossModel] = None,
+    trace: Optional[TraceLog] = None,
+) -> Cluster:
+    """A cluster with the anti-entropy repair layer switched on.
+
+    A fast digest cadence and a low delta threshold so the staleness the
+    scenarios inject is healed by the repair tiers, not merely by luck of
+    the ordinary RET machinery, inside the CI time budget.
+    """
+    config = ProtocolConfig(
+        suspect_timeout=SUSPECT_TIMEOUT,
+        evict_timeout=EVICT_TIMEOUT,
+        anti_entropy_interval=0.01,
+        delta_sync_threshold=8,
+    )
+    return build_cluster(
+        n, config=config, trace=trace, loss=loss, rngs=RngRegistry(seed),
     )
 
 
@@ -277,6 +373,7 @@ def scenario_crash_evict_rejoin(seed: int, trace: Optional[TraceLog] = None) -> 
         check_post_eviction_ack(cluster, post, survivors)
         check_post_eviction_ack(cluster, rejoined, live)
         check_prune_resumption(cluster, live)
+        check_convergence(cluster, live)
         if cluster.hosts[victim].engine.view < 2:
             raise InvariantViolation("victim never re-admitted")
     except (InvariantViolation, Exception) as exc:
@@ -315,6 +412,7 @@ def scenario_partition_heal(seed: int, trace: Optional[TraceLog] = None) -> Neme
                 f"{[e.view for e in cluster.engines]}"
             )
         check_post_eviction_ack(cluster, ["left", "right"], live)
+        check_convergence(cluster, live)
         if partition.partitioned_drops == 0:
             raise InvariantViolation("partition never dropped anything")
     except (InvariantViolation, Exception) as exc:
@@ -339,6 +437,7 @@ def scenario_duplication(seed: int, trace: Optional[TraceLog] = None) -> Nemesis
     try:
         verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
         check_prefix_consistency(cluster, live)
+        check_convergence(cluster, live)
         if duplication.duplicated == 0:
             raise InvariantViolation("duplication channel never fired")
     except (InvariantViolation, Exception) as exc:
@@ -365,6 +464,7 @@ def scenario_corruption(seed: int, trace: Optional[TraceLog] = None) -> NemesisO
     live = list(range(n))
     try:
         verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
+        check_convergence(cluster, live)
         if corruption.undetected_corruptions:
             raise InvariantViolation(
                 f"{corruption.undetected_corruptions} corrupted frames "
@@ -408,6 +508,7 @@ def scenario_combo(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcom
         check_prefix_consistency(cluster, survivors)
         check_rejoin_coverage(cluster, victim, survivors)
         check_post_eviction_ack(cluster, post, survivors)
+        check_convergence(cluster, live)
         if cluster.hosts[victim].engine.joining:
             raise InvariantViolation("victim still joining at quiescence")
     except (InvariantViolation, Exception) as exc:
@@ -455,6 +556,7 @@ def scenario_batching(seed: int, trace: Optional[TraceLog] = None) -> NemesisOut
     try:
         verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
         check_prefix_consistency(cluster, live)
+        check_convergence(cluster, live)
         if stats.batch_frames == 0:
             raise InvariantViolation("batching never produced a frame")
         if stats.batched_data_pdus <= stats.batch_frames:
@@ -473,6 +575,177 @@ def scenario_batching(seed: int, trace: Optional[TraceLog] = None) -> NemesisOut
     return outcome
 
 
+def scenario_partition_stale(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
+    """Long asymmetric partition: one member sends but receives nothing.
+
+    The nastiest staleness case: the deaf member keeps being heard, so it
+    is never suspected and never evicted, while its knowledge silently
+    freezes and stalls cluster-wide delivery.  After the heal, the repair
+    tiers (digests → pulls → delta sync) must catch it up — without any
+    full state snapshot — and the convergence oracle bounds how long that
+    takes.
+    """
+    name = "partition-stale"
+    n, deaf = 5, 4
+    link = LinkLoss()
+    cluster = _repair_cluster(n, seed, loss=link, trace=trace)
+    cluster.sim.schedule(
+        0.005, lambda: link.block_towards(deaf, set(range(n)) - {deaf}),
+    )
+    heal_at = 0.3
+    cluster.sim.schedule(heal_at, link.heal)
+    payloads = []
+    for k in range(20):
+        payload = f"stale-{k}"
+        payloads.append(payload)
+        cluster.sim.schedule(
+            0.01 + 0.012 * k,
+            lambda s=k % n, p=payload: cluster.submit(s, p),
+        )
+    cluster.run_for(heal_at + 0.005)
+    live = list(range(n))
+    try:
+        converge_time = run_until_converged(cluster, live, expected=payloads)
+        cluster.run_until_quiescent(max_time=60.0)
+        verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
+        check_view_agreement(cluster.engines, live)
+        check_prefix_consistency(cluster, live)
+        check_convergence(cluster, live)
+        if any(engine.view != 0 for engine in cluster.engines):
+            raise InvariantViolation(
+                "the asymmetric partition caused an eviction — the deaf "
+                f"member was heard the whole time: {[e.view for e in cluster.engines]}"
+            )
+        if link.blocked_drops == 0:
+            raise InvariantViolation("the asymmetric partition never dropped anything")
+        totals = _engine_totals(cluster)
+        if totals.get("digests_sent", 0) == 0:
+            raise InvariantViolation("repair layer never sent a digest")
+        if totals.get("pull_pdus_served", 0) + totals.get("delta_pdus_sent", 0) == 0:
+            raise InvariantViolation("staleness healed without any pull/delta repair")
+        if cluster.trace.count("state-transfer"):
+            raise InvariantViolation(
+                "healing the partition fell back to a full state snapshot"
+            )
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    outcome = NemesisOutcome(name, seed, True, "", _observations(cluster, live))
+    outcome.observations["converge_time"] = converge_time
+    outcome.observations["repair"] = {
+        k: v for k, v in _engine_totals(cluster).items()
+        if k.startswith(("digest", "pull", "delta", "repair"))
+    }
+    return outcome
+
+
+def scenario_partition_flapping(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
+    """A flapping partition: repeated short splits along changing cuts.
+
+    Each flap is shorter than the eviction timeout, so the membership must
+    hold steady while every flap strands different knowledge on each side;
+    the repair layer (and the RET machinery it backs up) must reconcile
+    all of it once the flapping stops.
+    """
+    name = "partition-flapping"
+    n = 5
+    partition = PartitionLoss()
+    cluster = _repair_cluster(n, seed, loss=partition, trace=trace)
+    cuts = [
+        ({0, 1}, {2, 3, 4}),
+        ({0, 3, 4}, {1, 2}),
+        ({0, 2, 4}, {1, 3}),
+    ]
+    t = 0.01
+    for cut in cuts * 2:
+        cluster.sim.schedule(t, lambda c=cut: partition.split(*c))
+        cluster.sim.schedule(t + 0.025, partition.heal)
+        t += 0.05
+    payloads = []
+    for k in range(18):
+        payload = f"flap-{k}"
+        payloads.append(payload)
+        cluster.sim.schedule(
+            0.005 + 0.016 * k,
+            lambda s=k % n, p=payload: cluster.submit(s, p),
+        )
+    cluster.run_for(t)
+    live = list(range(n))
+    try:
+        converge_time = run_until_converged(cluster, live, expected=payloads)
+        cluster.run_until_quiescent(max_time=60.0)
+        verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
+        check_view_agreement(cluster.engines, live)
+        check_prefix_consistency(cluster, live)
+        check_convergence(cluster, live)
+        if any(engine.view != 0 for engine in cluster.engines):
+            raise InvariantViolation(
+                "a sub-eviction-timeout flap still shrank the membership: "
+                f"{[e.view for e in cluster.engines]}"
+            )
+        if partition.partitioned_drops == 0:
+            raise InvariantViolation("the flapping partition never dropped anything")
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    outcome = NemesisOutcome(name, seed, True, "", _observations(cluster, live))
+    outcome.observations["converge_time"] = converge_time
+    return outcome
+
+
+def scenario_loss_storm(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
+    """A loss storm aimed at one slow receiver — control PDUs included.
+
+    70% of everything *towards* the victim drops while the storm lasts, so
+    RETs go unanswered (answers drop too) and gaps must escalate through
+    the repair tiers.  The victim keeps transmitting, so it is never
+    suspected; once the storm stops, convergence must follow quickly.
+    """
+    name = "loss-storm"
+    n, victim = 5, 3
+    storm = TargetedLoss({victim}, rate=0.7)
+    cluster = _repair_cluster(n, seed, loss=storm, trace=trace)
+
+    def stop_storm() -> None:
+        storm.rate = 0.0
+
+    cluster.sim.schedule(0.25, stop_storm)
+    payloads = []
+    for k in range(20):
+        payload = f"storm-{k}"
+        payloads.append(payload)
+        cluster.sim.schedule(
+            0.005 + 0.012 * k,
+            lambda s=k % n, p=payload: cluster.submit(s, p),
+        )
+    cluster.run_for(0.26)
+    live = list(range(n))
+    try:
+        converge_time = run_until_converged(cluster, live, expected=payloads)
+        cluster.run_until_quiescent(max_time=60.0)
+        verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
+        check_view_agreement(cluster.engines, live)
+        check_prefix_consistency(cluster, live)
+        check_convergence(cluster, live)
+        if any(engine.view != 0 for engine in cluster.engines):
+            raise InvariantViolation(
+                "the loss storm caused an eviction — the victim was never "
+                f"silent towards the coordinator: {[e.view for e in cluster.engines]}"
+            )
+        if storm.storm_drops == 0:
+            raise InvariantViolation("the loss storm never dropped anything")
+        if _engine_totals(cluster).get("digests_sent", 0) == 0:
+            raise InvariantViolation("repair layer never sent a digest")
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    outcome = NemesisOutcome(name, seed, True, "", _observations(cluster, live))
+    outcome.observations["converge_time"] = converge_time
+    outcome.observations["storm_drops"] = storm.storm_drops
+    outcome.observations["repair"] = {
+        k: v for k, v in _engine_totals(cluster).items()
+        if k.startswith(("digest", "pull", "delta", "repair"))
+    }
+    return outcome
+
+
 SCENARIOS: Dict[str, Callable[[int], NemesisOutcome]] = {
     "crash-evict-rejoin": scenario_crash_evict_rejoin,
     "partition-heal": scenario_partition_heal,
@@ -480,6 +753,9 @@ SCENARIOS: Dict[str, Callable[[int], NemesisOutcome]] = {
     "corruption": scenario_corruption,
     "combo": scenario_combo,
     "batching": scenario_batching,
+    "partition-stale": scenario_partition_stale,
+    "partition-flapping": scenario_partition_flapping,
+    "loss-storm": scenario_loss_storm,
 }
 
 

@@ -174,6 +174,72 @@ class PartitionLoss(LossModel):
         return False
 
 
+class LinkLoss(LossModel):
+    """Block individual *directed* links: asymmetric partitions.
+
+    :class:`PartitionLoss` models symmetric splits; real partitions are
+    often one-way (a failing NIC receive path, an asymmetric route).  A
+    blocked ``(src, dst)`` pair drops every copy in that direction while
+    the reverse direction still delivers — the nastiest case for the
+    protocol, because the impaired member keeps being heard (so it is
+    never suspected) while its knowledge silently freezes.
+    """
+
+    def __init__(self) -> None:
+        self._blocked: Set[Tuple[int, int]] = set()
+        #: Copies dropped on blocked links, for assertions.
+        self.blocked_drops = 0
+
+    def block(self, src: int, dst: int) -> None:
+        """Drop everything flowing ``src -> dst`` until healed."""
+        self._blocked.add((src, dst))
+
+    def block_towards(self, dst: int, sources: Set[int]) -> None:
+        """Block every ``source -> dst`` link (a deaf receiver)."""
+        for src in sources:
+            if src != dst:
+                self._blocked.add((src, dst))
+
+    def heal(self) -> None:
+        """Reconnect every blocked link."""
+        self._blocked.clear()
+
+    @property
+    def active(self) -> bool:
+        return bool(self._blocked)
+
+    def should_drop(self, src: int, dst: int, pdu: Any, rng: random.Random) -> bool:
+        if (src, dst) in self._blocked:
+            self.blocked_drops += 1
+            return True
+        return False
+
+
+class TargetedLoss(LossModel):
+    """Bernoulli loss aimed at copies *towards* a set of victims.
+
+    Models a loss storm localised at specific receivers (an overloaded
+    switch port, a congested uplink).  ``rate`` is mutable so a scenario
+    script can start and stop the storm at scheduled simulated times.
+    """
+
+    def __init__(self, victims: Set[int], rate: float):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.victims = set(victims)
+        self.rate = rate
+        #: Copies dropped by the storm, for assertions.
+        self.storm_drops = 0
+
+    def should_drop(self, src: int, dst: int, pdu: Any, rng: random.Random) -> bool:
+        if self.rate == 0.0 or dst not in self.victims:
+            return False
+        if rng.random() < self.rate:
+            self.storm_drops += 1
+            return True
+        return False
+
+
 class CorruptionLoss(LossModel):
     """Flip one byte of the encoded frame with probability ``rate``.
 

@@ -53,6 +53,11 @@ CATEGORIES = (
     "join",          # a rejoining incarnation broadcast a join request
     "state-transfer",# a sponsor served (or a joiner applied) a state snapshot
     "gauge",         # a host sampled its entity's live occupancy gauges
+    "digest",        # an anti-entropy digest was sent (repair extension)
+    "pull",          # a repair-pull request was sent (digest compare / escalation)
+    "pull-serve",    # a pull's ranges were answered from resident stores
+    "delta",         # a delta-sync burst was pushed to a straggler
+    "stash-drop",    # an evicted member's unserviceable stash was discarded
 )
 
 

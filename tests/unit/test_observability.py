@@ -10,6 +10,8 @@ import json
 from repro.analysis.recording import inspect_path, summarize_recording
 from repro.cli import main as cli_main
 from repro.core.cluster import build_cluster
+from repro.core.config import ProtocolConfig
+from repro.net.loss import TargetedLoss
 from repro.metrics.collector import (
     collect_lifecycles,
     gauge_histogram,
@@ -246,3 +248,29 @@ class TestInspect:
         TraceLog().dump_jsonl(path)
         text = inspect_path(path)
         assert "records: 0" in text
+
+    def test_repair_section_present_when_repair_ran(self, tmp_path):
+        recorder = FlightRecorder(capacity=50_000)
+        config = ProtocolConfig(
+            suspect_timeout=0.05, anti_entropy_interval=0.01,
+            delta_sync_threshold=6, pull_after_retries=1,
+        )
+        cluster = build_cluster(
+            4, config=config, trace=recorder,
+            loss=TargetedLoss({3}, 0.5), rngs=RngRegistry(5),
+        )
+        for k in range(4):
+            for i in range(4):
+                cluster.submit(i, f"m-{i}-{k}")
+        cluster.run_until_quiescent(max_time=60.0)
+        path = str(tmp_path / "repair.jsonl")
+        recorder.dump_jsonl(path)
+        trace, meta = load_jsonl(path)
+        text = summarize_recording(trace, meta)
+        assert "repair activity" in text
+        assert "digests sent" in text
+
+    def test_no_repair_section_without_repair(self, tmp_path):
+        path = self._record(tmp_path)
+        trace, meta = load_jsonl(path)
+        assert "repair activity" not in summarize_recording(trace, meta)
