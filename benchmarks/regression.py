@@ -74,11 +74,15 @@ SUITES = ("bench_micro.py", "bench_fig8_processing.py", "bench_scale.py")
 FULL = dict(sizes=(4, 8, 16, 32), rounds=160, lag=32, repeats=3,
             messages_per_entity=5, exp_repeats=2,
             batch_sizes=(1, 8), batch_ns=(8, 32),
-            converge_ns=(8, 32), converge_seeds=(11, 12, 13))
+            converge_ns=(8, 32), converge_seeds=(11, 12, 13),
+            topology_ns=(8, 32), topology_modes=("flood", "ring", "gossip"),
+            topology_messages=20)
 SMOKE = dict(sizes=(4, 8), rounds=40, lag=8, repeats=2,
              messages_per_entity=3, exp_repeats=1,
              batch_sizes=(1, 8), batch_ns=(4,),
-             converge_ns=(8,), converge_seeds=(11,))
+             converge_ns=(8,), converge_seeds=(11,),
+             topology_ns=(8,), topology_modes=("flood", "ring", "gossip"),
+             topology_messages=10)
 
 #: Metrics compared against the baseline: (section, key, direction).
 #: direction +1 means "bigger is worse", -1 means "smaller is worse".
@@ -91,6 +95,8 @@ TRACKED = (
     ("batching", "per_pdu_us", +1),
     ("codec_churn", "bytes_per_op", +1),
     ("convergence", "converge_sim_s_mean", +1),
+    ("topology", "copies_per_delivered_pdu", +1),
+    ("topology", "per_pdu_us", +1),
 )
 
 
@@ -251,6 +257,77 @@ def batching_point(n: int, messages_per_entity: int, batch: int,
     }
 
 
+def topology_point(n: int, messages_per_entity: int, mode: str,
+                   repeats: int = 1) -> Dict[str, Any]:
+    """One cell of the dissemination-topology axis (docs/PROTOCOL.md §16).
+
+    The same seeded workload runs once per dissemination mode.  The
+    headline metric is per-destination datagram *copies* per delivered
+    PDU — ``copies_sent`` counts a broadcast as n-1 copies and a relay
+    unicast as one, so flood fan-out and relay routes compare on equal
+    footing (the frames-per-delivered metric of the batching axis would
+    count a broadcast once and hide flood's fan-out entirely).  Batching
+    is off so the axis isolates the topology effect, and every mode runs
+    with the same anti-entropy cadence (gossip requires it; for flood and
+    ring a repair tier that finds no deficit adds only digest traffic).
+
+    The stream must be long enough to develop the congestion regime
+    (``topology_messages``, not the short ``messages_per_entity`` the
+    other axes use): flood's all-to-all fan-out only starts overflowing
+    receive buffers — and paying the resulting RET storm — under
+    sustained load, and that is exactly the regime where a relay
+    pipeline's constant per-hop fan-in wins.  On short bursts everything
+    fits and flood's single-hop latency is simply cheaper.
+    """
+    config = ExperimentConfig(
+        n=n,
+        messages_per_entity=messages_per_entity,
+        send_interval=1e-4,
+        buffer_capacity=4 * n * 8,
+        cpu_base=10e-6,
+        cpu_per_entity=1e-6,
+        dissemination=mode,
+        gossip_fanout=3,
+        gossip_seed=1,
+        # Repair cadences sized to the relay transit time: a ring hop costs
+        # delay + cpu, so a full circulation at n=32 takes ~7.5 ms — repair
+        # timers shorter than that race data still in flight and measure
+        # the resulting RET storm instead of the topology.
+        anti_entropy_interval=50e-3,
+        ret_timeout=25e-3,
+        deferred_interval=4e-3,
+    )
+    wall = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        attempt = run_experiment(config)
+        elapsed = time.perf_counter() - start
+        if not attempt.quiesced:
+            raise AssertionError(
+                f"topology run at n={n} mode={mode} did not quiesce"
+            )
+        attempt.report.assert_ok()
+        if elapsed < wall:
+            wall, result = elapsed, attempt
+    assert result is not None
+    delivered = result.messages_delivered
+    copies = result.network.get("copies_sent", 0)
+    return {
+        "n": n,
+        "mode": mode,
+        "wall_s": wall,
+        "deliveries": delivered,
+        "copies_sent": copies,
+        "copies_per_delivered_pdu": copies / delivered if delivered else 0.0,
+        "per_pdu_us": result.tco_measured * 1e6,
+        "deliveries_per_sec": delivered / wall if wall > 0 else 0.0,
+        "relays_sent": result.entity_counters.get("relays_sent", 0),
+        "relay_forwards": result.entity_counters.get("relay_forwards", 0),
+        "verified": True,
+    }
+
+
 def convergence_point(n: int, seeds: Tuple[int, ...],
                       messages_per_entity: int) -> Dict[str, Any]:
     """The time-to-converge axis (docs/PROTOCOL.md §15).
@@ -345,6 +422,7 @@ def measure(mode: Dict[str, Any], smoke: bool, skip_suites: bool) -> Dict[str, A
         "engine": [],
         "experiments": [],
         "batching": [],
+        "topology": [],
         "convergence": [],
         "codec_churn": [],
         "suites": {},
@@ -389,6 +467,24 @@ def measure(mode: Dict[str, Any], smoke: bool, skip_suites: bool) -> Dict[str, A
                      / max(cells[top]["frames_per_delivered_pdu"], 1e-12))
             print(f"[batching] n={n}: batch={top} sends {ratio:.2f}x fewer "
                   f"frames per delivered PDU than batch=1")
+    for n in mode["topology_ns"]:
+        cells_by_mode: Dict[str, Dict[str, Any]] = {}
+        for topo in mode["topology_modes"]:
+            print(f"[topology] n={n} mode={topo} ...", flush=True)
+            point = topology_point(n, mode["topology_messages"], topo,
+                                   mode["exp_repeats"])
+            print(f"[topology] n={n} mode={topo}: "
+                  f"{point['copies_per_delivered_pdu']:.2f} copies/delivered "
+                  f"PDU, {point['per_pdu_us']:.1f} us/PDU")
+            report["topology"].append(point)
+            cells_by_mode[topo] = point
+        flood_cell = cells_by_mode.get("flood")
+        ring_cell = cells_by_mode.get("ring")
+        if flood_cell and ring_cell:
+            ratio = (flood_cell["copies_per_delivered_pdu"]
+                     / max(ring_cell["copies_per_delivered_pdu"], 1e-12))
+            print(f"[topology] n={n}: ring sends {ratio:.2f}x fewer copies "
+                  f"per delivered PDU than flood")
     for n in mode["converge_ns"]:
         print(f"[convergence] n={n} ...", flush=True)
         point = convergence_point(n, mode["converge_seeds"],
@@ -429,11 +525,39 @@ def churn_gate(report: Dict[str, Any]) -> List[str]:
     return failures
 
 
+def topology_gate(report: Dict[str, Any]) -> List[str]:
+    """The headline claim of the topology axis, checked absolutely.
+
+    At scale (n >= 16) the ring must put fewer per-destination copies on
+    the wire per delivered PDU than flood — that is the whole point of a
+    relay topology, and the simulation is deterministic per seed, so this
+    needs no baseline file.  Small-n cells are exempt: with few members a
+    broadcast costs little more than the ring's n-1 hops, and the ring's
+    repair traffic can tip it slightly over.
+    """
+    failures: List[str] = []
+    cells = {(p["n"], p["mode"]): p for p in report.get("topology", [])}
+    for (n, mode), point in sorted(cells.items()):
+        if mode != "ring" or n < 16:
+            continue
+        flood = cells.get((n, "flood"))
+        if flood is None:
+            continue
+        ours = point["copies_per_delivered_pdu"]
+        theirs = flood["copies_per_delivered_pdu"]
+        if ours >= theirs:
+            failures.append(
+                f"topology[n={n}]: ring sends {ours:.2f} copies per "
+                f"delivered PDU, not under flood's {theirs:.2f}"
+            )
+    return failures
+
+
 def _index_points(section: List[Dict[str, Any]]) -> Dict[Tuple, Dict[str, Any]]:
-    # Batching points carry a second axis and codec-churn points a shape
-    # label; plain points key on n alone.
+    # Batching points carry a second axis, topology points a mode and
+    # codec-churn points a shape label; plain points key on n alone.
     return {
-        (point["n"], point.get("batch"), point.get("op")): point
+        (point["n"], point.get("batch"), point.get("op"), point.get("mode")): point
         for point in section
     }
 
@@ -456,7 +580,8 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
         base_points = _index_points(baseline.get(section, []))
         for point in current.get(section, []):
             base = base_points.get(
-                (point["n"], point.get("batch"), point.get("op"))
+                (point["n"], point.get("batch"), point.get("op"),
+                 point.get("mode"))
             )
             if base is None or key not in base or key not in point:
                 continue
@@ -474,6 +599,8 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
                 axis += f",batch={point['batch']}"
             if point.get("op") is not None:
                 axis += f",op={point['op']}"
+            if point.get("mode") is not None:
+                axis += f",mode={point['mode']}"
             lines.append(
                 f"{section}[{axis}].{key}: {old:.2f} -> {new:.2f} "
                 f"({delta * 100:+.1f}%, {better})"
@@ -547,6 +674,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("FAIL: codec allocation churn beyond pinned ceilings:",
               file=sys.stderr)
         for failure in churn_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+
+    topology_failures = topology_gate(report)
+    if topology_failures:
+        print("FAIL: dissemination-topology axis lost its headline claim:",
+              file=sys.stderr)
+        for failure in topology_failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
 

@@ -111,7 +111,7 @@ class EntityHost(SimProcess):
         self.data_busy_time = 0.0
         self.data_real_cpu_time = 0.0
         network.attach(index, self.on_arrival)
-        engine.bind(send=self._send, deliver=self._on_deliver)
+        self._bind_engine(engine)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -158,9 +158,23 @@ class EntityHost(SimProcess):
         self.buffer.clear()
         self.engine = engine
         self._tick = PeriodicTimer(self.sim, self._tick.interval, self._on_tick)
-        engine.bind(send=self._send, deliver=self._on_deliver)
+        self._bind_engine(engine)
         self.record("restart")
         self._tick.start()
+
+    def _bind_engine(self, engine: Any) -> None:
+        """Bind the engine's callbacks, offering the unicast path.
+
+        Baseline engines predate the dissemination extension and accept
+        only ``(send, deliver)`` — fall back for those; they flood.
+        """
+        try:
+            engine.bind(
+                send=self._send, deliver=self._on_deliver,
+                unicast=self._unicast,
+            )
+        except TypeError:
+            engine.bind(send=self._send, deliver=self._on_deliver)
 
     def _on_tick(self) -> None:
         self.engine.on_tick()
@@ -208,6 +222,11 @@ class EntityHost(SimProcess):
         if self._crashed:
             return
         self.network.broadcast(self.index, pdu)
+
+    def _unicast(self, dst: int, pdu: Any) -> None:
+        if self._crashed:
+            return
+        self.network.unicast(self.index, dst, pdu)
 
     def on_arrival(self, pdu: Any) -> None:
         """A copy reached this host: queue it, or lose it to overrun."""

@@ -121,6 +121,22 @@ Repair-pull PDU::
     (u16 lsrc, u32 lo, u32 hi) * r
     u32 buf
 
+Relay frame (dissemination extension, docs/PROTOCOL.md §16)::
+
+    u8  type = 0x0A
+    u8  flags = 0
+    u32 cid
+    u16 src
+    u16 h              path length (hop count, >= 1)
+    u16 n              vector length
+    u16 path[h]
+    u32 min_ack[n]
+    u32 min_pack[n]
+    u32 buf
+    u32 body_len
+    ..  body           the origin's frame: a type-0x01 or 0x07 body
+                       (no inner checksum; one frame CRC)
+
 Every frame ends in a ``u32`` CRC-32 of everything before it.  The MC
 medium itself is error-free in the paper's model, but real transports (and
 the nemesis harness's bit-flip fault) are not; the checksum turns silent
@@ -160,6 +176,7 @@ from repro.core.pdu import (
     DigestPdu,
     HeartbeatPdu,
     JoinPdu,
+    RelayPdu,
     RepairPullPdu,
     RetPdu,
     StatePdu,
@@ -175,6 +192,7 @@ _TYPE_STATE = 0x06
 _TYPE_BATCH = 0x07
 _TYPE_DIGEST = 0x08
 _TYPE_REPAIR_PULL = 0x09
+_TYPE_RELAY = 0x0A
 
 _FLAG_NULL = 0x01
 _FLAG_PROBE = 0x01
@@ -188,7 +206,7 @@ _CRC_BYTES = 4
 
 AnyPdu = Union[
     DataPdu, RetPdu, HeartbeatPdu, ViewChangePdu, JoinPdu, StatePdu, BatchPdu,
-    DigestPdu, RepairPullPdu,
+    DigestPdu, RepairPullPdu, RelayPdu,
 ]
 
 Buffer = Union[bytes, bytearray, memoryview]
@@ -210,6 +228,7 @@ _S_STATE = struct.Struct("!BBIHHIHHI")
 _S_BATCH = struct.Struct("!BBIHHH")
 _S_DIGEST = struct.Struct("!BBIHHIH")
 _S_REPAIR_PULL = struct.Struct("!BBIHHHH")
+_S_RELAY = struct.Struct("!BBIHHH")
 _S_U32 = struct.Struct("!I")
 _S_PREFIX = struct.Struct("!HI")
 _S_RANGE = struct.Struct("!HII")
@@ -438,6 +457,26 @@ def _encode_body_into(pdu: AnyPdu, buf: bytearray, offset: int) -> int:
             offset += _S_RANGE.size
         _S_U32.pack_into(buf, offset, pdu.buf)
         return offset + 4
+    if isinstance(pdu, RelayPdu):
+        h, n = len(pdu.path), len(pdu.min_ack)
+        _S_RELAY.pack_into(
+            buf, offset, _TYPE_RELAY, 0, pdu.cid, pdu.src, h, n,
+        )
+        offset += _S_RELAY.size
+        _mem(h).pack_into(buf, offset, *pdu.path)
+        offset += 2 * h
+        _vec(n).pack_into(buf, offset, *pdu.min_ack)
+        offset += 4 * n
+        _vec(n).pack_into(buf, offset, *pdu.min_pack)
+        offset += 4 * n
+        _S_U32.pack_into(buf, offset, pdu.buf)
+        offset += 4
+        # u32 length prefix, then the inner frame's body, as in batches.
+        length_at = offset
+        offset += 4
+        body_end = _encode_body_into(pdu.frame, buf, offset)
+        _S_U32.pack_into(buf, length_at, body_end - offset)
+        return body_end
     if isinstance(pdu, BatchPdu):
         n = len(pdu.ack)
         _S_BATCH.pack_into(
@@ -665,6 +704,37 @@ def _decode(data: Buffer, end: int) -> AnyPdu:
             cid=cid, src=src, target=target, ranges=tuple(ranges),
             ack=ack, buf=buf,
         )
+    if kind == _TYPE_RELAY:
+        if _S_RELAY.size > end:
+            raise CodecError("truncated relay header")
+        _, _, cid, src, h, n = _S_RELAY.unpack_from(data, 0)
+        if h < 1:
+            raise CodecError("relay frame with an empty path")
+        offset = _S_RELAY.size
+        if offset + 2 * h + 8 * n + 8 > end:
+            raise CodecError("truncated relay PDU")
+        path = _mem(h).unpack_from(data, offset)
+        offset += 2 * h
+        min_ack = _vec(n).unpack_from(data, offset)
+        offset += 4 * n
+        min_pack = _vec(n).unpack_from(data, offset)
+        offset += 4 * n
+        (buf,) = _S_U32.unpack_from(data, offset)
+        offset += 4
+        (body_len,) = _S_U32.unpack_from(data, offset)
+        offset += 4
+        if offset + body_len > end:
+            raise CodecError("relayed frame shorter than its declared length")
+        frame = _decode(data[offset:offset + body_len], body_len)
+        if not isinstance(frame, (DataPdu, BatchPdu)):
+            raise CodecError(
+                "relay frames carry data or batch PDUs only, got "
+                f"{type(frame).__name__}"
+            )
+        return RelayPdu(
+            cid=cid, src=src, path=path, min_ack=min_ack, min_pack=min_pack,
+            buf=buf, frame=frame,
+        )
     if kind == _TYPE_BATCH:
         if _S_BATCH.size > end:
             raise CodecError("truncated batch header")
@@ -777,6 +847,11 @@ def _body_size(pdu: AnyPdu) -> int:
         return (
             _S_REPAIR_PULL.size + 4 * len(pdu.ack)
             + _S_RANGE.size * len(pdu.ranges) + 4
+        )
+    if isinstance(pdu, RelayPdu):
+        return (
+            _S_RELAY.size + 2 * len(pdu.path) + 8 * len(pdu.min_ack)
+            + 4 + 4 + _body_size(pdu.frame)
         )
     raise CodecError(f"cannot encode {type(pdu).__name__}")
 

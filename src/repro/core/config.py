@@ -54,6 +54,30 @@ class ConfirmationMode(enum.Enum):
     IMMEDIATE = "immediate"
 
 
+class DisseminationMode(enum.Enum):
+    """How data frames reach the other entities (docs/PROTOCOL.md §16).
+
+    The CO knowledge machinery underneath is identical in every mode —
+    only the *route* a data frame takes changes, so causal safety is
+    topology-independent (Theorem 4.1 reasons about the frame's carried
+    coordinates, never about who handed it over).
+    """
+
+    #: Every data frame fans out to all other entities at once (the paper's
+    #: broadcast medium; the default).
+    FLOOD = "flood"
+    #: Data frames circulate pipeline-style around the deterministic ring of
+    #: live members, each hop wrapped in a :class:`~repro.core.pdu.RelayPdu`
+    #: that piggybacks the relayers' aggregated AL/PAL knowledge; forwarding
+    #: stops when the frame would return to its origin.
+    RING = "ring"
+    #: Each entity pushes data frames to ``gossip_fanout`` peers chosen by
+    #: seeded RNG; receivers re-push fresh frames once (infect-and-die).
+    #: Probabilistic coverage — requires the anti-entropy repair layer as
+    #: the deterministic completion path.
+    GOSSIP = "gossip"
+
+
 class DeliveryLevel(enum.Enum):
     """Which of §3's receipt criteria gates delivery to the application."""
 
@@ -162,6 +186,20 @@ class ProtocolConfig:
     #: Upper bound on the data PDUs one delta-sync burst may re-send; a
     #: larger deficit drains across successive digest rounds.
     delta_sync_max_pdus: int = 128
+    #: Dissemination topology (docs/PROTOCOL.md §16): how data frames reach
+    #: the other entities.  ``FLOOD`` (default) broadcasts every frame;
+    #: ``RING`` circulates frames hop-by-hop around the live members with
+    #: knowledge piggybacked per relay; ``GOSSIP`` pushes to
+    #: ``gossip_fanout`` seeded-random peers with the anti-entropy layer
+    #: completing coverage.  Control traffic (heartbeats, RETs, view
+    #: changes, digests, pulls) and retransmissions always flood.
+    dissemination: DisseminationMode = DisseminationMode.FLOOD
+    #: Peers each gossip push targets (origin and relays alike).  Only
+    #: meaningful with ``dissemination=GOSSIP``.
+    gossip_fanout: int = 3
+    #: Seed for the per-entity gossip peer-sampling RNG, so runs replay
+    #: deterministically.
+    gossip_seed: int = 0
     #: Cluster identifier placed in every PDU's ``CID`` field.
     cluster_id: int = 1
 
@@ -237,6 +275,28 @@ class ProtocolConfig:
             value = getattr(self, name)
             if value < 1:
                 raise ConfigurationError(f"{name} must be >= 1, got {value}")
+        if not isinstance(self.dissemination, DisseminationMode):
+            raise ConfigurationError(
+                f"dissemination must be a DisseminationMode, got "
+                f"{self.dissemination!r}"
+            )
+        if self.dissemination is not DisseminationMode.FLOOD:
+            if self.strict_paper_mode:
+                raise ConfigurationError(
+                    "non-flood dissemination wraps data frames in relay "
+                    "PDUs, which strict paper mode forbids; choose one"
+                )
+        if self.dissemination is DisseminationMode.GOSSIP:
+            if self.gossip_fanout < 1:
+                raise ConfigurationError(
+                    f"gossip_fanout must be >= 1, got {self.gossip_fanout}"
+                )
+            if self.anti_entropy_interval is None:
+                raise ConfigurationError(
+                    "gossip dissemination is probabilistic; it needs the "
+                    "anti-entropy repair layer (anti_entropy_interval) as "
+                    "its deterministic completion path"
+                )
 
     def with_(self, **changes) -> "ProtocolConfig":
         """A copy with the given fields replaced (sugar over ``replace``)."""
@@ -251,6 +311,11 @@ class ProtocolConfig:
     def repair_enabled(self) -> bool:
         """True when the anti-entropy repair layer is active."""
         return self.anti_entropy_interval is not None
+
+    @property
+    def relaying_enabled(self) -> bool:
+        """True when data frames travel a non-flood dissemination topology."""
+        return self.dissemination is not DisseminationMode.FLOOD
 
     @property
     def paper_faithful(self) -> bool:

@@ -58,6 +58,7 @@ from repro.core.pdu import (
     DigestPdu,
     HeartbeatPdu,
     JoinPdu,
+    RelayPdu,
     RepairPullPdu,
     RetPdu,
     StatePdu,
@@ -66,10 +67,14 @@ from repro.core.pdu import (
 from repro.core.repair import RepairManager
 from repro.core.retransmit import GapTracker, RetransmitSuppressor
 from repro.core.state import KnowledgeState, MergeResult
+from repro.net.dissemination import make_strategy
 from repro.sim.trace import TraceLog
 
 Clock = Callable[[], float]
 SendFn = Callable[[Any], None]
+#: Point-to-point send: (destination index, PDU).  Hosts that can address
+#: individual peers bind one; it is what engages non-flood dissemination.
+UnicastFn = Callable[[int, Any], None]
 
 
 @dataclass(frozen=True)
@@ -167,6 +172,16 @@ class EntityCounters:
     delta_pdus_sent: int = 0
     #: Modelled bytes of repair traffic served (pull answers + deltas).
     repair_bytes: int = 0
+    #: Relay wrappers originated for own data frames (non-flood
+    #: dissemination, docs/PROTOCOL.md §16).
+    relays_sent: int = 0
+    #: Relay wrappers received from peers.
+    relays_received: int = 0
+    #: Relays forwarded onward (the frame was fresh here).
+    relay_forwards: int = 0
+    #: Relays not forwarded because the frame taught this entity nothing
+    #: new — duplicate-forward suppression (infect-and-die).
+    relay_forwards_suppressed: int = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -354,14 +369,33 @@ class COEntity:
         self.counters = EntityCounters()
         self._send_fn: Optional[SendFn] = None
         self._deliver_fn: Optional[DeliverFn] = None
+        self._unicast_fn: Optional[UnicastFn] = None
+        #: Dissemination strategy (docs/PROTOCOL.md §16).  ``None`` floods;
+        #: set by :meth:`bind` when the host provides a unicast path.
+        self._strategy = None
 
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
-    def bind(self, send: SendFn, deliver: DeliverFn) -> None:
-        """Attach the host's output callbacks.  Must precede any traffic."""
+    def bind(
+        self,
+        send: SendFn,
+        deliver: DeliverFn,
+        unicast: Optional[UnicastFn] = None,
+    ) -> None:
+        """Attach the host's output callbacks.  Must precede any traffic.
+
+        ``unicast`` is the point-to-point path non-flood dissemination
+        routes over; without one the engine floods regardless of the
+        configured mode — a host that cannot address individual peers
+        cannot run a ring or gossip topology.
+        """
         self._send_fn = send
         self._deliver_fn = deliver
+        self._unicast_fn = unicast
+        self._strategy = (
+            make_strategy(self.config, self.index) if unicast is not None else None
+        )
 
     @property
     def now(self) -> float:
@@ -408,6 +442,8 @@ class COEntity:
                     self._unsuspect(src)
         if isinstance(pdu, DataPdu):
             self._on_data(pdu)
+        elif isinstance(pdu, RelayPdu):
+            self._on_relay(pdu)
         elif isinstance(pdu, BatchPdu):
             self._on_batch(pdu)
         elif isinstance(pdu, RetPdu):
@@ -458,6 +494,11 @@ class COEntity:
         if isinstance(pdu, BatchPdu):
             # The frame passes; :meth:`_on_batch` re-applies the fence to
             # each inner data PDU and skips the removed member's header.
+            return True
+        if isinstance(pdu, RelayPdu):
+            # A removed *relayer* may still carry a live origin's frame;
+            # :meth:`_on_relay` skips the removed contributors' knowledge
+            # and re-fences the inner frame by its origin.
             return True
         if isinstance(pdu, DataPdu):
             cap = self._flush_cap.get(src)
@@ -618,7 +659,7 @@ class COEntity:
                 self._flush_batch()
             return
         self._note_transmission()
-        self._send(pdu)
+        self._send_frame(pdu)
         # Self-acceptance: the sender's own copy enters its receipt machinery
         # immediately, keeping REQ/AL uniform across the cluster.
         self._accept(pdu)
@@ -653,7 +694,7 @@ class COEntity:
             self.now, "batch", self.index,
             count=frame.pdu_count, seqs=list(frame.seqs),
         )
-        self._send(frame)
+        self._send_frame(frame)
 
     def _note_transmission(self) -> None:
         """Every outgoing sequenced PDU carries REQ — it *is* a confirmation."""
@@ -672,6 +713,177 @@ class COEntity:
             self.counters.batch_flush_inline += 1
             self._flush_batch()
         self._send_fn(pdu)
+
+    # ------------------------------------------------------------------
+    # Dissemination topologies (docs/PROTOCOL.md §16)
+    # ------------------------------------------------------------------
+    def _unicast(self, dst: int, pdu: Any) -> None:
+        if self._unicast_fn is None:
+            raise ProtocolError("engine used before bind()")
+        if self._batch and not isinstance(pdu, BatchPdu):
+            # Same FIFO rule as :meth:`_send`: a relay wrapper's min_ack
+            # includes our own REQ, which covers seqs still sitting in the
+            # open batch — flush them first or receivers RET data we hold.
+            self.counters.batch_flush_inline += 1
+            self._flush_batch()
+        self._unicast_fn(dst, pdu)
+
+    def _send_repair(self, to: int, frame: Any) -> None:
+        """Route a peer-specific repair answer (RET answer, pull answer,
+        delta burst).
+
+        Under the paper's broadcast medium these flood — bystanders fold
+        the duplicate harmlessly and the suppressors thin redundant
+        answers.  Under a relay topology the deficit is one peer's, the
+        requester is named, and a broadcast answer costs n-1 copies where
+        one suffices — worse, the bare rebroadcast races the relay route
+        and stales in-flight wrappers — so the answer goes point-to-point.
+        """
+        if self._strategy is not None:
+            self._unicast(to, frame)
+        else:
+            self._send(frame)
+
+    def _dissemination_members(self) -> List[int]:
+        """The live membership a routing decision sees (self included)."""
+        return sorted(self._live_members | {self.index})
+
+    def _send_frame(self, frame: Any) -> None:
+        """Put one of our own data frames on the wire by the configured
+        topology: flood it, or wrap it in a relay and hand it to the
+        strategy's first-hop targets.  Only original transmissions route
+        here — peer-specific repair answers go through
+        :meth:`_send_repair`, and knowledge-carrying control PDUs
+        (digests, pulls, RET requests, heartbeats) flood regardless of
+        topology: they are the loss-recovery paths the relaying modes
+        lean on, and any holder may answer them."""
+        if self._strategy is None:
+            self._send(frame)
+            return
+        targets = self._strategy.origin_targets(self._dissemination_members())
+        if not targets:
+            # Degenerate view (no live peer to route to): flooding is the
+            # harmless identity here and keeps the send path uniform.
+            self._send(frame)
+            return
+        wrapper = RelayPdu(
+            cid=self.config.cluster_id,
+            src=self.index,
+            path=(self.index,),
+            min_ack=self.state.req_vector(),
+            min_pack=tuple(self._preack_floor),
+            buf=self._advertised_buf(),
+            frame=frame,
+        )
+        self.counters.relays_sent += 1
+        for dst in targets:
+            self._unicast(dst, wrapper)
+
+    def _frame_is_fresh(self, frame: Any) -> bool:
+        """Would processing this data frame advance local receipt state?
+
+        Checked *before* the frame is processed (processing moves the very
+        frontier the check reads).  Freshness is what gates forwarding: a
+        frame that neither accepts nor stashes anything new here has, by
+        per-source FIFO, nothing new for anyone downstream either — the
+        infect-and-die rule that terminates gossip and folded rings.
+        """
+        if isinstance(frame, BatchPdu):
+            return any(self._data_is_fresh(p) for p in frame.pdus)
+        return self._data_is_fresh(frame)
+
+    def _data_is_fresh(self, p: DataPdu) -> bool:
+        src = p.src
+        if src == self.index or not 0 <= src < self.n:
+            return False
+        if p.seq < self.state.req[src]:
+            return False
+        return p.seq not in self._stash[src]
+
+    def _on_relay(self, r: RelayPdu) -> None:
+        """Accept a relayed frame and forward it if it was news here.
+
+        The inner frame is processed exactly as if it had been flooded —
+        the wrapper changes *routing*, never the protocol state machine,
+        which is why CO safety is topology-independent.  The wrapper's
+        aggregated ``min_ack``/``min_pack`` are folded into the AL/PAL
+        rows of every path member first: each contributor's true vector is
+        element-wise ≥ the carried minimum, so the max-merge is sound, and
+        the explicit path keeps attribution exact under membership
+        disagreement.  Removed contributors are skipped — the view fence
+        forbids advancing knowledge on their behalf.
+        """
+        self.counters.relays_received += 1
+        inner = r.frame
+        origin = r.origin
+        if origin == self.index:
+            # Our own frame came full circle; everything in it is ours.
+            return
+        if self._is_removed(origin) and isinstance(inner, DataPdu):
+            # Batches re-fence per inner PDU in _on_batch.
+            admitted = self._fence_admits(origin, inner)
+        else:
+            admitted = True
+        # Freshness before processing; fenced frames never forward.
+        fresh = admitted and self._frame_is_fresh(inner)
+        if len(r.min_ack) == self.n:
+            for member in set(r.path):
+                if member == self.index or not 0 <= member < self.n:
+                    continue
+                if self._is_removed(member):
+                    continue
+                self._merge_al(member, r.min_ack)
+                self.state.merge_pal(member, r.min_pack)
+        if r.src != self.index and not self._is_removed(r.src):
+            self.state.update_buf(r.src, r.buf)
+        if admitted:
+            if isinstance(inner, BatchPdu):
+                # _on_batch applies the removed-member fence itself.
+                self._on_batch(inner)
+            else:
+                self._on_data(inner)
+        if not fresh:
+            if self._strategy is not None:
+                self.counters.relay_forwards_suppressed += 1
+            return
+        self._forward_relay(r)
+
+    def _forward_relay(self, r: RelayPdu) -> None:
+        """Extend a fresh relay's path with ourselves and send it onward."""
+        if self._strategy is None:
+            return
+        targets = self._strategy.forward_targets(
+            r.origin, r.path, self._dissemination_members(),
+        )
+        if not targets:
+            return
+        req = self.state.req_vector()
+        if len(r.min_ack) != self.n:
+            return
+        min_ack = tuple(map(min, r.min_ack, req))
+        min_pack = tuple(map(min, r.min_pack, self._preack_floor))
+        forwarded = RelayPdu(
+            cid=self.config.cluster_id,
+            src=self.index,
+            path=r.path + (self.index,),
+            min_ack=min_ack,
+            min_pack=min_pack,
+            buf=self._advertised_buf(),
+            frame=r.frame,
+        )
+        self.counters.relay_forwards += 1
+        # Forwarding is a confirmation: downstream receivers fold (at
+        # least) these floors into our AL/PAL rows.  Record the *minima
+        # actually conveyed*, not our full vectors — recording the full
+        # REQ would suppress the idle-tail heartbeat that closes the gap
+        # between the path floor and what we really hold, and knowledge
+        # convergence (hence delivery) would stall.
+        self._last_confirmed_req = min_ack
+        self._last_confirmed_pack = min_pack
+        self._heard_from.clear()
+        self._last_send_time = self.now
+        for dst in targets:
+            self._unicast(dst, forwarded)
 
     def _merge_al(self, observer: int, vector: Sequence[int]) -> MergeResult:
         """Fold an ACK vector into AL, queueing risen minima for the PACK scan.
@@ -851,7 +1063,15 @@ class COEntity:
                     kind="F2", src=j,
                     missing_from=self.state.req[j], missing_upto=ack[j],
                 )
-                if self.gaps.note(j, ack[j], self.now):
+                if self.gaps.note(j, ack[j], self.now) and self._strategy is None:
+                    # Under a relay topology (§16) knowledge deliberately
+                    # outruns data: a relay's aggregated minima advertise
+                    # PDUs still a few hops away, so an immediate RET here
+                    # would storm the sources for in-flight traffic (and the
+                    # bare rebroadcast answers would stale the relays they
+                    # raced).  The gap is noted; the first RET comes from
+                    # the tick-driven retry timer if the route never
+                    # completes.
                     self._send_ret(j, ack[j])
 
     def _send_ret(self, lsrc: int, upto: int) -> None:
@@ -894,7 +1114,7 @@ class COEntity:
                     # PDU's causal coordinates, Theorem 4.1); BUF is a live
                     # advertisement, so re-stamp it — receivers fold the
                     # freshest value even from a duplicate.
-                    self._send(replace(pdu, buf=self._advertised_buf()))
+                    self._send_repair(r.src, replace(pdu, buf=self._advertised_buf()))
                 else:
                     self.counters.retransmissions_suppressed += 1
         elif r.lsrc in self.suspected or r.lsrc in self.evicted:
@@ -915,7 +1135,7 @@ class COEntity:
                         self.now, "retransmit", self.index,
                         seq=seq, to=r.src, on_behalf_of=r.lsrc,
                     )
-                    self._send(pdu)
+                    self._send_repair(r.src, pdu)
                 else:
                     self.counters.retransmissions_suppressed += 1
         self._pack_action()
@@ -1052,7 +1272,7 @@ class COEntity:
                         served += 1
                         served_bytes += out.wire_size()
                         hit = True
-                        self._send(out)
+                        self._send_repair(p.src, out)
                     else:
                         self.counters.retransmissions_suppressed += 1
             else:
@@ -1068,7 +1288,7 @@ class COEntity:
                         served += 1
                         served_bytes += pdu.wire_size()
                         hit = True
-                        self._send(pdu)
+                        self._send_repair(p.src, pdu)
                     else:
                         self.counters.retransmissions_suppressed += 1
             if hit:
@@ -1115,7 +1335,7 @@ class COEntity:
                     self.counters.retransmissions += 1
                     sent += 1
                     sent_bytes += out.wire_size()
-                    self._send(out)
+                    self._send_repair(to, out)
             else:
                 store = self._peer_store[j]
                 for seq in range(lo, hi):
@@ -1127,9 +1347,13 @@ class COEntity:
                     self.counters.retransmissions += 1
                     sent += 1
                     sent_bytes += pdu.wire_size()
-                    self._send(pdu)
+                    self._send_repair(to, pdu)
         if not sent:
+            # Nothing resident matched the deficit (all pruned): the peer's
+            # rate-limit interval is *not* burned — the next digest may find
+            # a servable deficit and must not be suppressed by this no-op.
             return
+        self.repair.mark_delta(to, self.now)
         self.counters.delta_syncs += 1
         self.counters.delta_pdus_sent += sent
         self.counters.repair_bytes += sent_bytes
@@ -1588,6 +1812,10 @@ class COEntity:
                     self.now, "stash-drop", self.index, src=m, count=len(stale),
                 )
                 stale.clear()
+            # Per-peer repair bookkeeping dies with the membership: a
+            # timestamp surviving into the member's next incarnation would
+            # suppress its first post-rejoin delta burst.
+            self.repair.forget_peer(m)
             self.counters.evictions += 1
             self._trace.record(
                 self.now, "evict", self.index, src=m, flush=r.flush[m],
@@ -1606,6 +1834,9 @@ class COEntity:
             self.suspected.discard(m)
             self._suspect_since.pop(m, None)
             self._last_heard[m] = self.now
+            # Fresh incarnation, fresh repair bookkeeping: its first delta
+            # burst must not be rate-limited by the previous incarnation.
+            self.repair.forget_peer(m)
             self._trace.record(self.now, "readmit", self.index, src=m)
         self.members = set(r.members)
         self.view = r.view_id

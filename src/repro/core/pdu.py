@@ -45,6 +45,7 @@ _STATE_FIXED_FIELDS = 5  # CID + SRC + JOINER + VIEW + BUF
 _BATCH_FIXED_FIELDS = 4  # CID + SRC + COUNT + BUF
 _DIGEST_FIXED_FIELDS = 5  # CID + SRC + TARGET + VIEW + BUF
 _REPAIR_PULL_FIXED_FIELDS = 4  # CID + SRC + TARGET + BUF
+_RELAY_FIXED_FIELDS = 4  # CID + SRC + HOPS + BUF
 
 
 @dataclass(frozen=True)
@@ -489,4 +490,88 @@ class BatchPdu:
         return (
             f"BATCH(src=E{self.src}, seqs={list(self.seqs)}, "
             f"ack={list(self.ack)}, pack={list(self.pack)})"
+        )
+
+
+@dataclass(frozen=True)
+class RelayPdu:
+    """A data frame in transit around a non-flood dissemination topology
+    (docs/PROTOCOL.md §16).
+
+    ``frame`` is the origin's :class:`DataPdu` or :class:`BatchPdu`,
+    carried **verbatim** at every hop — its ACK vectors are the causal
+    coordinates of Theorem 4.1 and must reach every entity unchanged, so
+    CO safety is independent of the route.  ``path`` lists every entity
+    the frame has passed through in hop order (``path[0]`` is the origin,
+    ``path[-1] == src`` is the relayer that sent this copy).
+
+    ``min_ack``/``min_pack`` piggyback knowledge hop-by-hop: they are the
+    element-wise minima of the path members' REQ vectors and
+    pre-acknowledgment floors, each taken at the moment that member
+    wrapped the frame.  A receiver may fold ``min_ack`` into its AL row
+    and ``min_pack`` into its PAL row *for every entity in the path*: each
+    contributor's true vector is element-wise ≥ the minimum, and max-merge
+    with a sound lower bound never overstates knowledge.  The explicit
+    path keeps the attribution exact even when entities disagree about
+    membership — no vector is ever credited to an entity that did not
+    contribute to it.
+    """
+
+    cid: int
+    src: int
+    path: Tuple[int, ...]
+    min_ack: Tuple[int, ...]
+    min_pack: Tuple[int, ...]
+    buf: int
+    frame: "DataPdu | BatchPdu" = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("a relay must name at least its origin in path")
+        if self.path[-1] != self.src:
+            raise ValueError(
+                f"path must end at the relayer: path={self.path}, src={self.src}"
+            )
+        if len(self.min_ack) != len(self.min_pack):
+            raise ValueError("min_ack and min_pack vectors must have equal length")
+        if not isinstance(self.frame, (DataPdu, BatchPdu)):
+            raise ValueError(
+                f"a relay carries a DataPdu or BatchPdu, got "
+                f"{type(self.frame).__name__}"
+            )
+
+    #: The relayed frame carries application data, so the wrapper is
+    #: data-plane traffic (an empty relayed batch degenerates to control).
+    @property
+    def is_control(self) -> bool:
+        return bool(getattr(self.frame, "is_control", False))
+
+    @property
+    def pdu_count(self) -> int:
+        """Data PDUs inside (receive buffers charge the inner frame's units)."""
+        inner = getattr(self.frame, "pdu_count", None)
+        return inner if inner is not None else 1
+
+    @property
+    def seqs(self) -> Tuple[int, ...]:
+        """The carried sequence numbers (trace/oracle attribution)."""
+        inner = getattr(self.frame, "seqs", None)
+        if inner is not None:
+            return tuple(inner)
+        return (self.frame.seq,)
+
+    @property
+    def origin(self) -> int:
+        """The entity whose frame this is (``path[0]`` by construction)."""
+        return self.frame.src
+
+    def wire_size(self) -> int:
+        """Modelled bytes: wrapper header + path + two vectors + the frame."""
+        vectors = len(self.path) + 2 * len(self.min_ack)
+        return (_RELAY_FIXED_FIELDS + vectors) * _INT_BYTES + self.frame.wire_size()
+
+    def __str__(self) -> str:
+        return (
+            f"RELAY(src=E{self.src}, path={list(self.path)}, "
+            f"frame={self.frame})"
         )

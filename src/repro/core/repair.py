@@ -46,8 +46,12 @@ class RepairManager:
         self.n = n
         self.config = config
         self._last_digest_at: float = -1e18
-        #: Monotone digest round counter driving the peer rotation.
-        self._rounds = 0
+        #: The peer the last digest went to — the rotation cursor.  Storing
+        #: the *peer* rather than a round counter keeps the rotation stable
+        #: when the candidate set changes: a ``rounds % len`` cursor re-maps
+        #: every position the moment a member is evicted or rejoins, which
+        #: can starve a peer of digests for many rounds.
+        self._last_target: Optional[int] = None
         #: Last time a delta sync was pushed toward each peer (rate limit:
         #: at most one burst per anti-entropy interval per target, so a
         #: straggler being pulled *and* pushed at once is not double-fed
@@ -66,10 +70,14 @@ class RepairManager:
 
         ``candidates`` is the set of peers worth comparing against — live
         (non-evicted) members other than the owner.  The choice rotates
-        deterministically over the sorted candidates, so over ``len(c)``
-        intervals every peer is compared against exactly once; suspected
-        members stay in the rotation because a digest is precisely how a
-        healed-but-stale link is rediscovered.
+        deterministically over the sorted candidates: the next target is the
+        smallest candidate greater than the previous one, wrapping to the
+        smallest overall.  Anchoring on the previous *peer* (not a round
+        counter modulo the current size) keeps the cycle stable across
+        membership changes, so every live peer is digested within
+        ``len(candidates)`` intervals even when the set shrinks or grows
+        mid-cycle.  Suspected members stay in the rotation because a digest
+        is precisely how a healed-but-stale link is rediscovered.
         """
         interval = self.config.anti_entropy_interval
         if interval is None or not candidates:
@@ -78,8 +86,13 @@ class RepairManager:
             return None
         self._last_digest_at = now
         ordered = sorted(candidates)
-        target = ordered[self._rounds % len(ordered)]
-        self._rounds += 1
+        target = ordered[0]
+        if self._last_target is not None:
+            for peer in ordered:
+                if peer > self._last_target:
+                    target = peer
+                    break
+        self._last_target = target
         return target
 
     # ------------------------------------------------------------------
@@ -137,13 +150,28 @@ class RepairManager:
         """Should a delta burst be pushed to ``peer`` now?
 
         True when the deficit clears the threshold and no burst went to
-        the peer within the last anti-entropy interval.  Marking is
-        implicit — a ``True`` answer counts as the push.
+        the peer within the last anti-entropy interval.  Pure check: the
+        caller commits the rate-limit stamp with :meth:`mark_delta` *after*
+        actually sending a non-empty burst.  (Marking on the answer burned
+        the peer's interval even when every deficit PDU had already been
+        pruned from the sending log and zero PDUs went out.)
         """
         interval = self.config.anti_entropy_interval
         if interval is None or deficit < self.config.delta_sync_threshold:
             return False
-        if now - self._last_delta_at[peer] < interval:
-            return False
+        return now - self._last_delta_at[peer] >= interval
+
+    def mark_delta(self, peer: int, now: float) -> None:
+        """Record that a non-empty delta burst was pushed to ``peer``."""
         self._last_delta_at[peer] = now
-        return True
+
+    def forget_peer(self, peer: int) -> None:
+        """Reset per-peer rate-limit state at a view change.
+
+        Called for members leaving *or* entering the view.  Without it a
+        peer that is evicted and later rejoins inherits the delta-sync
+        timestamp of its previous incarnation, and its first — most
+        valuable — delta burst after re-admission is silently suppressed.
+        """
+        if 0 <= peer < self.n:
+            self._last_delta_at[peer] = -1e18

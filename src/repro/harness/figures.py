@@ -404,13 +404,22 @@ Per point the report records, at each n in {4, 8, 16, 32}:
   hosts, recording ``frames_per_delivered_pdu`` (every frame on the wire,
   data and control, divided by application deliveries), ``per_pdu_us``,
   ``batch_frames`` / ``batched_data_pdus`` / ``acks_coalesced``;
+* ``topology[]`` — the dissemination axis (docs/PROTOCOL.md §16): the
+  same congested seeded workload once per mode ∈ {flood, ring, gossip}
+  at n ∈ {8, 32}, recording ``copies_per_delivered_pdu``
+  (per-destination datagram copies — a broadcast counts n-1, a relay
+  unicast counts 1, so flood fan-out and relay routes compare on equal
+  footing), ``per_pdu_us``, ``relays_sent`` / ``relay_forwards``; the
+  ordering oracle is asserted on every cell, and ``topology_gate`` fails
+  the run outright if ring stops beating flood at n ≥ 16;
 * ``suites`` — pass/fail of the pytest-benchmark suites (``bench_micro``,
   ``bench_fig8_processing``, ``bench_scale``).
 
-``--compare`` pairs points by ``n`` (and ``batch``, for the batching axis)
+``--compare`` pairs points by ``n`` (and ``batch`` / ``mode``, for the
+batching and topology axes)
 and fails (exit 1) when a tracked metric regresses beyond ``--threshold``
-(default 15%): per-PDU times, resident high-water and frames per delivered
-PDU must not rise, deliveries/sec must not fall.
+(default 15%): per-PDU times, resident high-water, frames and copies per
+delivered PDU must not rise, deliveries/sec must not fall.
 Re-baselining: run the full mode on a quiet machine and commit the new
 ``BENCH_hotpath.json`` together with the change that justifies the shift.
 """

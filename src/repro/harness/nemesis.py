@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cluster import Cluster, build_cluster
-from repro.core.config import ProtocolConfig
+from repro.core.config import DisseminationMode, ProtocolConfig
 from repro.net.loss import (
     BernoulliLoss,
     CompositeLoss,
@@ -746,6 +746,154 @@ def scenario_loss_storm(seed: int, trace: Optional[TraceLog] = None) -> NemesisO
     return outcome
 
 
+def _topology_cluster(
+    n: int,
+    seed: int,
+    mode: DisseminationMode,
+    loss: Optional[LossModel] = None,
+    trace: Optional[TraceLog] = None,
+) -> Cluster:
+    """A cluster disseminating over a relay topology, repair tiers on.
+
+    A severed relay route loses every downstream copy of a frame at once —
+    far burstier than uniform loss — so these scenarios lean on the
+    anti-entropy path (digests → pulls → delta sync) as the completion
+    mechanism, exactly as docs/PROTOCOL.md §16 prescribes for gossip.
+    """
+    config = ProtocolConfig(
+        suspect_timeout=SUSPECT_TIMEOUT,
+        evict_timeout=EVICT_TIMEOUT,
+        dissemination=mode,
+        gossip_fanout=2,
+        gossip_seed=seed,
+        anti_entropy_interval=0.01,
+        delta_sync_threshold=8,
+    )
+    return build_cluster(
+        n, config=config, trace=trace, loss=loss, rngs=RngRegistry(seed),
+    )
+
+
+def scenario_ring_partition(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
+    """Ring dissemination across a symmetric split.
+
+    The ring is the most fragile route: cutting a 4-cluster in half severs
+    the relay chain in two places, so every in-flight frame strands on its
+    origin's side.  The quorum guard must hold the membership steady (a 2/2
+    split has no majority), and after the heal the RET machinery and repair
+    tiers must ferry the stranded halves across — forwarding alone cannot,
+    because relays are never retransmitted.
+    """
+    name = "ring-partition"
+    n = 4
+    partition = PartitionLoss()
+    cluster = _topology_cluster(
+        n, seed, DisseminationMode.RING, loss=partition, trace=trace,
+    )
+    cluster.sim.schedule(0.005, lambda: partition.split({0, 1}, {2, 3}))
+    cluster.sim.schedule(0.2, partition.heal)
+    payloads = []
+    for k in range(16):
+        payload = f"ring-{k}"
+        payloads.append(payload)
+        cluster.sim.schedule(
+            0.01 + 0.012 * k,
+            lambda s=k % n, p=payload: cluster.submit(s, p),
+        )
+    cluster.run_for(0.21)
+    live = list(range(n))
+    try:
+        converge_time = run_until_converged(cluster, live, expected=payloads)
+        cluster.run_until_quiescent(max_time=60.0)
+        verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
+        check_view_agreement(cluster.engines, live)
+        check_prefix_consistency(cluster, live)
+        check_convergence(cluster, live)
+        if any(engine.view != 0 for engine in cluster.engines):
+            raise InvariantViolation(
+                "a no-quorum split still shrank the membership: "
+                f"{[e.view for e in cluster.engines]}"
+            )
+        if partition.partitioned_drops == 0:
+            raise InvariantViolation("partition never dropped anything")
+        totals = _engine_totals(cluster)
+        if totals.get("relays_sent", 0) == 0:
+            raise InvariantViolation("ring mode never relayed a frame")
+        if totals.get("relay_forwards", 0) == 0:
+            raise InvariantViolation("no relay was ever forwarded around the ring")
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    outcome = NemesisOutcome(name, seed, True, "", _observations(cluster, live))
+    outcome.observations["converge_time"] = converge_time
+    outcome.observations["relay"] = {
+        k: v for k, v in _engine_totals(cluster).items()
+        if k.startswith("relay")
+    }
+    return outcome
+
+
+def scenario_gossip_loss_storm(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
+    """Gossip dissemination under a loss storm aimed at one receiver.
+
+    70% of everything towards the victim drops — including the unicast
+    relay pushes that are gossip's only data path to it — while the victim
+    keeps transmitting, so it is never suspected.  The epidemic keeps the
+    other members current; the victim's catch-up must come from the
+    anti-entropy tier (digest → pull → delta), and once the storm stops the
+    convergence oracle bounds how long that takes.
+    """
+    name = "gossip-loss-storm"
+    n, victim = 5, 3
+    storm = TargetedLoss({victim}, rate=0.7)
+    cluster = _topology_cluster(
+        n, seed, DisseminationMode.GOSSIP, loss=storm, trace=trace,
+    )
+
+    def stop_storm() -> None:
+        storm.rate = 0.0
+
+    cluster.sim.schedule(0.25, stop_storm)
+    payloads = []
+    for k in range(20):
+        payload = f"gossip-{k}"
+        payloads.append(payload)
+        cluster.sim.schedule(
+            0.005 + 0.012 * k,
+            lambda s=k % n, p=payload: cluster.submit(s, p),
+        )
+    cluster.run_for(0.26)
+    live = list(range(n))
+    try:
+        converge_time = run_until_converged(cluster, live, expected=payloads)
+        cluster.run_until_quiescent(max_time=60.0)
+        verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
+        check_view_agreement(cluster.engines, live)
+        check_prefix_consistency(cluster, live)
+        check_convergence(cluster, live)
+        if any(engine.view != 0 for engine in cluster.engines):
+            raise InvariantViolation(
+                "the loss storm caused an eviction — the victim was never "
+                f"silent: {[e.view for e in cluster.engines]}"
+            )
+        if storm.storm_drops == 0:
+            raise InvariantViolation("the loss storm never dropped anything")
+        totals = _engine_totals(cluster)
+        if totals.get("relays_sent", 0) == 0:
+            raise InvariantViolation("gossip mode never pushed a relay")
+        if totals.get("digests_sent", 0) == 0:
+            raise InvariantViolation("repair layer never sent a digest")
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    outcome = NemesisOutcome(name, seed, True, "", _observations(cluster, live))
+    outcome.observations["converge_time"] = converge_time
+    outcome.observations["storm_drops"] = storm.storm_drops
+    outcome.observations["relay"] = {
+        k: v for k, v in _engine_totals(cluster).items()
+        if k.startswith("relay")
+    }
+    return outcome
+
+
 SCENARIOS: Dict[str, Callable[[int], NemesisOutcome]] = {
     "crash-evict-rejoin": scenario_crash_evict_rejoin,
     "partition-heal": scenario_partition_heal,
@@ -756,6 +904,8 @@ SCENARIOS: Dict[str, Callable[[int], NemesisOutcome]] = {
     "partition-stale": scenario_partition_stale,
     "partition-flapping": scenario_partition_flapping,
     "loss-storm": scenario_loss_storm,
+    "ring-partition": scenario_ring_partition,
+    "gossip-loss-storm": scenario_gossip_loss_storm,
 }
 
 

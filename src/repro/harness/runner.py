@@ -17,6 +17,7 @@ from repro.core.cluster import Cluster, CpuModel, build_cluster
 from repro.core.config import (
     ConfirmationMode,
     DeliveryLevel,
+    DisseminationMode,
     ProtocolConfig,
     RetransmissionScheme,
 )
@@ -78,6 +79,14 @@ class ExperimentConfig:
     #: Sender-side frame batching (1 = off, the classic one-PDU-per-frame
     #: wire behaviour; >1 enables accumulation + ACK coalescing).
     batch_max_pdus: int = 1
+    #: Dissemination topology: "flood" (all-to-all, the paper's medium),
+    #: "ring" or "gossip" (relay routes, docs/PROTOCOL.md §16).
+    dissemination: str = "flood"
+    gossip_fanout: int = 3
+    gossip_seed: int = 0
+    #: Anti-entropy digest cadence (None = repair layer off).  Gossip
+    #: dissemination requires it as its completion path.
+    anti_entropy_interval: Optional[float] = None
     cpu_base: float = 40e-6
     cpu_per_entity: float = 8e-6
     seed: int = 0
@@ -95,6 +104,13 @@ class ExperimentConfig:
         if self.workload not in WORKLOADS:
             raise ConfigurationError(
                 f"unknown workload {self.workload!r}; choose from {WORKLOADS}"
+            )
+        try:
+            DisseminationMode(self.dissemination)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown dissemination {self.dissemination!r}; choose from "
+                f"{sorted(m.value for m in DisseminationMode)}"
             )
 
     def with_(self, **changes: Any) -> "ExperimentConfig":
@@ -172,6 +188,10 @@ def _protocol_config(config: ExperimentConfig) -> ProtocolConfig:
         deferred_interval=config.deferred_interval,
         ret_timeout=config.ret_timeout,
         batch_max_pdus=config.batch_max_pdus,
+        dissemination=DisseminationMode(config.dissemination),
+        gossip_fanout=config.gossip_fanout,
+        gossip_seed=config.gossip_seed,
+        anti_entropy_interval=config.anti_entropy_interval,
     )
     if config.protocol == "co-gbn":
         return base.with_(retransmission=RetransmissionScheme.GO_BACK_N)

@@ -19,6 +19,12 @@ speed.  This package implements that model:
 """
 
 from repro.net.buffers import BufferStats, ReceiveBuffer
+from repro.net.dissemination import (
+    DisseminationStrategy,
+    GossipStrategy,
+    RingStrategy,
+    make_strategy,
+)
 from repro.net.loss import (
     BernoulliLoss,
     BurstLoss,
@@ -36,12 +42,16 @@ __all__ = [
     "BufferStats",
     "BurstLoss",
     "CompositeLoss",
+    "DisseminationStrategy",
+    "GossipStrategy",
     "LossModel",
     "MCNetwork",
     "NetworkStats",
     "NoLoss",
     "ReceiveBuffer",
     "ReliableNetwork",
+    "RingStrategy",
     "ScriptedLoss",
     "Topology",
+    "make_strategy",
 ]

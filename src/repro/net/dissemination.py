@@ -1,0 +1,152 @@
+"""Pluggable dissemination topologies (docs/PROTOCOL.md §16).
+
+The paper's MC service broadcasts every data PDU to all peers at once.
+That is one *dissemination strategy* — the cheapest in latency, the most
+expensive in per-entity fan-out.  This module factors the routing decision
+out of the engine so alternative topologies can carry the same frames:
+
+* **flood** — the paper's model; the engine broadcasts and no strategy
+  object exists (``make_strategy`` returns ``None``).
+* **ring** — data frames circulate pipeline-style around a deterministic
+  ring over the sorted live membership; each hop forwards to its
+  successor until the frame would return to its origin.
+* **gossip** — each hop pushes to ``gossip_fanout`` peers drawn from a
+  per-entity seeded RNG; the anti-entropy repair tier (§15) is the
+  completion path for the tail the push phase misses.
+
+A strategy decides only *who gets the next copy*.  What the copy carries
+(the origin's frame verbatim, plus the path's aggregated knowledge floor)
+is fixed by :class:`~repro.core.pdu.RelayPdu`, which is why causal-order
+safety is topology-independent: the ACK vectors that gate delivery travel
+unchanged along every route (see docs/PROTOCOL.md §16).
+
+Everything here is deterministic and pure — the engine passes in its
+current live-member view and the frame's hop path; the strategy returns a
+tuple of destinations.  Gossip draws from a private ``random.Random``
+seeded from ``(gossip_seed, owner)``, so runs replay bit-for-bit and two
+entities never share a stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Tuple
+
+from repro.core.config import DisseminationMode, ProtocolConfig
+
+
+class DisseminationStrategy:
+    """Routing decisions for one entity (the ``owner``) in one topology.
+
+    ``members`` arguments are the owner's current live view: installed
+    members minus evicted ones, *including* the owner itself.  Suspected
+    members are excluded by the engine before the call — routing around a
+    silent peer is the engine's failure-detection concern, not the
+    topology's.
+    """
+
+    def __init__(self, owner: int, config: ProtocolConfig):
+        self.owner = owner
+        self.config = config
+
+    def origin_targets(self, members: Sequence[int]) -> Tuple[int, ...]:
+        """First-hop destinations for a frame this entity originates."""
+        raise NotImplementedError
+
+    def forward_targets(
+        self,
+        origin: int,
+        path: Sequence[int],
+        members: Sequence[int],
+    ) -> Tuple[int, ...]:
+        """Next-hop destinations for a relayed frame this entity accepted.
+
+        ``path`` is the hop list *before* this entity appends itself
+        (``path[0] == origin``, ``path[-1]`` is the peer that sent us the
+        copy).  An empty result ends the frame's journey here.
+        """
+        raise NotImplementedError
+
+
+class RingStrategy(DisseminationStrategy):
+    """Pipeline dissemination around the sorted live membership.
+
+    Every frame travels origin → successor → successor … and stops when
+    the next hop would be the origin (full circle) or an entity already
+    on the path (the ring shrank mid-flight and the successor chain
+    folded back).  The hop bound ``len(path) >= len(members)`` is a
+    belt-and-braces terminator for pathological membership disagreement.
+    """
+
+    def _successor(self, members: Sequence[int]) -> Optional[int]:
+        ring = sorted(set(members) | {self.owner})
+        if len(ring) < 2:
+            return None
+        at = ring.index(self.owner)
+        return ring[(at + 1) % len(ring)]
+
+    def origin_targets(self, members: Sequence[int]) -> Tuple[int, ...]:
+        succ = self._successor(members)
+        return () if succ is None else (succ,)
+
+    def forward_targets(
+        self,
+        origin: int,
+        path: Sequence[int],
+        members: Sequence[int],
+    ) -> Tuple[int, ...]:
+        succ = self._successor(members)
+        if succ is None or succ == origin or succ in path:
+            return ()
+        if len(path) >= len(set(members) | {self.owner}):
+            return ()
+        return (succ,)
+
+
+class GossipStrategy(DisseminationStrategy):
+    """Push-gossip: each hop infects ``gossip_fanout`` random peers.
+
+    The draw excludes the owner, the origin and everyone already on the
+    path — those provably hold the frame — which makes the push an
+    infect-and-die epidemic.  Push alone reaches all peers only with high
+    probability, so config validation requires the anti-entropy repair
+    tier whenever gossip is selected: digests and pulls deterministically
+    close whatever tail the epidemic leaves open.
+    """
+
+    #: Mixes the shared seed with the owner id; any odd constant works,
+    #: it just has to keep two owners' streams from colliding.
+    _STREAM_STRIDE = 0x9E3779B1
+
+    def __init__(self, owner: int, config: ProtocolConfig):
+        super().__init__(owner, config)
+        self._rng = random.Random(config.gossip_seed * self._STREAM_STRIDE + owner)
+
+    def _draw(self, exclude: set, members: Sequence[int]) -> Tuple[int, ...]:
+        pool = sorted(m for m in set(members) if m not in exclude)
+        if not pool:
+            return ()
+        fanout = min(self.config.gossip_fanout, len(pool))
+        return tuple(sorted(self._rng.sample(pool, fanout)))
+
+    def origin_targets(self, members: Sequence[int]) -> Tuple[int, ...]:
+        return self._draw({self.owner}, members)
+
+    def forward_targets(
+        self,
+        origin: int,
+        path: Sequence[int],
+        members: Sequence[int],
+    ) -> Tuple[int, ...]:
+        return self._draw({self.owner, origin} | set(path), members)
+
+
+def make_strategy(
+    config: ProtocolConfig, owner: int
+) -> Optional[DisseminationStrategy]:
+    """The owner's strategy object, or ``None`` for plain flooding."""
+    if config.dissemination is DisseminationMode.RING:
+        return RingStrategy(owner, config)
+    if config.dissemination is DisseminationMode.GOSSIP:
+        return GossipStrategy(owner, config)
+    return None

@@ -171,10 +171,12 @@ class MCNetwork(SimProcess):
             self.stats.control_pdus += 1
         else:
             self.stats.data_pdus += 1
-        count = getattr(pdu, "pdu_count", None)
-        if count is not None:
+        # A relay wrapper is the wire form of the frame it carries; census
+        # the inner frame's batching shape, not the wrapper's.
+        inner = getattr(pdu, "frame", pdu)
+        if hasattr(inner, "pdus"):
             self.stats.batch_frames += 1
-            self.stats.batched_data_pdus += count
+            self.stats.batched_data_pdus += inner.pdu_count
 
     def _send_copy(self, src: int, dst: int, pdu: Any) -> None:
         if self.duplication is not None:

@@ -68,7 +68,15 @@ class AsyncEntityHost:
             index, n, config, clock=clock, trace=trace,
             advertised_buf=advertised_buf,
         )
-        self.engine.bind(send=self._send, deliver=self._on_deliver)
+        # Offer the unicast path only when the transport has one — the
+        # engine falls back to flooding otherwise.
+        unicast = (
+            self._unicast if callable(getattr(transport, "unicast", None))
+            else None
+        )
+        self.engine.bind(
+            send=self._send, deliver=self._on_deliver, unicast=unicast,
+        )
         self.delivered: List[DeliveredMessage] = []
         self._delivery_listeners: List[Callable[[DeliveredMessage], None]] = []
         self._tick_task: Optional["asyncio.Task"] = None
@@ -149,6 +157,9 @@ class AsyncEntityHost:
     # ------------------------------------------------------------------
     def _send(self, pdu: Any) -> None:
         self.transport.broadcast(self.index, pdu)
+
+    def _unicast(self, dst: int, pdu: Any) -> None:
+        self.transport.unicast(self.index, dst, pdu)
 
     async def _on_pdu(self, pdu: Any) -> None:
         self.engine.on_pdu(pdu)

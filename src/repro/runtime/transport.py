@@ -75,11 +75,22 @@ class LocalAsyncTransport:
         for dst in range(self.n):
             if dst == src:
                 continue
-            self.copies_sent += 1
-            if self.loss_rate and self._rng.random() < self.loss_rate:
-                self.copies_dropped += 1
-                continue
-            self._queues[dst].put_nowait(pdu)
+            self._offer(dst, pdu)
+
+    def unicast(self, src: int, dst: int, pdu: Any) -> None:
+        """Send one PDU to a single member (dissemination topologies)."""
+        if dst == src:
+            raise ValueError("unicast to self is not modelled")
+        if not 0 <= dst < self.n:
+            raise ValueError(f"unicast destination {dst} outside cluster of {self.n}")
+        self._offer(dst, pdu)
+
+    def _offer(self, dst: int, pdu: Any) -> None:
+        self.copies_sent += 1
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.copies_dropped += 1
+            return
+        self._queues[dst].put_nowait(pdu)
 
     async def _pump(self, index: int, queue: "asyncio.Queue[Any]") -> None:
         sink = self._sinks[index]

@@ -194,6 +194,29 @@ class UdpTransport:
                     continue
                 self._udp.sendto(payload, address)
 
+    def unicast(self, src: int, dst: int, pdu: Any) -> None:
+        """Encode and send one PDU to a single peer (dissemination
+        topologies, docs/PROTOCOL.md §16).
+
+        Relay wrappers are never split — the engine's ``batch_max_bytes``
+        is what keeps a relayed batch under the MTU budget; an oversized
+        datagram is the sender's configuration error, exactly as for an
+        oversized application payload.
+        """
+        if dst == src:
+            raise ValueError("unicast to self is not modelled")
+        if not 0 <= dst < len(self.addresses):
+            raise ValueError(
+                f"unicast destination {dst} outside peer list of "
+                f"{len(self.addresses)}"
+            )
+        payload = encode_pdu_view(pdu)
+        self.datagrams_sent += 1
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.datagrams_dropped += 1
+            return
+        self._udp.sendto(payload, self.addresses[dst])
+
     # ------------------------------------------------------------------
     # Receive path
     # ------------------------------------------------------------------

@@ -102,3 +102,59 @@ class TestDocumentedLimitations:
         cluster.submit(0, "solo")
         cluster.run_until_quiescent(max_time=10.0)
         assert [m.data for m in cluster.delivered(0)] == ["solo"]
+
+
+class TestRejoinDeltaBookkeeping:
+    """View changes must reset the per-peer delta-sync rate limit.
+
+    Regression for a repair-bookkeeping bug: an evicted member that later
+    rejoined inherited the delta-burst timestamp of its previous
+    incarnation, so its first — most valuable — delta burst after
+    re-admission was silently suppressed until a full anti-entropy
+    interval elapsed.
+    """
+
+    def test_eviction_and_rejoin_both_reset_the_delta_stamp(self):
+        # An interval longer than the whole test run, so a stale stamp
+        # would suppress delta_due for the entire scenario — only the
+        # view-change reset can make it fire again.
+        config = ProtocolConfig(
+            suspect_timeout=0.02,
+            evict_timeout=0.05,
+            anti_entropy_interval=5.0,
+            delta_sync_threshold=4,
+        )
+        cluster = build_cluster(4, config=config, rngs=RngRegistry(3))
+        victim, survivors = 3, [0, 1, 2]
+        for k in range(4):
+            cluster.submit(k % 4, f"pre-{k}")
+        cluster.run_until_quiescent(max_time=30.0)
+
+        # As under a loss storm: every survivor just pushed the victim a
+        # delta burst, burning its rate-limit interval.
+        for i in survivors:
+            engine = cluster.hosts[i].engine
+            engine.repair.mark_delta(victim, engine.now)
+            assert not engine.repair.delta_due(victim, deficit=100,
+                                               now=engine.now)
+
+        cluster.crash(victim)
+        cluster.run_for(1.0)
+        assert {cluster.hosts[i].engine.view for i in survivors} == {1}
+        # Eviction forgot the stamp: a (hypothetical) large deficit is
+        # delta-eligible again immediately, stale-stamp suppression gone.
+        for i in survivors:
+            engine = cluster.hosts[i].engine
+            assert engine.repair.delta_due(victim, deficit=100,
+                                           now=engine.now)
+            # Re-burn it so the rejoin leg below proves its own reset.
+            engine.repair.mark_delta(victim, engine.now)
+
+        cluster.restart(victim)
+        cluster.run_until_quiescent(max_time=60.0)
+        assert all(cluster.hosts[i].engine.view >= 2 for i in survivors)
+        for i in survivors:
+            engine = cluster.hosts[i].engine
+            assert engine.repair.delta_due(victim, deficit=100,
+                                           now=engine.now)
+        verify_run(cluster.trace, 4, expect_all_delivered=False).assert_ok()

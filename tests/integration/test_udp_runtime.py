@@ -109,6 +109,34 @@ class TestUdpCluster:
             payloads = [m.data for m in member.delivered]
             assert payloads.index(b"cause") < payloads.index(b"effect")
 
+    def test_ring_dissemination_over_real_sockets(self):
+        """The §16 ring over UDP: relay wrappers must survive the codec
+        and the per-destination datagram path, and every member still
+        delivers everything in causal order."""
+        from repro.core.config import DisseminationMode, ProtocolConfig
+
+        config = ProtocolConfig(
+            tick_interval=2e-3, deferred_interval=4e-3, ret_timeout=10e-3,
+            dissemination=DisseminationMode.RING,
+        )
+        async def scenario():
+            members = await udp_cluster(3, base_port=19960, seed=6,
+                                        config=config)
+            try:
+                for k in range(6):
+                    members[k % 3].broadcast(f"r{k}".encode())
+                await quiesce(members)
+            finally:
+                await stop_all(members)
+            return members
+
+        members = run(scenario())
+        for member in members:
+            assert len(member.delivered) == 6
+        verify_run(members[0].trace, 3).assert_ok()
+        assert sum(m.engine.counters.relays_sent for m in members) == 6
+        assert sum(m.engine.counters.relay_forwards for m in members) > 0
+
     def test_garbage_datagrams_ignored(self):
         async def scenario():
             members = await udp_cluster(2, base_port=19940, seed=5)

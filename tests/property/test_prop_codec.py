@@ -201,6 +201,60 @@ def test_every_single_byte_flip_is_rejected(pdu):
 
 
 # ----------------------------------------------------------------------
+# Dissemination relay wrapper (PR 8): nested-frame encoding
+# ----------------------------------------------------------------------
+from repro.core.pdu import BatchPdu, RelayPdu
+
+
+@st.composite
+def batch_pdus(draw):
+    base = draw(data_pdus())
+    count = draw(st.integers(min_value=0, max_value=3))
+    pack = tuple(draw(st.lists(U32, min_size=len(base.ack), max_size=len(base.ack))))
+    first_seq = min(base.seq, 2 ** 32 - 1 - count)
+    pdus = tuple(
+        DataPdu(cid=base.cid, src=base.src, seq=first_seq + i, ack=base.ack,
+                buf=base.buf, data=base.data, data_size=base.data_size)
+        for i in range(count)
+    )
+    return BatchPdu(cid=base.cid, src=base.src, ack=base.ack, pack=pack,
+                    buf=base.buf, pdus=pdus)
+
+
+@st.composite
+def relay_pdus(draw):
+    frame = draw(st.one_of(data_pdus(), batch_pdus()))
+    n = draw(st.integers(min_value=1, max_value=16))
+    min_ack = tuple(draw(st.lists(U32_0, min_size=n, max_size=n)))
+    min_pack = tuple(draw(st.lists(U32_0, min_size=n, max_size=n)))
+    path = tuple(draw(st.lists(U16, min_size=1, max_size=6, unique=True)))
+    return RelayPdu(cid=draw(U32_0), src=path[-1], path=path,
+                    min_ack=min_ack, min_pack=min_pack,
+                    buf=draw(U32_0), frame=frame)
+
+
+@given(relay_pdus())
+def test_relay_roundtrip(pdu):
+    assert decode_pdu(encode_pdu(pdu)) == pdu
+
+
+@given(relay_pdus())
+def test_relay_encoded_size_is_exact(pdu):
+    assert encoded_size(pdu) == len(encode_pdu(pdu))
+
+
+@given(relay_pdus())
+def test_relay_truncation_is_detected_at_every_byte_offset(pdu):
+    # The relay body carries an inner length prefix: truncating anywhere —
+    # including inside the nested frame — must fail the outer CRC/length
+    # checks, never return a half-decoded wrapper.
+    encoded = encode_pdu(pdu)
+    for cut in range(len(encoded)):
+        with pytest.raises(CodecError):
+            decode_pdu(encoded[:cut])
+
+
+# ----------------------------------------------------------------------
 # Zero-copy paths: memoryview inputs, in-place encoding, arithmetic sizes
 # ----------------------------------------------------------------------
 from repro.core.codec import encode_pdu_into, encode_pdu_view

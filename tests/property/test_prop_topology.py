@@ -1,0 +1,101 @@
+"""Property-based tests for the delay-matrix constructors.
+
+``Topology.from_graph`` produces *shortest-path* delays, so the matrix it
+returns must be a metric: the triangle inequality holds for every triple
+and no pair's delay exceeds its direct edge.  ``Topology.random_plane``
+draws from a caller-supplied RNG only, so the same seed must reproduce the
+same matrix bit for bit (the experiment harness depends on this for
+replayable heterogeneous-LAN runs).
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.topology import Topology
+
+# networkx is an optional extra: from_graph imports it lazily, so these
+# properties skip (not fail) on images without it.
+nx = pytest.importorskip("networkx")
+
+WEIGHT = st.floats(min_value=1e-6, max_value=1e-2,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def connected_graphs(draw):
+    """A connected weighted graph on nodes 0..n-1: a random spanning path
+    (connectivity by construction) plus random extra edges."""
+    n = draw(st.integers(min_value=3, max_value=8))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    order = draw(st.permutations(list(range(n))))
+    for a, b in zip(order, order[1:]):
+        graph.add_edge(a, b, delay=draw(WEIGHT))
+    extra = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=12,
+    ))
+    for a, b in extra:
+        if a != b:
+            graph.add_edge(a, b, delay=draw(WEIGHT))
+    return graph
+
+
+@given(connected_graphs())
+def test_from_graph_satisfies_triangle_inequality(graph):
+    matrix = Topology.from_graph(graph).as_matrix()
+    n = len(matrix)
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                assert matrix[i][k] <= matrix[i][j] + matrix[j][k] + 1e-12, (
+                    f"detour through {j} beats the 'shortest' path "
+                    f"{i}->{k}: {matrix[i][k]} > "
+                    f"{matrix[i][j]} + {matrix[j][k]}"
+                )
+
+
+@given(connected_graphs())
+def test_from_graph_never_exceeds_a_direct_edge(graph):
+    topology = Topology.from_graph(graph)
+    for a, b, data in graph.edges(data=True):
+        assert topology.delay(a, b) <= data["delay"] + 1e-12
+
+
+@given(connected_graphs())
+def test_from_graph_matrix_is_a_valid_topology(graph):
+    # Symmetric, zero-diagonal, positive off-diagonal — the Topology
+    # constructor enforces the first two; pin positivity here.
+    topology = Topology.from_graph(graph)
+    for i in range(topology.n):
+        for j in range(topology.n):
+            if i != j:
+                assert topology.delay(i, j) > 0.0
+
+
+@given(st.integers(min_value=1, max_value=12),
+       st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_random_plane_is_reproducible_from_seed(n, seed):
+    first = Topology.random_plane(n, random.Random(seed))
+    second = Topology.random_plane(n, random.Random(seed))
+    assert first.as_matrix() == second.as_matrix()
+    assert first.max_delay == second.max_delay
+
+
+@given(st.integers(min_value=2, max_value=12),
+       st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_random_plane_delays_within_geometric_bounds(n, seed):
+    scale, min_delay = 1e-3, 1e-5
+    topology = Topology.random_plane(
+        n, random.Random(seed), scale=scale, min_delay=min_delay,
+    )
+    diagonal = math.sqrt(2.0) * scale  # unit square, corner to corner
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                assert topology.delay(i, j) == 0.0
+            else:
+                assert min_delay <= topology.delay(i, j) <= diagonal

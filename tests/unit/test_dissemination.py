@@ -1,0 +1,128 @@
+"""Unit tests for the dissemination strategy layer (docs/PROTOCOL.md §16).
+
+These pin the routing arithmetic in isolation: ring successor selection and
+termination, gossip peer sampling (determinism, exclusions, fanout), and
+the factory's mode dispatch.  End-to-end equivalence lives in
+tests/conformance/test_topology_equivalence.py.
+"""
+
+import pytest
+
+from repro.core.config import DisseminationMode, ProtocolConfig
+from repro.net.dissemination import (
+    GossipStrategy,
+    RingStrategy,
+    make_strategy,
+)
+
+
+def _ring_config():
+    return ProtocolConfig(dissemination=DisseminationMode.RING)
+
+
+def _gossip_config(fanout=2, seed=7):
+    return ProtocolConfig(
+        dissemination=DisseminationMode.GOSSIP,
+        gossip_fanout=fanout,
+        gossip_seed=seed,
+        anti_entropy_interval=0.05,
+    )
+
+
+class TestFactory:
+    def test_flood_yields_no_strategy(self):
+        assert make_strategy(ProtocolConfig(), owner=0) is None
+
+    def test_ring_and_gossip_yield_strategies(self):
+        assert isinstance(make_strategy(_ring_config(), 0), RingStrategy)
+        assert isinstance(make_strategy(_gossip_config(), 0), GossipStrategy)
+
+
+class TestRing:
+    def test_origin_targets_successor_only(self):
+        ring = RingStrategy(owner=1, config=_ring_config())
+        assert ring.origin_targets([0, 1, 2, 3]) == (2,)
+        # Wrap-around: the highest member's successor is the lowest.
+        ring = RingStrategy(owner=3, config=_ring_config())
+        assert ring.origin_targets([0, 1, 2, 3]) == (0,)
+
+    def test_successor_skips_missing_members(self):
+        # Members 2 and 3 absent from the live view: 1's successor is 4.
+        ring = RingStrategy(owner=1, config=_ring_config())
+        assert ring.origin_targets([0, 1, 4, 5]) == (4,)
+
+    def test_forward_stops_at_origin(self):
+        # 3's successor is 0 == origin: the frame has circled.
+        ring = RingStrategy(owner=3, config=_ring_config())
+        assert ring.forward_targets(origin=0, path=(0, 1, 2, 3),
+                                    members=[0, 1, 2, 3]) == ()
+
+    def test_forward_stops_when_successor_already_on_path(self):
+        # A shrunken view can point back at a member that already relayed.
+        ring = RingStrategy(owner=2, config=_ring_config())
+        assert ring.forward_targets(origin=0, path=(0, 3, 2),
+                                    members=[0, 2, 3]) == ()
+
+    def test_forward_stops_when_path_spans_view(self):
+        ring = RingStrategy(owner=1, config=_ring_config())
+        assert ring.forward_targets(origin=0, path=(0, 1),
+                                    members=[0, 1, 2, 3]) == (2,)
+        # Once the path is as long as the ring, the hop budget is spent —
+        # even a stale path with repeats cannot circulate forever.
+        assert ring.forward_targets(origin=0, path=(0, 3, 2, 1),
+                                    members=[0, 1, 2, 3]) == ()
+        assert ring.forward_targets(origin=0, path=(0, 1, 0, 1),
+                                    members=[0, 1, 2, 3]) == ()
+
+    def test_singleton_view_sends_nowhere(self):
+        ring = RingStrategy(owner=0, config=_ring_config())
+        assert ring.origin_targets([0]) == ()
+
+    def test_full_circle_visits_everyone_once(self):
+        members = [0, 1, 2, 3, 4]
+        strategies = {i: RingStrategy(i, _ring_config()) for i in members}
+        path = (2,)
+        visited = []
+        targets = strategies[2].origin_targets(members)
+        while targets:
+            (hop,) = targets
+            visited.append(hop)
+            path = path + (hop,)
+            targets = strategies[hop].forward_targets(2, path, members)
+        assert visited == [3, 4, 0, 1]
+
+
+class TestGossip:
+    def test_same_seed_same_owner_is_deterministic(self):
+        a = GossipStrategy(owner=1, config=_gossip_config(seed=9))
+        b = GossipStrategy(owner=1, config=_gossip_config(seed=9))
+        members = list(range(8))
+        assert [a.origin_targets(members) for _ in range(10)] == \
+               [b.origin_targets(members) for _ in range(10)]
+
+    def test_different_owners_draw_different_streams(self):
+        members = list(range(16))
+        a = GossipStrategy(owner=1, config=_gossip_config(seed=9))
+        b = GossipStrategy(owner=2, config=_gossip_config(seed=9))
+        draws_a = [a.forward_targets(0, (0, 1), members) for _ in range(6)]
+        draws_b = [b.forward_targets(0, (0, 2), members) for _ in range(6)]
+        assert draws_a != draws_b
+
+    def test_never_targets_owner_origin_or_path(self):
+        members = list(range(6))
+        gossip = GossipStrategy(owner=4, config=_gossip_config(fanout=3))
+        for _ in range(50):
+            targets = gossip.forward_targets(origin=0, path=(0, 2, 4),
+                                             members=members)
+            assert set(targets).isdisjoint({0, 2, 4})
+            assert len(set(targets)) == len(targets)
+
+    def test_fanout_clamped_to_pool(self):
+        gossip = GossipStrategy(owner=1, config=_gossip_config(fanout=5))
+        targets = gossip.origin_targets([0, 1, 2])
+        assert sorted(targets) == [0, 2]
+
+    def test_empty_pool_sends_nowhere(self):
+        gossip = GossipStrategy(owner=1, config=_gossip_config())
+        assert gossip.forward_targets(origin=0, path=(0, 1),
+                                      members=[0, 1]) == ()

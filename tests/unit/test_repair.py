@@ -72,10 +72,41 @@ class TestDigestScheduling:
     def test_rotation_survives_membership_change(self):
         repair = _manager()
         assert repair.digest_target(0.00, [1, 2, 3]) == 1
-        # Candidate 2 evicted: the rotation re-maps over the remainder
-        # instead of stalling on the stale index.
+        # Candidate 2 evicted: the rotation carries on from the last peer
+        # digested instead of stalling on a stale index.
         assert repair.digest_target(0.02, [1, 3]) == 3
         assert repair.digest_target(0.04, [1, 3]) == 1
+
+    def test_rotation_cursor_is_stable_across_eviction(self):
+        """Regression: the old ``rounds % len(candidates)`` cursor re-mapped
+        every position when the candidate set changed mid-cycle, so a peer
+        could be starved for many rounds.  The stable per-peer cursor must
+        digest every live peer within ``len(candidates)`` intervals of any
+        membership change."""
+        repair = _manager(anti_entropy_interval=0.01)
+        now = 0.0
+        # Walk partway through a 5-candidate cycle...
+        candidates = [1, 2, 3, 4, 5]
+        first = [repair.digest_target(now + 0.02 * k, candidates) for k in range(2)]
+        assert first == [1, 2]
+        # ...then evict 3 mid-rotation.  Every survivor must be digested
+        # within len(survivors) further intervals — no starvation window.
+        survivors = [1, 2, 4, 5]
+        seen = [
+            repair.digest_target(1.0 + 0.02 * k, survivors)
+            for k in range(len(survivors))
+        ]
+        assert sorted(seen) == survivors
+        # And the cycle continued from the cursor (last digested: 2).
+        assert seen == [4, 5, 1, 2]
+
+    def test_rotation_cursor_is_stable_across_rejoin(self):
+        repair = _manager()
+        assert [repair.digest_target(0.02 * k, [1, 3]) for k in range(2)] == [1, 3]
+        # Member 2 rejoins: the cursor (at 3) wraps and picks 2 up next
+        # cycle without skipping anyone.
+        grown = [repair.digest_target(1.0 + 0.02 * k, [1, 2, 3]) for k in range(3)]
+        assert grown == [1, 2, 3]
 
 
 class TestRangePlanning:
@@ -113,10 +144,36 @@ class TestDeltaSync:
         repair = _manager(delta_sync_threshold=10)
         assert not repair.delta_due(2, 9, now=0.0)
         assert repair.delta_due(2, 10, now=0.0)
+        repair.mark_delta(2, now=0.0)
         # Rate limit: one burst per peer per interval; other peers unaffected.
         assert not repair.delta_due(2, 50, now=0.005)
         assert repair.delta_due(3, 50, now=0.005)
         assert repair.delta_due(2, 50, now=0.011)
+
+    def test_delta_due_is_a_pure_check(self):
+        """Regression: the old API stamped the rate limit inside the check,
+        so an answer that then sent zero PDUs (deficit fully pruned from
+        the sending log) silently burned the peer's interval."""
+        repair = _manager(delta_sync_threshold=10)
+        assert repair.delta_due(2, 50, now=0.0)
+        # Engine sent nothing, never marked: immediately due again.
+        assert repair.delta_due(2, 50, now=0.001)
+        repair.mark_delta(2, now=0.001)
+        assert not repair.delta_due(2, 50, now=0.002)
+
+    def test_forget_peer_resets_rate_limit(self):
+        """Regression: ``_last_delta_at`` survived eviction, so a rejoined
+        incarnation's first (most valuable) delta burst was suppressed by
+        its predecessor's timestamp."""
+        repair = _manager(delta_sync_threshold=10)
+        assert repair.delta_due(2, 50, now=0.0)
+        repair.mark_delta(2, now=0.0)
+        assert not repair.delta_due(2, 50, now=0.005)
+        repair.forget_peer(2)
+        assert repair.delta_due(2, 50, now=0.005)
+        # Out-of-range peers are ignored, not an error.
+        repair.forget_peer(-1)
+        repair.forget_peer(99)
 
 
 class TestGapTrackerDropSource:
