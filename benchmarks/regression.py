@@ -18,6 +18,10 @@ held against a committed baseline:
   repair-enabled cluster runs a fixed storm window against one victim,
   the storm stops, and the simulated time until the nemesis convergence
   oracle holds is recorded (the §15 repair-latency axis);
+* **detector points** — the failure-detection axis (§17): crash-detection
+  latency and false evictions under the jittery-link fault schedule, one
+  point per ``failure_detector`` mode, with an absolute gate pinning
+  adaptive mode at zero false evictions where fixed timeouts flap;
 * **suites** — the existing pytest benchmark suites (``bench_micro``,
   ``bench_fig8_processing``, ``bench_scale``) executed for pass/fail.
 
@@ -76,13 +80,15 @@ FULL = dict(sizes=(4, 8, 16, 32), rounds=160, lag=32, repeats=3,
             batch_sizes=(1, 8), batch_ns=(8, 32),
             converge_ns=(8, 32), converge_seeds=(11, 12, 13),
             topology_ns=(8, 32), topology_modes=("flood", "ring", "gossip"),
-            topology_messages=20)
+            topology_messages=20,
+            detector_ns=(8, 32))
 SMOKE = dict(sizes=(4, 8), rounds=40, lag=8, repeats=2,
              messages_per_entity=3, exp_repeats=1,
              batch_sizes=(1, 8), batch_ns=(4,),
              converge_ns=(8,), converge_seeds=(11,),
              topology_ns=(8,), topology_modes=("flood", "ring", "gossip"),
-             topology_messages=10)
+             topology_messages=10,
+             detector_ns=(8,))
 
 #: Metrics compared against the baseline: (section, key, direction).
 #: direction +1 means "bigger is worse", -1 means "smaller is worse".
@@ -97,6 +103,8 @@ TRACKED = (
     ("convergence", "converge_sim_s_mean", +1),
     ("topology", "copies_per_delivered_pdu", +1),
     ("topology", "per_pdu_us", +1),
+    ("detector", "detect_latency_s", +1),
+    ("detector", "false_evictions", +1),
 )
 
 
@@ -390,6 +398,78 @@ def convergence_point(n: int, seeds: Tuple[int, ...],
     }
 
 
+def detector_point(n: int, seeds: Tuple[int, ...],
+                   mode_name: str) -> Dict[str, Any]:
+    """The failure-detection axis (docs/PROTOCOL.md §17), one mode per point.
+
+    Two deterministic sub-measurements at the gray timing profile the
+    nemesis scenarios use (tight 10ms/30ms suspect/evict budgets):
+
+    * **false evictions under jitter** — the jittery-link spike schedule
+      runs against a live victim; the count is how many survivor engines
+      ever installed a view without the victim.  Adaptive mode must pin
+      this at zero while the fixed-timeout baseline flaps (the headline
+      discrimination claim, enforced absolutely by :func:`detector_gate`);
+    * **crash-detection latency** — on a separate clean cluster with
+      trained inter-arrival windows, one member really crashes and the
+      simulated time until a survivor suspects it is recorded.  Adaptive
+      suspicion is floored at the fixed bound, so its latency may trail
+      fixed mode's — the gate caps the regression at 2x.
+
+    Both run in simulated time on seeded RNGs, so like the convergence
+    axis the numbers are deterministic per seed.
+    """
+    from repro.harness.nemesis import (  # noqa: PLC0415
+        _crash_and_measure, _gray_cluster, _schedule_spikes,
+    )
+    from repro.net.delay import LinkDelay
+
+    adaptive = mode_name == "adaptive"
+    victim = n - 2
+    survivors = [i for i in range(n) if i != victim]
+    latencies: List[float] = []
+    false_evictions = 0
+    wall = float("inf")
+    for seed in seeds:
+        start = time.perf_counter()
+        # Jitter phase: scripted outbound delay spikes at a live victim
+        # (the scenario_jittery_link fault schedule and traffic shape).
+        link = LinkDelay()
+        jitter = _gray_cluster(n, seed, adaptive=adaptive, delay_model=link)
+        _schedule_spikes(jitter, link, victim, n)
+        for k in range(26):
+            jitter.sim.schedule(
+                0.004 + 0.008 * k,
+                lambda c=jitter, s=k % n, p=f"d-{k}": c.submit(s, p),
+            )
+        jitter.run_for(0.30)
+        false_evictions += sum(
+            1 for i in survivors
+            if any(victim not in members
+                   for _view, members in jitter.hosts[i].engine.view_log)
+        )
+        # Crash phase: a clean cluster trains its windows on healthy
+        # traffic, then the victim really dies.
+        crash = _gray_cluster(n, seed, adaptive=adaptive)
+        for k in range(12):
+            crash.sim.schedule(
+                0.002 + 0.006 * k,
+                lambda c=crash, s=k % n, p=f"t-{k}": c.submit(s, p),
+            )
+        crash.run_for(0.12)
+        latencies.append(_crash_and_measure(crash, victim, survivors))
+        wall = min(wall, time.perf_counter() - start)
+    return {
+        "n": n,
+        "mode": mode_name,
+        "seeds": list(seeds),
+        "detect_latency_s": sum(latencies) / len(latencies),
+        "detect_latency_s_max": max(latencies),
+        "false_evictions": false_evictions,
+        "wall_s": wall,
+    }
+
+
 def run_suites(smoke: bool) -> Dict[str, str]:
     """Execute the existing benchmark suites; record pass/fail."""
     outcomes: Dict[str, str] = {}
@@ -424,6 +504,7 @@ def measure(mode: Dict[str, Any], smoke: bool, skip_suites: bool) -> Dict[str, A
         "batching": [],
         "topology": [],
         "convergence": [],
+        "detector": [],
         "codec_churn": [],
         "suites": {},
     }
@@ -494,6 +575,15 @@ def measure(mode: Dict[str, Any], smoke: bool, skip_suites: bool) -> Dict[str, A
               f"{point['converge_sim_s_max'] * 1e3:.1f} ms max "
               f"time-to-converge over {len(point['seeds'])} seed(s)")
         report["convergence"].append(point)
+    for n in mode["detector_ns"]:
+        for det_mode in ("fixed", "adaptive"):
+            print(f"[detector] n={n} mode={det_mode} ...", flush=True)
+            point = detector_point(n, mode["converge_seeds"], det_mode)
+            print(f"[detector] n={n} mode={det_mode}: "
+                  f"{point['detect_latency_s'] * 1e3:.1f} ms crash-detection "
+                  f"mean, {point['false_evictions']} false eviction(s) "
+                  f"under jitter")
+            report["detector"].append(point)
     print("[codec] allocation churn ...", flush=True)
     for point in churn_report():
         print(f"[codec] {point['op']}: {point['bytes_per_op']:.0f} "
@@ -549,6 +639,45 @@ def topology_gate(report: Dict[str, Any]) -> List[str]:
             failures.append(
                 f"topology[n={n}]: ring sends {ours:.2f} copies per "
                 f"delivered PDU, not under flood's {theirs:.2f}"
+            )
+    return failures
+
+
+def detector_gate(report: Dict[str, Any]) -> List[str]:
+    """The failure-detection axis's headline claims, checked absolutely.
+
+    Under the jittery-link fault schedule the adaptive detector must never
+    evict the live victim, and at n=8 the fixed-timeout baseline must —
+    that contrast is the whole point of the axis (and the acceptance
+    criterion of the phi-accrual work).  Adaptive crash-detection latency
+    may trail the fixed scan (the absolute silence floor guarantees it is
+    never *earlier*) but by at most 2x.  All deterministic per seed, so no
+    baseline file is needed.
+    """
+    failures: List[str] = []
+    cells = {(p["n"], p["mode"]): p for p in report.get("detector", [])}
+    for n in sorted({key[0] for key in cells}):
+        adaptive = cells.get((n, "adaptive"))
+        fixed = cells.get((n, "fixed"))
+        if adaptive is None or fixed is None:
+            continue
+        if adaptive["false_evictions"] != 0:
+            failures.append(
+                f"detector[n={n}]: adaptive mode evicted a live-but-jittery "
+                f"peer {adaptive['false_evictions']} time(s); must be zero"
+            )
+        if n == 8 and fixed["false_evictions"] < 1:
+            failures.append(
+                "detector[n=8]: fixed-timeout baseline rode out the jitter "
+                "spikes — the axis lost its discriminating power"
+            )
+        if fixed["detect_latency_s"] > 0 and (
+                adaptive["detect_latency_s"]
+                > 2.0 * fixed["detect_latency_s"]):
+            failures.append(
+                f"detector[n={n}]: adaptive crash detection took "
+                f"{adaptive['detect_latency_s'] * 1e3:.1f} ms, over 2x the "
+                f"fixed baseline's {fixed['detect_latency_s'] * 1e3:.1f} ms"
             )
     return failures
 
@@ -682,6 +811,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("FAIL: dissemination-topology axis lost its headline claim:",
               file=sys.stderr)
         for failure in topology_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+
+    detector_failures = detector_gate(report)
+    if detector_failures:
+        print("FAIL: failure-detection axis lost its headline claims:",
+              file=sys.stderr)
+        for failure in detector_failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
 

@@ -39,7 +39,7 @@ TIMELINE_CATEGORIES = (
 #: :func:`~repro.metrics.timeseries.gauge_series` before bucketing.
 GAUGE_KEYS = (
     "buf_used", "min_buf", "rrl", "prl", "gap_backlog", "in_flight",
-    "sending_log",
+    "sending_log", "phi_max_decis", "detector_suspected",
 )
 
 #: Sparkline width (buckets) when the caller does not pick a bucket size.
@@ -74,6 +74,7 @@ def summarize_recording(
         _latency_section(trace),
         _census_section(trace),
         _repair_section(trace),
+        _detector_section(trace),
         _timeline_section(trace, bucket),
         _gauge_section(trace, bucket),
     ]
@@ -159,6 +160,29 @@ def _repair_section(trace: TraceLog) -> str:
     rows = [row for row in rows if row[1]]
     return format_table(["repair activity", "count"], rows,
                         title="-- repair activity --")
+
+
+def _detector_section(trace: TraceLog) -> str:
+    """Failure-detection activity (docs/PROTOCOL.md §17): suspicion churn
+    and — in adaptive mode — the phi scores the verdicts carried."""
+    suspects = [r for r in trace if r.category == "suspect"]
+    unsuspects = trace.count("unsuspect")
+    if not suspects and not unsuspects:
+        return ""
+    scored = [
+        r.details["phi"] for r in suspects
+        if r.details.get("phi") is not None
+    ]
+    rows = [
+        ["suspicions", len(suspects)],
+        ["  .. phi-scored (adaptive)", len(scored)],
+        ["revocations (unsuspect)", unsuspects],
+    ]
+    rows = [row for row in rows if row[1]]
+    if scored:
+        rows.append(["peak phi at suspicion", f"{max(scored):.1f}"])
+    return format_table(["failure detection", "count"], rows,
+                        title="-- failure detection --")
 
 
 def _timeline_section(trace: TraceLog, bucket: float) -> str:

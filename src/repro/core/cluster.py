@@ -24,6 +24,7 @@ from repro.core.config import ProtocolConfig
 from repro.core.entity import COEntity, DeliveredMessage
 from repro.core.errors import ConfigurationError
 from repro.net.buffers import ReceiveBuffer
+from repro.net.delay import DelayModel
 from repro.net.loss import DuplicatingChannel, LossModel
 from repro.net.network import MCNetwork
 from repro.net.topology import Topology
@@ -94,6 +95,10 @@ class EntityHost(SimProcess):
         self._delivery_listeners: List[Callable[[DeliveredMessage], None]] = []
         self._busy = False
         self._crashed = False
+        self._paused = False
+        #: Service-time multiplier (gray-failure injection: a CPU-inflated
+        #: "slow node" serves every PDU this many times slower).
+        self.cpu_scale = 1.0
         #: Sample the engine's occupancy gauges every this many ticks
         #: (0 disables sampling).
         self.gauge_every = gauge_every
@@ -141,6 +146,37 @@ class EntityHost(SimProcess):
     def crashed(self) -> bool:
         return self._crashed
 
+    def pause(self) -> None:
+        """Freeze this host (GC-pause / stop-the-world model).
+
+        Unlike :meth:`crash`, the buffer is *kept*: arrivals keep queueing
+        (up to overrun) but nothing is serviced and the housekeeping tick
+        stops — so the engine neither sends nor processes, exactly the
+        silence a long GC pause produces.  A PDU already mid-service
+        completes (it was in the pipeline) but does not chain into the
+        next one.  :meth:`resume` drains the backlog in a burst.
+        """
+        if self._crashed or self._paused:
+            return
+        self._paused = True
+        self._tick.stop()
+        self.record("pause")
+
+    def resume(self) -> None:
+        """Unfreeze a paused host: restart the tick, drain the backlog."""
+        if self._crashed or not self._paused:
+            return
+        self._paused = False
+        self._tick = PeriodicTimer(self.sim, self._tick.interval, self._on_tick)
+        self._tick.start()
+        self.record("resume")
+        if not self._busy and not self.buffer.empty:
+            self._begin_service()
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
     def restart(self, engine: Any) -> None:
         """Bring a crashed host back with a *fresh* engine incarnation.
 
@@ -155,6 +191,7 @@ class EntityHost(SimProcess):
             raise RuntimeError(f"host {self.index} is not crashed")
         self._crashed = False
         self._busy = False
+        self._paused = False
         self.buffer.clear()
         self.engine = engine
         self._tick = PeriodicTimer(self.sim, self._tick.interval, self._on_tick)
@@ -240,13 +277,13 @@ class EntityHost(SimProcess):
             self.record("drop", reason="overrun",
                         src=getattr(pdu, "src", None), seq=getattr(pdu, "seq", None))
             return
-        if not self._busy:
+        if not self._busy and not self._paused:
             self._begin_service()
 
     def _begin_service(self) -> None:
         pdu = self.buffer.pop()
         self._busy = True
-        service = self.cpu.service_time(pdu, self.network.n)
+        service = self.cpu.service_time(pdu, self.network.n) * self.cpu_scale
         self.busy_time += service
         if not getattr(pdu, "is_control", False):
             self.data_busy_time += service
@@ -265,7 +302,7 @@ class EntityHost(SimProcess):
         if not getattr(pdu, "is_control", False):
             self.data_pdus_processed += count
             self.data_real_cpu_time += elapsed
-        if self.buffer.empty:
+        if self.buffer.empty or self._paused:
             self._busy = False
         else:
             self._begin_service()
@@ -364,6 +401,20 @@ class Cluster:
     def crash(self, index: int) -> None:
         """Crash-stop one host (fault injection)."""
         self.hosts[index].crash()
+
+    def pause(self, index: int) -> None:
+        """Freeze one host (GC-pause model; see EntityHost.pause)."""
+        self.hosts[index].pause()
+
+    def resume(self, index: int) -> None:
+        """Unfreeze a paused host."""
+        self.hosts[index].resume()
+
+    def set_cpu_scale(self, index: int, scale: float) -> None:
+        """Inflate one host's per-PDU service time (slow-node injection)."""
+        if scale <= 0:
+            raise ValueError(f"cpu scale must be positive, got {scale}")
+        self.hosts[index].cpu_scale = scale
 
     def restart(self, index: int) -> Any:
         """Restart a crashed host as a rejoining incarnation.
@@ -497,6 +548,7 @@ def build_cluster(
     engine_factory: EngineFactory = default_engine_factory,
     duplication: Optional[DuplicatingChannel] = None,
     gauge_every: int = 8,
+    delay_model: Optional["DelayModel"] = None,
 ) -> Cluster:
     """Assemble a ready-to-run cluster.
 
@@ -525,7 +577,10 @@ def build_cluster(
         )
     rngs = rngs or RngRegistry()
     cpu = cpu or CpuModel()
-    network = MCNetwork(sim, trace, topology, loss=loss, rngs=rngs, duplication=duplication)
+    network = MCNetwork(
+        sim, trace, topology, loss=loss, rngs=rngs, duplication=duplication,
+        delay_model=delay_model,
+    )
     hosts = []
     for i in range(n):
         buffer = ReceiveBuffer(buffer_capacity, config.units_per_pdu)

@@ -78,6 +78,24 @@ class DisseminationMode(enum.Enum):
     GOSSIP = "gossip"
 
 
+class FailureDetectorMode(enum.Enum):
+    """How peer liveness is judged (docs/PROTOCOL.md §17).
+
+    Both modes feed the same suspicion machinery (revocable exclusion,
+    then the agreed view-change eviction); only the *judgement* differs.
+    """
+
+    #: Fixed wall-clock bound: silence past ``suspect_timeout`` suspects
+    #: the peer (the membership extension's original rule, and the
+    #: strict-paper-compatible default).
+    FIXED = "fixed"
+    #: Per-peer adaptive phi-accrual scoring over a sliding window of
+    #: observed inter-arrival times, with a hysteresis state machine and
+    #: re-suspect cool-down (:mod:`repro.core.detector`).  Falls back to
+    #: the fixed bound until a peer's window is primed.
+    PHI = "phi"
+
+
 class DeliveryLevel(enum.Enum):
     """Which of §3's receipt criteria gates delivery to the application."""
 
@@ -151,6 +169,40 @@ class ProtocolConfig:
     #: state-transfer protocol.  Requires ``suspect_timeout``.  ``None``
     #: (default) keeps the revocable suspect-only behaviour.
     evict_timeout: "float | None" = None
+    #: Failure-detection mode (docs/PROTOCOL.md §17): ``FIXED`` (default)
+    #: keeps the absolute ``suspect_timeout`` bound; ``PHI`` scores each
+    #: peer's silence against its own recent inter-arrival distribution
+    #: and only suspects statistically extraordinary silences.  ``PHI``
+    #: requires ``suspect_timeout`` (it bootstraps from — and keeps the
+    #: keepalive cadence of — the fixed bound) and is an extension, so
+    #: strict paper mode rejects it.
+    failure_detector: FailureDetectorMode = FailureDetectorMode.FIXED
+    #: Suspect a peer once its phi score reaches this (phi == 8 means the
+    #: silence had a one-in-10^8 chance under recent link behaviour).
+    phi_suspect: float = 8.0
+    #: Let a suspicion ripen into an eviction proposal only past this
+    #: score; the band between the thresholds absorbs gray failures that
+    #: deserve exclusion but not a view change.
+    phi_evict: float = 12.0
+    #: Sliding-window length (inter-arrival samples kept per peer).
+    detector_window: int = 32
+    #: Samples required before phi scoring engages; an unprimed peer is
+    #: judged by the fixed ``suspect_timeout`` fallback.
+    detector_min_samples: int = 4
+    #: Deviation floor as a fraction of the window mean: at steady state
+    #: the variance collapses and any hiccup would score astronomically;
+    #: the floor keeps one lost heartbeat (≈ 2× mean silence) under
+    #: ``phi_suspect``.
+    detector_std_floor: float = 0.3
+    #: Window samples are clamped to this multiple of the current mean so
+    #: a dropped heartbeat cannot poison the learned history (``0``
+    #: disables clamping).
+    detector_sample_clamp: float = 3.0
+    #: After an unsuspect, block re-suspecting the same peer for this
+    #: long — the hysteresis that stops jittery links from flapping
+    #: through repeated suspect/unsuspect cycles into eviction churn.
+    #: ``0`` (default) disables the cool-down.
+    resuspect_cooldown: float = 0.0
     #: Frame batching (docs/PROTOCOL.md §14): accumulate up to this many
     #: data PDUs per :class:`~repro.core.pdu.BatchPdu` frame before
     #: flushing.  ``1`` (default) disables batching — every data PDU is its
@@ -259,6 +311,51 @@ class ProtocolConfig:
                     "evict_timeout needs suspect_timeout: eviction promotes a "
                     "suspicion, it cannot originate one"
                 )
+        if not isinstance(self.failure_detector, FailureDetectorMode):
+            raise ConfigurationError(
+                f"failure_detector must be a FailureDetectorMode, got "
+                f"{self.failure_detector!r}"
+            )
+        if self.failure_detector is FailureDetectorMode.PHI:
+            if self.strict_paper_mode:
+                raise ConfigurationError(
+                    "the adaptive detector is a membership extension, "
+                    "which strict paper mode forbids; choose one"
+                )
+            if self.suspect_timeout is None:
+                raise ConfigurationError(
+                    "the phi detector bootstraps from (and keeps the "
+                    "keepalive cadence of) suspect_timeout; set it"
+                )
+        if not 0.0 < self.phi_suspect <= self.phi_evict:
+            raise ConfigurationError(
+                f"need 0 < phi_suspect <= phi_evict, got "
+                f"{self.phi_suspect} / {self.phi_evict}"
+            )
+        if self.detector_window < 2:
+            raise ConfigurationError(
+                f"detector_window must be >= 2, got {self.detector_window}"
+            )
+        if not 2 <= self.detector_min_samples <= self.detector_window:
+            raise ConfigurationError(
+                "detector_min_samples must be between 2 and "
+                f"detector_window, got {self.detector_min_samples}"
+            )
+        if self.detector_std_floor <= 0:
+            raise ConfigurationError(
+                f"detector_std_floor must be positive, got "
+                f"{self.detector_std_floor}"
+            )
+        if self.detector_sample_clamp != 0 and self.detector_sample_clamp < 1:
+            raise ConfigurationError(
+                "detector_sample_clamp must be 0 (off) or >= 1, got "
+                f"{self.detector_sample_clamp}"
+            )
+        if self.resuspect_cooldown < 0:
+            raise ConfigurationError(
+                f"resuspect_cooldown must be non-negative, got "
+                f"{self.resuspect_cooldown}"
+            )
         if self.anti_entropy_interval is not None:
             if self.anti_entropy_interval <= 0:
                 raise ConfigurationError(
@@ -306,6 +403,14 @@ class ProtocolConfig:
     def batching_enabled(self) -> bool:
         """True when data PDUs are accumulated into batch frames."""
         return self.batch_max_pdus > 1
+
+    @property
+    def adaptive_detection_enabled(self) -> bool:
+        """True when peer liveness is judged by the phi-accrual detector."""
+        return (
+            self.failure_detector is FailureDetectorMode.PHI
+            and self.suspect_timeout is not None
+        )
 
     @property
     def repair_enabled(self) -> bool:

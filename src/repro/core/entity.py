@@ -49,6 +49,7 @@ from repro.core.config import (
     ProtocolConfig,
     RetransmissionScheme,
 )
+from repro.core.detector import PhiAccrualDetector
 from repro.core.errors import ProtocolError
 from repro.core.flow import FlowController
 from repro.core.logs import CausalLog, Log, ReceiptSublogs, SendingLog
@@ -182,6 +183,21 @@ class EntityCounters:
     #: Relays not forwarded because the frame taught this entity nothing
     #: new — duplicate-forward suppression (infect-and-die).
     relay_forwards_suppressed: int = 0
+    #: Healthy → degraded transitions of the phi-accrual detector
+    #: (docs/PROTOCOL.md §17) — first threshold crossings, warnings only.
+    phi_degraded: int = 0
+    #: Suspicions raised by the adaptive detector (degraded → suspected).
+    phi_suspects: int = 0
+    #: Suspicions whose phi crossed ``phi_evict`` (eviction may ripen).
+    phi_evict_ready: int = 0
+    #: Suspicion promotions deferred by the re-suspect cool-down (the
+    #: flap-damping hysteresis at work; counted per deferred poll).
+    phi_cooldown_blocks: int = 0
+    #: Window samples clamped by the heartbeat-loss tolerance.
+    phi_samples_clamped: int = 0
+    #: Adaptive-mode suspicions judged by the fixed-timeout bootstrap
+    #: fallback (the peer's window was not yet primed).
+    phi_fallback_suspects: int = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -367,6 +383,26 @@ class COEntity:
         self._probe_backoff = 1
         self._probe_load = 0
         self.counters = EntityCounters()
+        #: Adaptive failure detection (docs/PROTOCOL.md §17).  ``None``
+        #: keeps the fixed-timeout scan; the detector shares the engine's
+        #: counters object so its statistics flow through every runtime's
+        #: unified counters schema unchanged.
+        self.detector: Optional[PhiAccrualDetector] = None
+        if config.adaptive_detection_enabled:
+            self.detector = PhiAccrualDetector(
+                n,
+                index,
+                phi_suspect=config.phi_suspect,
+                phi_evict=config.phi_evict,
+                window=config.detector_window,
+                min_samples=config.detector_min_samples,
+                std_floor=config.detector_std_floor,
+                sample_clamp=config.detector_sample_clamp,
+                resuspect_cooldown=config.resuspect_cooldown,
+                bootstrap_timeout=config.suspect_timeout,
+                start_time=clock(),
+                counters=self.counters,
+            )
         self._send_fn: Optional[SendFn] = None
         self._deliver_fn: Optional[DeliverFn] = None
         self._unicast_fn: Optional[UnicastFn] = None
@@ -438,6 +474,8 @@ class COEntity:
                     return
             else:
                 self._last_heard[src] = self.now
+                if self.detector is not None:
+                    self.detector.heard(src, self.now)
                 if src in self.suspected:
                     self._unsuspect(src)
         if isinstance(pdu, DataPdu):
@@ -521,11 +559,22 @@ class COEntity:
             return
         timeout = self.config.suspect_timeout
         if timeout is not None:
-            for j in self.members:
-                if j == self.index or j in self.suspected or j in self.evicted:
-                    continue
-                if now - self._last_heard[j] >= timeout:
-                    self._suspect(j)
+            if self.detector is not None:
+                # Adaptive mode (docs/PROTOCOL.md §17): poll every member —
+                # including already-suspected ones, whose state must still
+                # advance to evict-pending for the eviction gate below.
+                for j in self.members:
+                    if j == self.index or j in self.evicted:
+                        continue
+                    state = self.detector.poll(j, now)
+                    if state.excludes and j not in self.suspected:
+                        self._suspect(j)
+            else:
+                for j in self.members:
+                    if j == self.index or j in self.suspected or j in self.evicted:
+                        continue
+                    if now - self._last_heard[j] >= timeout:
+                        self._suspect(j)
             self._maybe_propose_eviction(now)
         self._drive_view_round(now)
         escalated: List[Tuple[int, int, int]] = []
@@ -1594,13 +1643,22 @@ class COEntity:
         RETs addressed to ``j`` are answered by live holders.  Suspicion is
         revocable: any PDU from ``j`` re-includes it.
         """
+        if j not in self.suspected:
+            # Always restart the eviction clock on a *fresh* suspicion.
+            # The old ``setdefault`` let a re-suspected peer inherit a
+            # stale first-suspected timestamp whenever any path skipped
+            # the dict cleanup, promoting it to eviction prematurely.
+            self._suspect_since[j] = self.now
         self.suspected.add(j)
-        self._suspect_since.setdefault(j, self.now)
         self.state.set_excluded(j, True)
         self._heard_from.discard(j)
         self._trace.record(
             self.now, "suspect", self.index,
             src=j, silent_for=self.now - self._last_heard[j],
+            phi=(
+                round(self.detector.last_phi(j), 3)
+                if self.detector is not None else None
+            ),
         )
         # The minima may have risen the moment the laggard's rows stopped
         # counting, for any source: dirty them all and re-run the pipeline.
@@ -1642,6 +1700,13 @@ class COEntity:
             j
             for j in (self.members & self.suspected)
             if now - self._suspect_since.get(j, now) >= et
+            # Adaptive mode additionally requires the phi score to have
+            # crossed ``phi_evict`` — the band between the thresholds
+            # absorbs gray failures (slow, jittery, paused peers) that
+            # deserve exclusion but not a view change.  Fence-driven
+            # suspicions (round already removing the member) are exempt:
+            # with a round in progress this method never runs.
+            and (self.detector is None or self.detector.evict_ready(j))
         }
         if not overripe:
             return
@@ -1816,6 +1881,8 @@ class COEntity:
             # timestamp surviving into the member's next incarnation would
             # suppress its first post-rejoin delta burst.
             self.repair.forget_peer(m)
+            if self.detector is not None:
+                self.detector.forget(m, self.now)
             self.counters.evictions += 1
             self._trace.record(
                 self.now, "evict", self.index, src=m, flush=r.flush[m],
@@ -1835,8 +1902,11 @@ class COEntity:
             self._suspect_since.pop(m, None)
             self._last_heard[m] = self.now
             # Fresh incarnation, fresh repair bookkeeping: its first delta
-            # burst must not be rate-limited by the previous incarnation.
+            # burst must not be rate-limited by the previous incarnation —
+            # and fresh liveness statistics, for the same reason.
             self.repair.forget_peer(m)
+            if self.detector is not None:
+                self.detector.forget(m, self.now)
             self._trace.record(self.now, "readmit", self.index, src=m)
         self.members = set(r.members)
         self.view = r.view_id
@@ -1863,6 +1933,8 @@ class COEntity:
             self.joining = False
             self._join_primed = False
             self._last_heard = [self.now] * self.n
+            if self.detector is not None:
+                self.detector.reset_all(self.now)
         # Membership changed under every condition: re-run the pipeline for
         # every source, and announce the new view at once (the heartbeat
         # carries it).
@@ -2036,6 +2108,8 @@ class COEntity:
         self.recovered_prefix = tuple(s.prefix)
         self._join_primed = True
         self._last_heard = [self.now] * self.n
+        if self.detector is not None:
+            self.detector.reset_all(self.now)
         self._trace.record(
             self.now, "state-transfer", self.index,
             sponsor=s.src, view=s.view, applied=True,
@@ -2165,7 +2239,7 @@ class COEntity:
         absent — the receive buffer belongs to the *host*, which merges its
         own ``buf_used``/``buf_free`` fields into the sample.
         """
-        return {
+        out = {
             "flow_window": self.flow.effective_window(),
             "flow_base": self.state.min_al(self.index),
             "in_flight": self.flow.in_flight(),
@@ -2188,6 +2262,21 @@ class COEntity:
                 self.state.min_buf() if self.state.min_buf_known() else -1
             ),
         }
+        if self.detector is not None:
+            peers = [
+                j for j in self.members
+                if j != self.index and j not in self.evicted
+            ]
+            # Largest current accrual score across live peers, in tenths
+            # (gauges are integers; phi 8.0 charts as 80).  Per-peer
+            # detail lives in ``detector.snapshot()``.
+            out["phi_max_decis"] = int(
+                round(10.0 * self.detector.max_phi(self.now, peers))
+            )
+            out["detector_suspected"] = sum(
+                1 for j in peers if self.detector.state(j).excludes
+            )
+        return out
 
     @property
     def quiescent(self) -> bool:

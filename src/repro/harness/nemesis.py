@@ -45,7 +45,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cluster import Cluster, build_cluster
-from repro.core.config import DisseminationMode, ProtocolConfig
+from repro.core.config import DisseminationMode, FailureDetectorMode, ProtocolConfig
+from repro.net.delay import LinkDelay
 from repro.net.loss import (
     BernoulliLoss,
     CompositeLoss,
@@ -66,6 +67,17 @@ MessageId = Tuple[int, int]
 #: whole campaign stays inside a CI-friendly simulated (and wall) budget.
 SUSPECT_TIMEOUT = 0.02
 EVICT_TIMEOUT = 0.05
+
+#: The gray-failure scenarios run *deliberately tight* fixed bounds — tight
+#: enough that a plain fixed-timeout detector flaps under timing faults —
+#: and show the adaptive phi detector absorbing the same faults.
+GRAY_SUSPECT = 0.01
+GRAY_EVICT = 0.03
+
+#: Absolute bound on crash-detection latency in the gray scenarios: even
+#: with a window freshly trained on degraded timing, a genuinely dead peer
+#: must be suspected within a few fixed timeouts.
+DETECT_BOUND = 6 * GRAY_SUSPECT
 
 
 @dataclass
@@ -894,6 +906,350 @@ def scenario_gossip_loss_storm(seed: int, trace: Optional[TraceLog] = None) -> N
     return outcome
 
 
+# ----------------------------------------------------------------------
+# Gray failures: the node/link is degraded, not dead (docs/PROTOCOL.md §17)
+# ----------------------------------------------------------------------
+def _gray_cluster(
+    n: int,
+    seed: int,
+    adaptive: bool = True,
+    delay_model: Optional[LinkDelay] = None,
+    trace: Optional[TraceLog] = None,
+) -> Cluster:
+    """A cluster on the deliberately tight gray-failure timing profile.
+
+    ``adaptive=True`` runs the phi-accrual detector on top of the *same*
+    timeouts (so adaptive and fixed runs differ in nothing but the
+    detector); ``adaptive=False`` is the fixed-timeout contrast baseline.
+    """
+    config = ProtocolConfig(
+        suspect_timeout=GRAY_SUSPECT,
+        evict_timeout=GRAY_EVICT,
+        **(
+            dict(
+                failure_detector=FailureDetectorMode.PHI,
+                detector_window=16,
+                resuspect_cooldown=0.05,
+            )
+            if adaptive
+            else {}
+        ),
+    )
+    return build_cluster(
+        n, config=config, trace=trace, rngs=RngRegistry(seed),
+        delay_model=delay_model,
+    )
+
+
+def _check_no_eviction(cluster: Cluster, live: Sequence[int]) -> None:
+    """The no-spurious-eviction oracle: a degraded-but-live member must
+    never be voted out, so every live engine is still in view 0 with
+    nobody evicted."""
+    views = [cluster.hosts[i].engine.view for i in live]
+    if any(view != 0 for view in views):
+        raise InvariantViolation(
+            f"gray failure caused an eviction of a live member: views {views}"
+        )
+    evicted = {j for i in live for j in cluster.hosts[i].engine.evicted}
+    if evicted:
+        raise InvariantViolation(f"live members evicted: {sorted(evicted)}")
+
+
+def _crash_and_measure(cluster: Cluster, victim: int, live: Sequence[int]) -> float:
+    """Crash ``victim`` now and return the simulated time until some live
+    engine suspects it — the bounded-detection-latency oracle.  The gray
+    phase may have widened the victim's inter-arrival windows; a real
+    crash must still be flagged within :data:`DETECT_BOUND`."""
+    start = cluster.sim.now
+    cluster.crash(victim)
+    while cluster.sim.now - start < DETECT_BOUND:
+        cluster.run_for(0.001)
+        if any(victim in cluster.hosts[i].engine.suspected for i in live):
+            return cluster.sim.now - start
+    raise InvariantViolation(
+        f"crash of E{victim} undetected after {DETECT_BOUND}s of silence"
+    )
+
+
+def _check_crash_evicted(cluster: Cluster, survivors: Sequence[int]) -> None:
+    """After the crash phase, drive past the eviction budget and insist the
+    survivors agreed on exactly one eviction view."""
+    cluster.run_for(10 * (GRAY_SUSPECT + GRAY_EVICT))
+    views = {cluster.hosts[i].engine.view for i in survivors}
+    if views != {1}:
+        raise InvariantViolation(f"no eviction view after a real crash: {views}")
+
+
+def _phi_observations(cluster: Cluster) -> Dict[str, int]:
+    return {
+        key: value
+        for key, value in _engine_totals(cluster).items()
+        if key.startswith("phi_")
+    }
+
+
+def scenario_slow_node(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
+    """CPU-starved member: 30x service times for 0.2 simulated seconds.
+
+    The victim's tick loop still heartbeats on time while its *processing*
+    lags far behind — acks go stale and its own view of the peers is
+    delayed by queueing (so the victim itself may transiently suspect
+    others; the minority quorum guard keeps that harmless).  Nobody may
+    evict the slow-but-live member; once the victim genuinely crashes,
+    detection latency is bounded.
+    """
+    name = "slow-node"
+    n, victim = 5, 3
+    cluster = _gray_cluster(n, seed, trace=trace)
+    cluster.sim.schedule(0.05, lambda: cluster.set_cpu_scale(victim, 30.0))
+    cluster.sim.schedule(0.25, lambda: cluster.set_cpu_scale(victim, 1.0))
+    payloads = []
+    for k in range(24):
+        payload = f"slow-{k}"
+        payloads.append(payload)
+        cluster.sim.schedule(
+            0.005 + 0.009 * k,
+            lambda s=k % n, p=payload: cluster.submit(s, p),
+        )
+    cluster.run_for(0.30)
+    live = list(range(n))
+    survivors = [i for i in live if i != victim]
+    try:
+        converge_time = run_until_converged(cluster, live, expected=payloads)
+        _check_no_eviction(cluster, live)
+        busy = [cluster.hosts[i].busy_time for i in range(n)]
+        if busy[victim] <= 2 * max(b for i, b in enumerate(busy) if i != victim):
+            raise InvariantViolation("cpu scaling never actually starved the victim")
+        cluster.run_until_quiescent(max_time=60.0)
+        verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
+        check_prefix_consistency(cluster, live)
+        check_convergence(cluster, live)
+        detect_latency = _crash_and_measure(cluster, victim, survivors)
+        _check_crash_evicted(cluster, survivors)
+        cluster.run_until_quiescent(max_time=60.0)
+        check_view_agreement(cluster.engines, survivors)
+        check_prefix_consistency(cluster, survivors)
+        check_convergence(cluster, survivors)
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    outcome = NemesisOutcome(name, seed, True, "", _observations(cluster, survivors))
+    outcome.observations["converge_time"] = converge_time
+    outcome.observations["detect_latency"] = detect_latency
+    outcome.observations["detector"] = _phi_observations(cluster)
+    return outcome
+
+
+#: Outbound delay spikes for the jittery-link scenario: three training
+#: spikes widen the adaptive window, then a large spike opens a silence
+#: that exceeds the fixed suspect + evict budget (10ms + 30ms < 45ms).
+JITTER_SPIKES = (
+    (0.05, 0.012, 0.012),
+    (0.09, 0.018, 0.015),
+    (0.13, 0.022, 0.020),
+    (0.17, 0.045, 0.045),
+)
+
+
+def _schedule_spikes(cluster: Cluster, link: LinkDelay, victim: int, n: int) -> None:
+    peers = [j for j in range(n) if j != victim]
+    for start, extra, duration in JITTER_SPIKES:
+        cluster.sim.schedule(start, lambda e=extra: link.set_out(victim, peers, e))
+        cluster.sim.schedule(
+            start + duration, lambda: link.set_out(victim, peers, 0.0),
+        )
+
+
+def scenario_jittery_link(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
+    """Variable outbound delay, no loss — the acceptance scenario.
+
+    The victim's outbound links suffer scripted delay spikes; the FIFO
+    clamp turns each spike into a silent window at every receiver.  The
+    adaptive run must ride out all of them with **zero** evictions, while
+    a fixed-timeout contrast cluster under the *identical* fault schedule
+    wrongly evicts the live victim — the flap the phi bound absorbs:
+    trained on the earlier spikes, the adaptive detector crosses
+    ``phi_suspect`` late enough that the eviction ripeness clock never
+    expires before the victim is heard again.
+    """
+    name = "jittery-link"
+    n, victim = 8, 6
+    link = LinkDelay()
+    cluster = _gray_cluster(n, seed, adaptive=True, delay_model=link, trace=trace)
+    _schedule_spikes(cluster, link, victim, n)
+    payloads = []
+    for k in range(26):
+        payload = f"jitter-{k}"
+        payloads.append(payload)
+        cluster.sim.schedule(
+            0.004 + 0.008 * k,
+            lambda s=k % n, p=payload: cluster.submit(s, p),
+        )
+    cluster.run_for(0.30)
+    live = list(range(n))
+    survivors = [i for i in live if i != victim]
+    try:
+        converge_time = run_until_converged(cluster, live, expected=payloads)
+        _check_no_eviction(cluster, live)
+        if link.delayed_copies == 0:
+            raise InvariantViolation("the delay spikes never hit a copy")
+        cluster.run_until_quiescent(max_time=60.0)
+        verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
+        check_view_agreement(cluster.engines, live)
+        check_prefix_consistency(cluster, live)
+        check_convergence(cluster, live)
+
+        # Contrast baseline: identical spikes and traffic, fixed timeouts.
+        fixed_link = LinkDelay()
+        fixed = _gray_cluster(n, seed, adaptive=False, delay_model=fixed_link)
+        _schedule_spikes(fixed, fixed_link, victim, n)
+        for k in range(26):
+            fixed.sim.schedule(
+                0.004 + 0.008 * k,
+                lambda s=k % n, p=f"fixed-{k}": fixed.submit(s, p),
+            )
+        fixed.run_for(0.30)
+        flapped = any(
+            victim not in members
+            for i in survivors
+            for _view, members in fixed.hosts[i].engine.view_log
+        )
+        if not flapped:
+            raise InvariantViolation(
+                "fixed-timeout baseline never evicted under the same spikes — "
+                "the scenario lost its discriminating power"
+            )
+
+        detect_latency = _crash_and_measure(cluster, victim, survivors)
+        _check_crash_evicted(cluster, survivors)
+        cluster.run_until_quiescent(max_time=60.0)
+        check_view_agreement(cluster.engines, survivors)
+        check_prefix_consistency(cluster, survivors)
+        check_convergence(cluster, survivors)
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    outcome = NemesisOutcome(name, seed, True, "", _observations(cluster, survivors))
+    outcome.observations["converge_time"] = converge_time
+    outcome.observations["detect_latency"] = detect_latency
+    outcome.observations["delayed_copies"] = link.delayed_copies
+    outcome.observations["fixed_baseline_flapped"] = True
+    outcome.observations["detector"] = _phi_observations(cluster)
+    return outcome
+
+
+def scenario_asymmetric_link(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
+    """One-direction slowness: the victim's outbound delay steps up while
+    its inbound stays pristine.
+
+    Constant extra delay shifts the victim's traffic without changing its
+    cadence, so only the step *transitions* open silences — all small
+    enough that the adaptive detector holds (transient degradation at
+    worst).  No evictions while degraded; bounded detection once crashed.
+    """
+    name = "asymmetric-link"
+    n, victim = 5, 4
+    link = LinkDelay()
+    cluster = _gray_cluster(n, seed, delay_model=link, trace=trace)
+    peers = [j for j in range(n) if j != victim]
+    for t, extra in ((0.05, 0.008), (0.10, 0.016), (0.15, 0.028)):
+        cluster.sim.schedule(t, lambda e=extra: link.set_out(victim, peers, e))
+    cluster.sim.schedule(0.22, link.clear)
+    payloads = []
+    for k in range(20):
+        payload = f"asym-{k}"
+        payloads.append(payload)
+        cluster.sim.schedule(
+            0.005 + 0.008 * k,
+            lambda s=k % n, p=payload: cluster.submit(s, p),
+        )
+    cluster.run_for(0.30)
+    live = list(range(n))
+    survivors = [i for i in live if i != victim]
+    try:
+        converge_time = run_until_converged(cluster, live, expected=payloads)
+        _check_no_eviction(cluster, live)
+        if link.delayed_copies == 0:
+            raise InvariantViolation("the asymmetric delay never hit a copy")
+        cluster.run_until_quiescent(max_time=60.0)
+        verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
+        check_prefix_consistency(cluster, live)
+        check_convergence(cluster, live)
+        detect_latency = _crash_and_measure(cluster, victim, survivors)
+        _check_crash_evicted(cluster, survivors)
+        cluster.run_until_quiescent(max_time=60.0)
+        check_view_agreement(cluster.engines, survivors)
+        check_prefix_consistency(cluster, survivors)
+        check_convergence(cluster, survivors)
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    outcome = NemesisOutcome(name, seed, True, "", _observations(cluster, survivors))
+    outcome.observations["converge_time"] = converge_time
+    outcome.observations["detect_latency"] = detect_latency
+    outcome.observations["delayed_copies"] = link.delayed_copies
+    outcome.observations["detector"] = _phi_observations(cluster)
+    return outcome
+
+
+def scenario_pause_resume(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
+    """GC-pause model: the victim's host freezes twice, then resumes.
+
+    The first 30ms pause trips the detector (suspicion is fine — it is
+    revoked the moment the victim is heard) but must not reach eviction:
+    the adaptive crossing comes late enough that the ripeness clock
+    outlives the pause.  The second pause lands inside the re-suspicion
+    cooldown and must be absorbed *entirely* — no suspicion at all,
+    observable as a non-zero ``phi_cooldown_blocks`` counter.  The resumed
+    victim drains its arrival backlog in a burst; the detector's absolute
+    silence floor keeps the burst-poisoned windows from making the victim
+    suspect its healthy peers at normal cadence.
+    """
+    name = "pause-resume"
+    n, victim = 5, 2
+    cluster = _gray_cluster(n, seed, trace=trace)
+    cluster.sim.schedule(0.060, lambda: cluster.pause(victim))
+    cluster.sim.schedule(0.090, lambda: cluster.resume(victim))
+    cluster.sim.schedule(0.105, lambda: cluster.pause(victim))
+    cluster.sim.schedule(0.135, lambda: cluster.resume(victim))
+    sources = [i for i in range(n) if i != victim]
+    payloads = []
+    for k in range(20):
+        payload = f"pause-{k}"
+        payloads.append(payload)
+        cluster.sim.schedule(
+            0.005 + 0.007 * k,
+            lambda s=sources[k % len(sources)], p=payload: cluster.submit(s, p),
+        )
+    cluster.run_for(0.20)
+    live = list(range(n))
+    survivors = [i for i in live if i != victim]
+    try:
+        converge_time = run_until_converged(cluster, live, expected=payloads)
+        _check_no_eviction(cluster, live)
+        totals = _engine_totals(cluster)
+        if totals.get("phi_suspects", 0) == 0:
+            raise InvariantViolation("the first pause never tripped the detector")
+        if totals.get("phi_cooldown_blocks", 0) == 0:
+            raise InvariantViolation(
+                "the second pause never exercised the re-suspicion cooldown"
+            )
+        cluster.run_until_quiescent(max_time=60.0)
+        verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
+        check_prefix_consistency(cluster, live)
+        check_convergence(cluster, live)
+        detect_latency = _crash_and_measure(cluster, victim, survivors)
+        _check_crash_evicted(cluster, survivors)
+        cluster.run_until_quiescent(max_time=60.0)
+        check_view_agreement(cluster.engines, survivors)
+        check_prefix_consistency(cluster, survivors)
+        check_convergence(cluster, survivors)
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    outcome = NemesisOutcome(name, seed, True, "", _observations(cluster, survivors))
+    outcome.observations["converge_time"] = converge_time
+    outcome.observations["detect_latency"] = detect_latency
+    outcome.observations["detector"] = _phi_observations(cluster)
+    return outcome
+
+
 SCENARIOS: Dict[str, Callable[[int], NemesisOutcome]] = {
     "crash-evict-rejoin": scenario_crash_evict_rejoin,
     "partition-heal": scenario_partition_heal,
@@ -906,6 +1262,10 @@ SCENARIOS: Dict[str, Callable[[int], NemesisOutcome]] = {
     "loss-storm": scenario_loss_storm,
     "ring-partition": scenario_ring_partition,
     "gossip-loss-storm": scenario_gossip_loss_storm,
+    "slow-node": scenario_slow_node,
+    "jittery-link": scenario_jittery_link,
+    "asymmetric-link": scenario_asymmetric_link,
+    "pause-resume": scenario_pause_resume,
 }
 
 

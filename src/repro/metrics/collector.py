@@ -258,6 +258,26 @@ def recovery_stats(entity_counters: Dict[str, int]) -> Dict[str, int]:
     return {key: int(entity_counters.get(key, 0)) for key in keys}
 
 
+def detector_stats(entity_counters: Dict[str, int]) -> Dict[str, int]:
+    """Adaptive failure-detection counters, cluster-aggregated
+    (docs/PROTOCOL.md §17).
+
+    All zero in fixed-timeout mode; in phi mode the degraded/suspect split
+    shows the hysteresis absorbing warnings, ``phi_cooldown_blocks`` the
+    flap suppression, and ``phi_samples_clamped`` the heartbeat-loss
+    tolerance protecting the learned windows.
+    """
+    keys = (
+        "phi_degraded",
+        "phi_suspects",
+        "phi_evict_ready",
+        "phi_cooldown_blocks",
+        "phi_samples_clamped",
+        "phi_fallback_suspects",
+    )
+    return {key: int(entity_counters.get(key, 0)) for key in keys}
+
+
 def pdu_census(trace: TraceLog) -> Dict[str, int]:
     """Counts of interesting trace events, for message-complexity claims."""
     interesting = (

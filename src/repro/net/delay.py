@@ -1,0 +1,114 @@
+"""Injectable per-link delay models (gray-failure fault injection).
+
+The loss models of :mod:`repro.net.loss` can only *discard* copies in
+flight; the gray failures the adaptive detector (docs/PROTOCOL.md §17)
+must survive are different beasts — the link stays lossless but its
+timing degrades: variable delay (jitter), one-direction slowness
+(asymmetric degradation), congestion spikes.  A :class:`DelayModel`
+plugged into :class:`~repro.net.network.MCNetwork` adds extra in-flight
+delay per copy; the network's per-(src, dst) FIFO clamp still applies
+afterwards, so the MC model's local-order guarantee is preserved — a
+delayed copy holds back the copies behind it, exactly like a congested
+queue, which is what turns a single large spike into a silent window at
+the receiver.
+
+All models are deterministic given the network's seeded ``network-delay``
+RNG stream (and :class:`LinkDelay` draws nothing at all), so nemesis
+scenarios replay bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+
+class DelayModel:
+    """No extra delay (the base class doubles as the null model)."""
+
+    def extra_delay(self, src: int, dst: int, pdu: Any, rng: random.Random) -> float:
+        """Extra in-flight delay for this copy, in seconds."""
+        return 0.0
+
+
+class LinkDelay(DelayModel):
+    """Scriptable per-directed-link extra delay.
+
+    A nemesis scenario mutates the schedule mid-run (``set_link`` /
+    ``set_out`` / ``set_into`` / ``clear``), modelling delay spikes,
+    congestion windows and asymmetric degradation with zero randomness:
+    the fault schedule alone fixes the execution.
+    """
+
+    def __init__(self) -> None:
+        self._extra: Dict[Tuple[int, int], float] = {}
+        #: Copies that experienced a non-zero extra delay (oracle aid).
+        self.delayed_copies = 0
+
+    def set_link(self, src: int, dst: int, extra: float) -> None:
+        """Delay the directed link ``src -> dst`` by ``extra`` seconds."""
+        if extra < 0:
+            raise ValueError(f"extra delay must be non-negative, got {extra}")
+        if extra == 0.0:
+            self._extra.pop((src, dst), None)
+        else:
+            self._extra[(src, dst)] = extra
+
+    def set_out(self, src: int, peers: Iterable[int], extra: float) -> None:
+        """Delay everything ``src`` sends to ``peers`` (outbound slowness)."""
+        for dst in peers:
+            if dst != src:
+                self.set_link(src, dst, extra)
+
+    def set_into(self, dst: int, peers: Iterable[int], extra: float) -> None:
+        """Delay everything ``peers`` send to ``dst`` (inbound slowness)."""
+        for src in peers:
+            if src != dst:
+                self.set_link(src, dst, extra)
+
+    def clear(self) -> None:
+        self._extra.clear()
+
+    def extra_delay(self, src: int, dst: int, pdu: Any, rng: random.Random) -> float:
+        extra = self._extra.get((src, dst), 0.0)
+        if extra:
+            self.delayed_copies += 1
+        return extra
+
+
+class JitterDelay(DelayModel):
+    """Seeded random per-copy jitter on selected links.
+
+    Adds an exponential extra delay with the given mean to every copy on
+    the affected links (``links=None`` affects all).  Unlike the
+    network-wide ``jitter`` constructor knob this can be scoped to a
+    single peer's links — the "jittery link" gray failure — and composed
+    with a :class:`LinkDelay` via :class:`Composite`.
+    """
+
+    def __init__(
+        self,
+        mean: float,
+        links: Optional[Iterable[Tuple[int, int]]] = None,
+    ) -> None:
+        if mean <= 0:
+            raise ValueError(f"jitter mean must be positive, got {mean}")
+        self.mean = mean
+        self._links = None if links is None else frozenset(links)
+        self.draws = 0
+
+    def extra_delay(self, src: int, dst: int, pdu: Any, rng: random.Random) -> float:
+        if self._links is not None and (src, dst) not in self._links:
+            return 0.0
+        self.draws += 1
+        return rng.expovariate(1.0 / self.mean)
+
+
+class Composite(DelayModel):
+    """Sum of several delay models (spikes on top of baseline jitter)."""
+
+    def __init__(self, *models: DelayModel) -> None:
+        self.models = models
+
+    def extra_delay(self, src: int, dst: int, pdu: Any, rng: random.Random) -> float:
+        return sum(m.extra_delay(src, dst, pdu, rng) for m in self.models)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.net.delay import DelayModel
 from repro.net.loss import DuplicatingChannel, LossModel, NoLoss
 from repro.net.topology import Topology
 from repro.sim.kernel import Simulator
@@ -80,6 +81,7 @@ class MCNetwork(SimProcess):
         bandwidth_bytes_per_s: Optional[float] = None,
         jitter: float = 0.0,
         duplication: Optional[DuplicatingChannel] = None,
+        delay_model: Optional[DelayModel] = None,
     ):
         """``bandwidth_bytes_per_s`` adds a serialisation delay of
         ``wire_size / bandwidth`` per PDU at the sender's interface (all
@@ -89,11 +91,15 @@ class MCNetwork(SimProcess):
         clamped to FIFO, preserving the MC model's local-order guarantee.
         ``duplication`` occasionally schedules bounded extra copies of a
         PDU per destination (fault injection; the engines' acceptance
-        condition filters the duplicates)."""
+        condition filters the duplicates).  ``delay_model`` adds per-link
+        extra delay (:mod:`repro.net.delay`, gray-failure injection); FIFO
+        clamping applies after it, so a spike holds back the copies behind
+        it like a congested queue."""
         super().__init__(sim, trace, index=-1)
         self.topology = topology
         self.loss = loss if loss is not None else NoLoss()
         self.duplication = duplication
+        self.delay_model = delay_model
         self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
         if jitter < 0:
             raise ValueError(f"jitter must be non-negative, got {jitter}")
@@ -102,6 +108,7 @@ class MCNetwork(SimProcess):
         self._rng = registry.stream("network-loss")
         self._jitter_rng = registry.stream("network-jitter")
         self._dup_rng = registry.stream("network-dup")
+        self._delay_rng = registry.stream("network-delay")
         self._sinks: Dict[int, Sink] = {}
         # Last scheduled arrival time per (src, dst), to clamp links to FIFO
         # even if a topology or future jitter model produced reordering.
@@ -203,6 +210,8 @@ class MCNetwork(SimProcess):
             arrival += size / self.bandwidth_bytes_per_s
         if self.jitter:
             arrival += self._jitter_rng.expovariate(1.0 / self.jitter)
+        if self.delay_model is not None:
+            arrival += self.delay_model.extra_delay(src, dst, pdu, self._delay_rng)
         key = (src, dst)
         last = self._last_arrival.get(key, 0.0)
         if arrival < last:

@@ -1,0 +1,96 @@
+"""Conformance: the adaptive detector changes verdicts, not the protocol.
+
+The same seeded workload runs twice — once with the fixed-timeout scan
+and once with the phi-accrual detector at generous thresholds — and in a
+fault-free run the outcomes must be **identical**: the detector is a pure
+observer (arrivals feed its windows, polls compute scores) and while
+nobody is suspected it influences neither a single wire message nor a
+single delivery.  Per-entity delivery sequences, final PACK floors and
+REQ vectors, and the traffic counters all agree exactly.
+
+This is the conformance that makes adaptive detection a safe default to
+offer: switching ``failure_detector`` cannot perturb a healthy cluster.
+"""
+
+import pytest
+
+from repro.core.cluster import build_cluster
+from repro.core.config import FailureDetectorMode, ProtocolConfig
+from repro.ordering.checker import verify_run
+from repro.sim.rng import RngRegistry
+from repro.workloads.adversarial import ChainWorkload, StormWorkload
+from repro.workloads.generators import ContinuousWorkload
+
+SUSPECT = 0.05
+EVICT = 0.2
+
+
+def _config(adaptive):
+    if not adaptive:
+        return ProtocolConfig(suspect_timeout=SUSPECT, evict_timeout=EVICT)
+    return ProtocolConfig(
+        suspect_timeout=SUSPECT,
+        evict_timeout=EVICT,
+        failure_detector=FailureDetectorMode.PHI,
+    )
+
+
+def _run(adaptive, workload, n=4, seed=11):
+    cluster = build_cluster(n, config=_config(adaptive), rngs=RngRegistry(seed))
+    workload.install(cluster, RngRegistry(seed))
+    cluster.run_until_quiescent(max_time=60.0)
+    verify_run(cluster.trace, n, expect_all_delivered=True).assert_ok()
+    # Fault-free means fault-free observations too: nobody was suspected
+    # in either mode, or the equivalence claim would be vacuous.
+    for host in cluster.hosts:
+        assert host.engine.suspected == set()
+        assert host.engine.view == 0
+    return cluster
+
+
+def _delivery_sequences(cluster):
+    return [
+        [(m.src, m.seq) for m in cluster.delivered(i)]
+        for i in range(cluster.n)
+    ]
+
+
+def _final_floors(cluster):
+    return [
+        (tuple(host.engine._preack_floor), tuple(host.engine.state.req))
+        for host in cluster.hosts
+    ]
+
+
+@pytest.mark.parametrize("workload", [
+    ChainWorkload(hops=12),
+    ContinuousWorkload(messages_per_entity=12, interval=3e-4),
+    StormWorkload(batch=8),
+], ids=["chain", "continuous", "storm"])
+def test_adaptive_mode_is_invisible_fault_free(workload):
+    fixed = _run(False, workload)
+    adaptive = _run(True, workload)
+    assert _delivery_sequences(fixed) == _delivery_sequences(adaptive)
+    assert _final_floors(fixed) == _final_floors(adaptive)
+    # Not a wire byte of difference: identical traffic both ways.
+    assert fixed.network.stats.snapshot() == adaptive.network.stats.snapshot()
+
+
+def test_detector_genuinely_engaged():
+    """The adaptive run really ran the detector (primed windows, polls) —
+    the equivalence above is not comparing fixed mode to itself."""
+    cluster = _run(True, ContinuousWorkload(messages_per_entity=12, interval=3e-4))
+    for host in cluster.hosts:
+        detector = host.engine.detector
+        assert detector is not None
+        peers = [j for j in range(cluster.n) if j != host.engine.index]
+        assert all(detector.primed(j) for j in peers)
+        assert "phi_max_decis" in host.engine.gauges()
+
+
+def test_fixed_mode_counters_stay_zero():
+    cluster = _run(False, ChainWorkload(hops=12))
+    for member in cluster.counters():
+        for key, value in member["engine"].items():
+            if key.startswith("phi_"):
+                assert value == 0

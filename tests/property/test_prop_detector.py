@@ -1,0 +1,146 @@
+"""Property-based tests for the phi-accrual detector.
+
+The detector is pure bookkeeping — the caller passes ``now`` everywhere —
+so its defining property is *replay determinism*: identical arrival
+traces produce identical phi series and identical state transitions,
+independent of anything outside the trace.  On top of that, structural
+properties of the score itself: monotone in silence, zero before the
+mean, capped, and never suspicious below the absolute floor.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detector import PHI_CAP, PeerState, PhiAccrualDetector
+
+#: Inter-arrival gaps in (0.5ms, 500ms] — spans sub-floor and crash-like.
+gaps = st.floats(min_value=5e-4, max_value=0.5, allow_nan=False)
+
+
+def make_detector(**overrides):
+    kwargs = dict(
+        phi_suspect=8.0,
+        phi_evict=12.0,
+        window=16,
+        min_samples=4,
+        std_floor=0.3,
+        sample_clamp=3.0,
+        resuspect_cooldown=0.01,
+        bootstrap_timeout=0.05,
+    )
+    kwargs.update(overrides)
+    return PhiAccrualDetector(2, 0, **kwargs)
+
+
+def replay(arrivals, polls):
+    """Run one detector over an interleaved arrival/poll schedule and
+    return the observable series (states and phi scores)."""
+    det = make_detector()
+    events = sorted(
+        [(t, "heard") for t in arrivals] + [(t, "poll") for t in polls]
+    )
+    series = []
+    for t, kind in events:
+        if kind == "heard":
+            det.heard(1, t)
+        else:
+            series.append((round(t, 9), det.poll(1, t).value, det.last_phi(1)))
+    return series
+
+
+@st.composite
+def schedules(draw):
+    """An arrival trace plus poll times scattered through and after it."""
+    arrival_gaps = draw(st.lists(gaps, min_size=2, max_size=40))
+    arrivals, now = [], 0.0
+    for gap in arrival_gaps:
+        now += gap
+        arrivals.append(now)
+    polls = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=1e-4, max_value=now + 0.5),
+                min_size=1,
+                max_size=25,
+            )
+        )
+    )
+    return arrivals, polls
+
+
+@given(schedules())
+@settings(max_examples=150, deadline=None)
+def test_identical_traces_identical_observables(schedule):
+    arrivals, polls = schedule
+    assert replay(arrivals, polls) == replay(arrivals, polls)
+
+
+@given(st.lists(gaps, min_size=4, max_size=30), st.lists(gaps, min_size=2, max_size=8))
+@settings(max_examples=150, deadline=None)
+def test_phi_monotone_and_bounded_in_silence(arrival_gaps, silence_steps):
+    det = make_detector()
+    now = 0.0
+    for gap in arrival_gaps:
+        now += gap
+        det.heard(1, now)
+    scores, t = [], now
+    for step in silence_steps:
+        t += step
+        scores.append(det.phi(1, t))
+    assert scores == sorted(scores)
+    assert all(0.0 <= s <= PHI_CAP for s in scores)
+    assert det.phi(1, now) == 0.0                 # no silence, no score
+
+
+@given(st.lists(st.floats(min_value=5e-4, max_value=0.02), min_size=6, max_size=50))
+@settings(max_examples=150, deadline=None)
+def test_never_suspected_below_absolute_floor(arrival_gaps):
+    """Whatever the window looks like, polls taken less than the
+    bootstrap floor after the last arrival never exclude the peer."""
+    det = make_detector(bootstrap_timeout=0.05)
+    now = 0.0
+    for gap in arrival_gaps:
+        now += gap
+        det.heard(1, now)
+        state = det.poll(1, now + 0.04)           # inside the floor
+        assert not state.excludes
+    assert det.counters.phi_suspects == 0
+
+
+@given(st.lists(gaps, min_size=5, max_size=40))
+@settings(max_examples=150, deadline=None)
+def test_window_mean_bounded_by_clamp(arrival_gaps):
+    """Sample clamping caps how fast one outlier can inflate the learned
+    mean: each new sample is at most ``sample_clamp``x the mean before it,
+    so the mean grows by at most that factor per arrival."""
+    det = make_detector()
+    now = 0.0
+    for gap in arrival_gaps:
+        now += gap
+        # Clamping engages only once the window is primed (before that the
+        # raw samples *are* the baseline being learned).
+        primed_before = det.primed(1)
+        prev_mean = det.mean(1)
+        det.heard(1, now)
+        if primed_before and prev_mean:
+            assert det.mean(1) <= prev_mean * det.sample_clamp + 1e-12
+
+
+@given(st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=25, deadline=None)
+def test_heard_always_revokes(seed):
+    """After any poll history, one arrival restores HEALTHY."""
+    import random
+
+    rng = random.Random(seed)
+    det = make_detector()
+    now = 0.0
+    for _ in range(30):
+        now += rng.uniform(5e-4, 0.3)
+        if rng.random() < 0.5:
+            det.heard(1, now)
+        else:
+            det.poll(1, now)
+    now += 0.01
+    det.heard(1, now)
+    assert det.state(1) is PeerState.HEALTHY
+    assert det.poll(1, now).value in ("healthy", "degraded")

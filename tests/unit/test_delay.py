@@ -1,0 +1,147 @@
+"""Unit tests for the gray-failure injectors: per-link delay models
+(:mod:`repro.net.delay`) and the host-level pause/resume and CPU-scaling
+hooks the nemesis scenarios drive."""
+
+import random
+
+import pytest
+
+from repro.core.cluster import build_cluster
+from repro.core.config import ProtocolConfig
+from repro.net.delay import Composite, DelayModel, JitterDelay, LinkDelay
+from repro.sim.rng import RngRegistry
+
+RNG = random.Random(7)
+
+
+# ----------------------------------------------------------------------
+# Delay models
+# ----------------------------------------------------------------------
+def test_base_model_adds_nothing():
+    assert DelayModel().extra_delay(0, 1, None, RNG) == 0.0
+
+
+def test_link_delay_is_directional():
+    link = LinkDelay()
+    link.set_link(0, 1, 0.01)
+    assert link.extra_delay(0, 1, None, RNG) == 0.01
+    assert link.extra_delay(1, 0, None, RNG) == 0.0
+    assert link.delayed_copies == 1
+
+
+def test_link_delay_set_out_and_into():
+    link = LinkDelay()
+    link.set_out(2, range(4), 0.005)
+    assert link.extra_delay(2, 0, None, RNG) == 0.005
+    assert link.extra_delay(2, 2, None, RNG) == 0.0   # self skipped
+    assert link.extra_delay(0, 2, None, RNG) == 0.0
+    link.clear()
+    link.set_into(2, range(4), 0.007)
+    assert link.extra_delay(0, 2, None, RNG) == 0.007
+    assert link.extra_delay(2, 0, None, RNG) == 0.0
+
+
+def test_link_delay_zero_removes_and_negative_rejected():
+    link = LinkDelay()
+    link.set_link(0, 1, 0.01)
+    link.set_link(0, 1, 0.0)
+    assert link.extra_delay(0, 1, None, RNG) == 0.0
+    with pytest.raises(ValueError):
+        link.set_link(0, 1, -1.0)
+
+
+def test_jitter_delay_scoped_and_seeded():
+    with pytest.raises(ValueError):
+        JitterDelay(0.0)
+    jitter = JitterDelay(0.001, links=[(0, 1)])
+    a = jitter.extra_delay(0, 1, None, random.Random(3))
+    b = jitter.extra_delay(0, 1, None, random.Random(3))
+    assert a == b > 0.0
+    assert jitter.extra_delay(1, 0, None, RNG) == 0.0
+    assert jitter.draws == 2
+
+
+def test_composite_sums_models():
+    link = LinkDelay()
+    link.set_link(0, 1, 0.01)
+    other = LinkDelay()
+    other.set_link(0, 1, 0.02)
+    combo = Composite(link, other)
+    assert combo.extra_delay(0, 1, None, RNG) == pytest.approx(0.03)
+
+
+# ----------------------------------------------------------------------
+# Network integration: FIFO clamp turns a spike into a silent window
+# ----------------------------------------------------------------------
+def test_delayed_copies_stay_fifo_per_link():
+    link = LinkDelay()
+    cluster = build_cluster(2, delay_model=link, rngs=RngRegistry(1))
+    arrivals = []
+    sink = cluster.network._sinks[1]
+    cluster.network._sinks[1] = lambda pdu: (arrivals.append(cluster.sim.now), sink(pdu))
+    link.set_link(0, 1, 0.05)
+    cluster.submit(0, "spiked")
+    cluster.sim.schedule(0.001, lambda: link.set_link(0, 1, 0.0))
+    cluster.sim.schedule(0.002, lambda: cluster.submit(0, "behind"))
+    cluster.run_for(0.2)
+    data_arrivals = arrivals[:2]
+    # The spiked copy arrived ~50ms late; the undelayed copy behind it was
+    # clamped to the same horizon instead of overtaking (silent window).
+    assert data_arrivals[0] >= 0.05
+    assert data_arrivals[1] >= data_arrivals[0]
+    assert [m.data for m in cluster.delivered(1)] == ["spiked", "behind"]
+
+
+# ----------------------------------------------------------------------
+# Host hooks: pause/resume and CPU scaling
+# ----------------------------------------------------------------------
+def test_pause_buffers_arrivals_and_resume_drains():
+    cluster = build_cluster(2, rngs=RngRegistry(1))
+    cluster.pause(1)
+    assert cluster.hosts[1].paused
+    cluster.submit(0, "while-paused")
+    cluster.run_for(0.05)
+    assert cluster.delivered(1) == []                  # frozen, not crashed
+    assert not cluster.hosts[1].buffer.empty           # arrivals queued
+    cluster.resume(1)
+    cluster.run_until_quiescent(max_time=5.0)
+    assert [m.data for m in cluster.delivered(1)] == ["while-paused"]
+
+
+def test_paused_host_stops_ticking():
+    config = ProtocolConfig(suspect_timeout=0.05)
+    cluster = build_cluster(2, config=config, rngs=RngRegistry(1))
+    cluster.run_for(0.02)
+    cluster.pause(0)
+    sent_before = cluster.network.stats.copies_sent
+    cluster.run_for(0.2)
+    # No keepalives from the paused host: its peer suspects it.
+    assert 0 in cluster.hosts[1].engine.suspected
+    cluster.resume(0)
+    cluster.run_for(0.2)
+    assert 0 not in cluster.hosts[1].engine.suspected
+    assert cluster.network.stats.copies_sent > sent_before
+
+
+def test_pause_guards_are_idempotent_noops():
+    cluster = build_cluster(2, rngs=RngRegistry(1))
+    cluster.crash(0)
+    cluster.pause(0)                      # crashed: pause is a no-op
+    assert not cluster.hosts[0].paused
+    cluster.resume(0)                     # not paused: resume is a no-op
+    assert cluster.hosts[0].crashed
+    cluster.pause(1)
+    cluster.pause(1)                      # double pause: no-op
+    assert cluster.hosts[1].paused
+
+
+def test_cpu_scale_inflates_service_time():
+    cluster = build_cluster(2, rngs=RngRegistry(1))
+    cluster.set_cpu_scale(1, 50.0)
+    with pytest.raises(ValueError):
+        cluster.set_cpu_scale(1, 0.0)
+    cluster.submit(0, "slow-path")
+    cluster.run_until_quiescent(max_time=10.0)
+    busy = [cluster.hosts[i].busy_time for i in range(2)]
+    assert busy[1] > 10 * busy[0]
+    assert [m.data for m in cluster.delivered(1)] == ["slow-path"]

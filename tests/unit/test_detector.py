@@ -1,0 +1,288 @@
+"""Unit tests for the phi-accrual failure detector (PROTOCOL.md §17).
+
+Calibration facts the suite pins (cadence 1.0, pristine window, so the
+deviation floor ``0.3 * mean`` governs): silence of 2x the mean scores
+phi ~= 3.4, 3x ~= 10.9, 3.5x ~= 16.4 — one lost heartbeat (a 2x silence)
+sits far below ``phi_suspect=8``, while a genuine crash crosses both
+thresholds within a few heartbeat periods.
+"""
+
+import math
+
+import pytest
+
+from repro.core.detector import PHI_CAP, PeerState, PhiAccrualDetector
+
+
+def make_detector(**overrides):
+    kwargs = dict(
+        phi_suspect=8.0,
+        phi_evict=12.0,
+        window=8,
+        min_samples=4,
+        std_floor=0.3,
+        sample_clamp=3.0,
+        resuspect_cooldown=0.0,
+        bootstrap_timeout=0.05,
+    )
+    kwargs.update(overrides)
+    return PhiAccrualDetector(3, 0, **kwargs)
+
+
+def train(det, j=1, interval=1.0, beats=8, start=0.0):
+    """Feed ``beats`` regular heartbeats; return the last arrival time."""
+    now = start
+    for _ in range(beats):
+        now += interval
+        det.heard(j, now)
+    return now
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bad", [
+    dict(phi_suspect=0.0),
+    dict(phi_suspect=9.0, phi_evict=8.0),
+    dict(window=1),
+    dict(min_samples=1),
+    dict(min_samples=9),
+])
+def test_invalid_parameters_rejected(bad):
+    with pytest.raises(ValueError):
+        make_detector(**bad)
+
+
+# ----------------------------------------------------------------------
+# Scoring
+# ----------------------------------------------------------------------
+def test_unprimed_scores_zero():
+    det = make_detector()
+    det.heard(1, 1.0)
+    det.heard(1, 2.0)          # 2 samples < min_samples=4
+    assert not det.primed(1)
+    assert det.phi(1, 10.0) == 0.0
+
+
+def test_phi_zero_at_or_below_mean():
+    det = make_detector()
+    last = train(det)
+    assert det.primed(1)
+    assert det.phi(1, last + det.mean(1)) == 0.0
+
+
+def test_phi_monotone_in_silence():
+    det = make_detector()
+    last = train(det)
+    scores = [det.phi(1, last + s) for s in (1.5, 2.0, 2.5, 3.0, 4.0)]
+    assert scores == sorted(scores)
+    assert scores[0] > 0.0
+
+
+def test_one_lost_heartbeat_stays_below_suspect():
+    """Satellite guarantee: a single Bernoulli-lost heartbeat at steady
+    state (observed silence = 2x the mean) never crosses phi_suspect."""
+    det = make_detector()
+    last = train(det)
+    phi = det.phi(1, last + 2.0)
+    assert 2.0 < phi < det.phi_suspect
+    assert det.poll(1, last + 2.0) is PeerState.HEALTHY
+
+
+def test_crash_level_silence_crosses_both_thresholds():
+    det = make_detector()
+    last = train(det)
+    assert det.phi(1, last + 3.0) > det.phi_suspect
+    assert det.phi(1, last + 3.5) > det.phi_evict
+
+
+def test_phi_capped_on_extreme_silence():
+    det = make_detector()
+    last = train(det)
+    assert det.phi(1, last + 1000.0) == PHI_CAP
+
+
+# ----------------------------------------------------------------------
+# Sample clamping (heartbeat-loss tolerance for the learned history)
+# ----------------------------------------------------------------------
+def test_long_gap_sample_clamped():
+    det = make_detector()
+    last = train(det)
+    det.heard(1, last + 10.0)          # one huge gap (e.g. a partition)
+    assert det.counters.phi_samples_clamped == 1
+    # The window absorbed at most sample_clamp * old mean, not 10.0.
+    assert det.mean(1) < 1.5
+
+
+def test_clamped_history_keeps_next_score_honest():
+    det = make_detector()
+    last = train(det)
+    det.heard(1, last + 10.0)
+    # Statistics survived the outlier: a fresh 2x silence still scores
+    # below suspicion instead of being judged against a poisoned window.
+    assert det.phi(1, last + 10.0 + 2 * det.mean(1)) < det.phi_suspect
+
+
+def test_clamp_disabled_with_zero():
+    det = make_detector(sample_clamp=0.0)
+    last = train(det)
+    det.heard(1, last + 10.0)
+    assert det.counters.phi_samples_clamped == 0
+    assert det.mean(1) > 2.0
+
+
+# ----------------------------------------------------------------------
+# Hysteresis state machine
+# ----------------------------------------------------------------------
+def test_degraded_then_suspected_then_evict_pending():
+    det = make_detector()
+    last = train(det)
+    assert det.poll(1, last + 3.0) is PeerState.DEGRADED
+    assert det.counters.phi_degraded == 1
+    assert not det.state(1).excludes
+    assert det.poll(1, last + 3.05) is PeerState.SUSPECTED
+    assert det.counters.phi_suspects == 1
+    assert det.state(1).excludes
+    assert not det.evict_ready(1)
+    assert det.poll(1, last + 3.6) is PeerState.EVICT_PENDING
+    assert det.counters.phi_evict_ready == 1
+    assert det.state(1).excludes and det.evict_ready(1)
+
+
+def test_degraded_recedes_without_arrival():
+    """A DEGRADED verdict whose phi drops back (the window was fed by a
+    parallel arrival path, or the score was borderline) demotes cleanly."""
+    det = make_detector()
+    last = train(det)
+    assert det.poll(1, last + 3.0) is PeerState.DEGRADED
+    det.heard(1, last + 3.1)
+    assert det.poll(1, last + 3.2) is PeerState.HEALTHY
+
+
+def test_arrival_revokes_any_suspicion():
+    det = make_detector()
+    last = train(det)
+    det.poll(1, last + 3.0)
+    det.poll(1, last + 3.6)
+    assert det.state(1) is PeerState.EVICT_PENDING
+    det.heard(1, last + 4.0)
+    assert det.state(1) is PeerState.HEALTHY
+    assert det.last_phi(1) == 0.0
+
+
+def test_resuspect_cooldown_blocks_then_releases():
+    det = make_detector(resuspect_cooldown=10.0)
+    last = train(det)
+    det.poll(1, last + 3.0)
+    det.poll(1, last + 3.05)
+    assert det.state(1) is PeerState.SUSPECTED
+    det.heard(1, last + 4.0)            # unsuspected at last+4.0
+    # Next crossing: DEGRADED is reached but promotion is blocked while
+    # inside the cool-down window...
+    assert det.poll(1, last + 10.0) is PeerState.DEGRADED
+    assert det.poll(1, last + 10.5) is PeerState.DEGRADED
+    assert det.counters.phi_cooldown_blocks >= 1
+    # ...and released once it expires (by then the silence is deep enough
+    # that the same poll promotes straight through to evict-pending).
+    assert det.poll(1, last + 14.5).excludes
+
+
+def test_absolute_floor_guards_poisoned_window():
+    """Silence below ``bootstrap_timeout`` never suspects: the phi bound
+    only ever widens the fixed bound.  This is what keeps a window full of
+    burst-drain samples (a resumed host) from scoring normal cadence as a
+    failure."""
+    det = make_detector(bootstrap_timeout=0.05)
+    last = train(det, interval=0.001, beats=8)   # sub-floor cadence
+    assert det.phi(1, last + 0.01) == PHI_CAP    # score says "certain"
+    assert det.poll(1, last + 0.01) is PeerState.HEALTHY
+    assert det.poll(1, last + 0.06) is PeerState.DEGRADED
+
+
+# ----------------------------------------------------------------------
+# Bootstrap fallback (unprimed peers still judged by the fixed bound)
+# ----------------------------------------------------------------------
+def test_bootstrap_fallback_suspects_silent_peer():
+    det = make_detector(bootstrap_timeout=0.05)
+    assert det.poll(1, 0.06) is PeerState.DEGRADED
+    assert det.poll(1, 0.07) is PeerState.SUSPECTED
+    assert det.counters.phi_fallback_suspects == 1
+    assert det.poll(1, 0.11) is PeerState.EVICT_PENDING
+
+
+def test_bootstrap_fallback_tolerant_below_timeout():
+    det = make_detector(bootstrap_timeout=0.05)
+    assert det.poll(1, 0.04) is PeerState.HEALTHY
+
+
+# ----------------------------------------------------------------------
+# Churn hooks and observability
+# ----------------------------------------------------------------------
+def test_forget_resets_peer():
+    det = make_detector()
+    last = train(det)
+    det.poll(1, last + 3.0)
+    det.poll(1, last + 3.05)
+    det.forget(1, last + 5.0)
+    assert det.state(1) is PeerState.HEALTHY
+    assert not det.primed(1)
+    assert det.phi(1, last + 6.0) == 0.0
+    # The fresh incarnation is judged by the bootstrap bound again.
+    assert det.poll(1, last + 5.0 + 0.06) is PeerState.DEGRADED
+
+
+def test_reset_all_rebaselines_every_peer():
+    det = make_detector()
+    train(det, j=1)
+    train(det, j=2)
+    det.reset_all(100.0)
+    for j in (1, 2):
+        assert not det.primed(j)
+        assert det.state(j) is PeerState.HEALTHY
+
+
+def test_max_phi_and_snapshot():
+    det = make_detector()
+    last = train(det, j=1)
+    train(det, j=2, start=last - 8.0)   # j=2 heard at the same times
+    det.heard(2, last + 2.0)            # j=2 fresher than j=1
+    top = det.max_phi(last + 2.5, [1, 2])
+    assert top == pytest.approx(det.phi(1, last + 2.5))
+    snap = det.snapshot(last + 2.5)
+    assert set(snap) == {1, 2}
+    assert snap[1]["state"] == "healthy"
+    assert snap[1]["samples"] == 8
+    assert snap[1]["silent_for"] == pytest.approx(2.5)
+    assert snap[1]["phi"] > snap[2]["phi"]
+
+
+def test_counters_object_is_shared_in_place():
+    class Counters:
+        phi_degraded = 0
+        phi_suspects = 0
+        phi_evict_ready = 0
+        phi_cooldown_blocks = 0
+        phi_samples_clamped = 0
+        phi_fallback_suspects = 0
+
+    counters = Counters()
+    det = make_detector(counters=counters)
+    last = train(det)
+    det.poll(1, last + 3.0)
+    det.poll(1, last + 3.05)
+    assert counters.phi_degraded == 1
+    assert counters.phi_suspects == 1
+
+
+def test_identical_traces_identical_series():
+    """Determinism: same arrivals, same poll times -> same phi series and
+    the same state transitions (no hidden wall-clock or RNG input)."""
+    arrivals = [1.0, 2.0, 2.9, 4.1, 5.0, 6.0]
+    polls = [6.5, 7.0, 8.5, 9.0, 9.5]
+    runs = []
+    for _ in range(2):
+        det = make_detector()
+        for t in arrivals:
+            det.heard(1, t)
+        runs.append([(det.poll(1, t), det.last_phi(1)) for t in polls])
+    assert runs[0] == runs[1]

@@ -132,3 +132,48 @@ def test_flow_window_ignores_suspects():
     drv.tick()
     assert drv.engine.pending_requests == 0
     assert [p.data for p in drv.data_sent] == ["a", "b", "c"]
+
+
+# ----------------------------------------------------------------------
+# Suspicion-clock lifecycle (the eviction ripeness baseline)
+# ----------------------------------------------------------------------
+def test_resuspect_overwrites_stale_suspect_since():
+    """A fresh suspicion must (re)stamp the ripeness clock even if a stale
+    entry survived in ``_suspect_since`` — the old ``setdefault`` kept the
+    ancient stamp and let the eviction ripen instantly on re-suspicion."""
+    drv = make_driver()
+    drv.engine._suspect_since[2] = 0.001   # stale leftover entry
+    drv.clock = 0.06
+    drv.tick()
+    assert 2 in drv.engine.suspected
+    assert drv.engine._suspect_since[2] == 0.06
+
+
+def test_eviction_clock_restarts_on_resuspect():
+    """suspect -> unsuspect -> re-suspect: the eviction timer must measure
+    from the *second* suspicion, not the first."""
+    drv = EngineDriver(0, 3, ProtocolConfig(suspect_timeout=0.05, evict_timeout=0.1))
+    drv.clock = 0.03
+    drv.receive(hb(1, (1, 1, 1), (1, 1, 1)))
+    drv.clock = 0.06
+    drv.tick()                            # first suspicion of E2 at 0.06
+    assert 2 in drv.engine.suspected
+    drv.clock = 0.07
+    drv.receive(hb(2, (1, 1, 1), (1, 1, 1)))   # E2 speaks: unsuspected
+    assert 2 not in drv.engine.suspected
+    drv.clock = 0.09
+    drv.receive(hb(1, (1, 1, 1), (1, 1, 1)))
+    drv.clock = 0.125
+    drv.tick()                            # re-suspected at 0.125
+    assert 2 in drv.engine.suspected
+    assert drv.engine._suspect_since[2] == 0.125
+    # 0.075s into the *new* suspicion (but 0.14s past the first): with the
+    # first stamp still in place this would wrongly propose the eviction.
+    drv.clock = 0.20
+    drv.receive(hb(1, (1, 1, 1), (1, 1, 1)))
+    drv.tick()
+    assert drv.engine.counters.view_proposals == 0
+    # Ripe against the correct baseline: 0.235 - 0.125 >= 0.1.
+    drv.clock = 0.235
+    drv.tick()
+    assert drv.engine.counters.view_proposals == 1
