@@ -18,6 +18,11 @@ held against a committed baseline:
   repair-enabled cluster runs a fixed storm window against one victim,
   the storm stops, and the simulated time until the nemesis convergence
   oracle holds is recorded (the §15 repair-latency axis);
+* **hierarchy points** — the sharding axis (docs/PROTOCOL.md §18): flat
+  vs bridge-relayed cluster cells on one aggregate workload (deliveries/s,
+  measured Tco), plus ``hierarchy_engine`` cells running the saturation
+  stream through a rostered group-view engine — the structural proof that
+  a 256-entity member pays the n=8 engine's per-PDU price;
 * **detector points** — the failure-detection axis (§17): crash-detection
   latency and false evictions under the jittery-link fault schedule, one
   point per ``failure_detector`` mode, with an absolute gate pinning
@@ -48,12 +53,13 @@ See EXPERIMENTS.md ("Benchmark-regression harness") for field docs.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import subprocess
 import sys
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC_DIR = os.path.join(REPO_ROOT, "src")
@@ -81,14 +87,21 @@ FULL = dict(sizes=(4, 8, 16, 32), rounds=160, lag=32, repeats=3,
             converge_ns=(8, 32), converge_seeds=(11, 12, 13),
             topology_ns=(8, 32), topology_modes=("flood", "ring", "gossip"),
             topology_messages=20,
-            detector_ns=(8, 32))
+            detector_ns=(8, 32),
+            hierarchy_cells=((8, None), (32, None), (64, 8), (256, 8)),
+            hierarchy_total=256, hierarchy_repeats=3,
+            hierarchy_engine_cells=((8, None), (32, None), (256, None),
+                                    (64, 8), (256, 8)))
 SMOKE = dict(sizes=(4, 8), rounds=40, lag=8, repeats=2,
              messages_per_entity=3, exp_repeats=1,
              batch_sizes=(1, 8), batch_ns=(4,),
              converge_ns=(8,), converge_seeds=(11,),
              topology_ns=(8,), topology_modes=("flood", "ring", "gossip"),
              topology_messages=10,
-             detector_ns=(8,))
+             detector_ns=(8,),
+             hierarchy_cells=((8, None), (16, 4), (64, 8)),
+             hierarchy_total=64, hierarchy_repeats=1,
+             hierarchy_engine_cells=((8, None), (64, None), (64, 8)))
 
 #: Metrics compared against the baseline: (section, key, direction).
 #: direction +1 means "bigger is worse", -1 means "smaller is worse".
@@ -105,6 +118,9 @@ TRACKED = (
     ("topology", "per_pdu_us", +1),
     ("detector", "detect_latency_s", +1),
     ("detector", "false_evictions", +1),
+    ("hierarchy", "per_pdu_us", +1),
+    ("hierarchy", "deliveries_per_sec", -1),
+    ("hierarchy_engine", "per_pdu_us", +1),
 )
 
 
@@ -166,6 +182,91 @@ def engine_point(n: int, rounds: int, lag: int, repeats: int) -> Dict[str, Any]:
         "acknowledged": engine.counters.acknowledged,
         "hot_path": hot_path_stats(engine.counters.snapshot()),
     }
+
+
+def hierarchy_engine_point(n: int, group_size: Optional[int], rounds: int,
+                           lag: int, repeats: int) -> Dict[str, Any]:
+    """Saturation cost of one member's engine in an ``n``-entity cluster.
+
+    This is the regime where the O(n) wall actually lives: the engine
+    axis shows per-PDU cost climbing with cluster size under a
+    lagged-knowledge stream, because knowledge matrices, ACK folds and
+    resident logs are all sized by the membership view.  A hierarchical
+    member's view is its *group*, not the cluster — its engine is a
+    rostered ``group_size``-entry engine whatever the global n — so its
+    saturation cost must pin to the small-group engine curve.  The flat
+    contrast cell (``group_size=None``) runs the same stream through a
+    full n-sized engine: the cost a member would pay if the cluster were
+    not sharded.
+
+    The effect measured here is structural (state and vector sizes), not
+    a queueing artifact, which is what makes it gateable: the flat n=256
+    engine costs several times the n=8 one on any machine, loaded or not.
+    """
+    results = hierarchy_engine_axis(((n, group_size),), rounds, lag, repeats)
+    return results[0]
+
+
+def _hierarchy_engine_attempt(n: int, group_size: Optional[int],
+                              pdus: List[DataPdu]) -> Tuple[float, COEntity]:
+    view = group_size or n
+    roster = (None if group_size is None
+              else tuple(range(0, n, n // group_size))[:group_size])
+    trace = TraceLog(enabled=False)
+    engine = COEntity(0, view, ProtocolConfig(), clock=lambda: 0.0,
+                      trace=trace, roster=roster)
+    engine.bind(send=lambda pdu: None, deliver=lambda m: None)
+    start = time.perf_counter()
+    for pdu in pdus:
+        engine.on_pdu(pdu)
+    elapsed = time.perf_counter() - start
+    if engine.counters.accepted < len(pdus):
+        raise AssertionError(
+            f"saturation stream not fully accepted at n={n} "
+            f"gs={group_size}: {engine.counters.accepted}/{len(pdus)}"
+        )
+    return elapsed, engine
+
+
+def hierarchy_engine_axis(cells: Sequence[Tuple[int, Optional[int]]],
+                          rounds: int, lag: int,
+                          repeats: int) -> List[Dict[str, Any]]:
+    """Measure the engine-regime cells with *interleaved* repeats.
+
+    The gate compares member cells against the section's own flat
+    reference engines, so the refs are measured here, round-robin with
+    the member cells, rather than borrowed from the engine axis minutes
+    earlier — every cell samples every machine-load window and the
+    comparisons stay within-window (the same discipline as
+    :func:`hierarchy_axis`).
+    """
+    streams = {gs or n: saturation_stream(gs or n, rounds, lag)
+               for n, gs in cells}
+    best: Dict[Tuple[int, Optional[int]], Tuple[float, COEntity]] = {}
+    for _ in range(repeats):
+        for n, group_size in cells:
+            pdus = streams[group_size or n]
+            elapsed, engine = _hierarchy_engine_attempt(n, group_size, pdus)
+            key = (n, group_size)
+            if key not in best or elapsed < best[key][0]:
+                best[key] = (elapsed, engine)
+    results = []
+    for n, group_size in cells:
+        view = group_size or n
+        pdus = streams[view]
+        elapsed, engine = best[(n, group_size)]
+        results.append({
+            "n": n,
+            "group_size": group_size,
+            "view": view,
+            "pdus": len(pdus),
+            "rounds": rounds,
+            "lag": lag,
+            "per_pdu_us": elapsed / len(pdus) * 1e6,
+            "resident_high_water": engine.resident_high_water,
+            "hot_path": hot_path_stats(engine.counters.snapshot()),
+        })
+    return results
 
 
 def experiment_point(n: int, messages_per_entity: int,
@@ -336,6 +437,137 @@ def topology_point(n: int, messages_per_entity: int, mode: str,
     }
 
 
+def hierarchy_point(n: int, group_size: Optional[int],
+                    total_messages: int,
+                    repeats: int = 1) -> Dict[str, Any]:
+    """One cell of the hierarchy axis (docs/PROTOCOL.md §18).
+
+    The same seeded workload runs either flat (``group_size=None`` — the
+    reference cells) or sharded into bridge-relayed subgroups.  The
+    headline metric here is system capacity: deliveries per wall-clock
+    second on one fixed aggregate workload, where the flat cluster's
+    throughput collapses as n grows and the sharded cells must not.  The
+    per-PDU engine-cost claim is gated on the ``hierarchy_engine`` cells
+    instead (see :func:`hierarchy_engine_point`): whole-cluster per-PDU
+    numbers at this offered load are dominated by confirmation pacing
+    and machine noise, not by the state-size wall the tier removes.
+
+    Every cell carries the *same aggregate workload* — ``total_messages``
+    originals at a fixed cluster-wide rate (one submission per 125 µs,
+    so per-entity interval scales with n) — because the measured per-PDU
+    cost is sensitive to per-member delivered volume and pacing, and a
+    cell that delivered 32x the messages would not be comparing engine
+    cost, it would be comparing workload regimes.  Deliveries/s counts
+    every application-level delivery event (originals x members), the
+    same accounting on both sides.
+
+    The collector is paused during measurement: a 256-host heap is ~30x
+    a flat-8 one, and gc cycles landing inside perf windows would charge
+    allocator pressure — a function of cell *scale*, not of the engine —
+    to whichever host happens to be running.  All cells of this axis run
+    gc-free, so within-axis comparisons stay apples-to-apples.
+    """
+    best: Dict[Tuple[int, Optional[int]], _HierarchyBest] = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            _hierarchy_attempt(n, group_size, total_messages, best)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return _hierarchy_cell_report(n, group_size, best[(n, group_size)])
+
+
+class _HierarchyBest:
+    """Per-cell minima across repeats (wall and per-PDU independently)."""
+
+    __slots__ = ("wall", "tco", "result")
+
+    def __init__(self) -> None:
+        self.wall = float("inf")
+        self.tco = float("inf")
+        self.result = None
+
+    def offer(self, wall: float, attempt: Any) -> None:
+        self.wall = min(self.wall, wall)
+        if attempt.tco_measured < self.tco:
+            self.tco = attempt.tco_measured
+            self.result = attempt
+
+
+def _hierarchy_attempt(n: int, group_size: Optional[int],
+                       total_messages: int,
+                       best: Dict[Tuple[int, Optional[int]],
+                                  "_HierarchyBest"]) -> None:
+    config = ExperimentConfig(
+        n=n,
+        group_size=group_size,
+        messages_per_entity=max(1, total_messages // n),
+        send_interval=125e-6 * n,
+        buffer_capacity=max(256, 4 * (group_size or n) * 8),
+    )
+    start = time.perf_counter()
+    attempt = run_experiment(config)
+    elapsed = time.perf_counter() - start
+    if not attempt.quiesced:
+        raise AssertionError(
+            f"hierarchy run at n={n} group_size={group_size} did not quiesce"
+        )
+    attempt.report.assert_ok()
+    best.setdefault((n, group_size), _HierarchyBest()).offer(elapsed, attempt)
+    gc.collect()
+
+
+def _hierarchy_cell_report(n: int, group_size: Optional[int],
+                           best: "_HierarchyBest") -> Dict[str, Any]:
+    result = best.result
+    assert result is not None
+    delivered = result.messages_delivered
+    return {
+        "n": n,
+        "group_size": group_size,
+        "wall_s": best.wall,
+        "deliveries": delivered,
+        "deliveries_per_sec": delivered / best.wall if best.wall > 0 else 0.0,
+        "per_pdu_us": best.tco * 1e6,
+        "simulated_s": result.simulated_time,
+        "verified": True,
+    }
+
+
+def hierarchy_axis(cells: Sequence[Tuple[int, Optional[int]]],
+                   total_messages: int,
+                   repeats: int) -> List[Dict[str, Any]]:
+    """Measure the whole axis with *interleaved* repeats.
+
+    The axis's gate compares deliveries/s *across* cells, and a cell
+    takes tens of seconds — long enough for background machine load to
+    drift between cells.  Measuring the cells round-robin (every cell
+    sampled once per round, minima taken per cell across rounds) means
+    each cell gets a sample in every load window, so the per-cell minima
+    the gate compares come from comparably quiet moments instead of
+    whichever window the cell's one consecutive slot happened to land in.
+    """
+    best: Dict[Tuple[int, Optional[int]], _HierarchyBest] = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for round_no in range(repeats):
+            for n, group_size in cells:
+                label = "flat" if group_size is None else f"gs={group_size}"
+                print(f"[hierarchy] round {round_no + 1}/{repeats} "
+                      f"n={n} {label} ...", flush=True)
+                _hierarchy_attempt(n, group_size, total_messages, best)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return [
+        _hierarchy_cell_report(n, group_size, best[(n, group_size)])
+        for n, group_size in cells
+    ]
+
+
 def convergence_point(n: int, seeds: Tuple[int, ...],
                       messages_per_entity: int) -> Dict[str, Any]:
     """The time-to-converge axis (docs/PROTOCOL.md §15).
@@ -503,6 +735,8 @@ def measure(mode: Dict[str, Any], smoke: bool, skip_suites: bool) -> Dict[str, A
         "experiments": [],
         "batching": [],
         "topology": [],
+        "hierarchy": [],
+        "hierarchy_engine": [],
         "convergence": [],
         "detector": [],
         "codec_churn": [],
@@ -566,6 +800,47 @@ def measure(mode: Dict[str, Any], smoke: bool, skip_suites: bool) -> Dict[str, A
                      / max(ring_cell["copies_per_delivered_pdu"], 1e-12))
             print(f"[topology] n={n}: ring sends {ratio:.2f}x fewer copies "
                   f"per delivered PDU than flood")
+    hierarchy_cells: Dict[Tuple[int, Optional[int]], Dict[str, Any]] = {}
+    for point in hierarchy_axis(mode["hierarchy_cells"],
+                                mode["hierarchy_total"],
+                                mode["hierarchy_repeats"]):
+        n, group_size = point["n"], point["group_size"]
+        label = "flat" if group_size is None else f"gs={group_size}"
+        print(f"[hierarchy] n={n} {label}: {point['per_pdu_us']:.1f} us/PDU, "
+              f"{point['deliveries_per_sec']:.0f} deliveries/s")
+        report["hierarchy"].append(point)
+        hierarchy_cells[(n, group_size)] = point
+    flat32 = hierarchy_cells.get((32, None))
+    for (n, group_size), point in sorted(
+            hierarchy_cells.items(), key=lambda kv: kv[0][0]):
+        if group_size is None or not flat32:
+            continue
+        ratio = (point["deliveries_per_sec"]
+                 / max(flat32["deliveries_per_sec"], 1e-12))
+        print(f"[hierarchy] n={n} gs={group_size}: delivers {ratio:.2f}x "
+              f"the flat n=32 cluster's rate")
+    print("[hierarchy-engine] measuring "
+          f"{len(mode['hierarchy_engine_cells'])} cells, "
+          f"{mode['repeats']} interleaved round(s) ...", flush=True)
+    engine_cells = hierarchy_engine_axis(mode["hierarchy_engine_cells"],
+                                         mode["rounds"], mode["lag"],
+                                         mode["repeats"])
+    flat_engine_by_n = {p["n"]: p["per_pdu_us"] for p in engine_cells
+                        if p["group_size"] is None}
+    for point in engine_cells:
+        n, group_size = point["n"], point["group_size"]
+        label = "flat" if group_size is None else f"gs={group_size}"
+        print(f"[hierarchy-engine] n={n} {label}: "
+              f"{point['per_pdu_us']:.1f} us/PDU "
+              f"(view size {point['view']}, "
+              f"resident high-water {point['resident_high_water']})")
+        report["hierarchy_engine"].append(point)
+        ref = (flat_engine_by_n.get(group_size)
+               if group_size is not None else None)
+        if ref:
+            print(f"[hierarchy-engine] n={n} {label}: member engine cost "
+                  f"{point['per_pdu_us'] / ref:.2f}x the flat n={group_size} "
+                  f"engine")
     for n in mode["converge_ns"]:
         print(f"[convergence] n={n} ...", flush=True)
         point = convergence_point(n, mode["converge_seeds"],
@@ -682,11 +957,71 @@ def detector_gate(report: Dict[str, Any]) -> List[str]:
     return failures
 
 
+def hierarchy_gate(report: Dict[str, Any]) -> List[str]:
+    """The hierarchy axis's headline claims, checked absolutely.
+
+    Engine regime (``hierarchy_engine`` cells, the saturation stream):
+    a hierarchical member's engine is sized by its *group* view, so its
+    per-PDU cost must (1) stay within 1.3x the section's flat engine of
+    its group size (the ISSUE 10 acceptance bar: the 256-entity member
+    pays the n=8 engine's price), and (2) stay below every flat
+    reference engine with a larger view — n=32 and n=256 in the full
+    mode.  These are structural state-size effects with multi-x margins,
+    and all cells of the section are measured in one interleaved window,
+    so the comparison is robust to machine load.
+
+    System regime (``hierarchy`` cluster cells): sharding must buy real
+    capacity — every sharded cluster cell has to out-deliver the flat
+    n=32 cluster on the same aggregate workload (the throughput wall the
+    ROADMAP cites: 3.7k -> 1.2k deliveries/s as n grows flat).
+    """
+    failures: List[str] = []
+    flat_engines = {p["n"]: p["per_pdu_us"]
+                    for p in report.get("hierarchy_engine", [])
+                    if p.get("group_size") is None}
+    for point in report.get("hierarchy_engine", []):
+        group_size = point.get("group_size")
+        if group_size is None:
+            continue
+        n, cost = point["n"], point["per_pdu_us"]
+        ref_small = flat_engines.get(group_size)
+        if ref_small is not None and cost > 1.3 * ref_small:
+            failures.append(
+                f"hierarchy_engine[n={n},gs={group_size}]: {cost:.1f} us/PDU "
+                f"exceeds 1.3x the flat n={group_size} engine "
+                f"({ref_small:.1f} us/PDU)"
+            )
+        for flat_n, flat_cost in sorted(flat_engines.items()):
+            if flat_n > group_size and cost >= flat_cost:
+                failures.append(
+                    f"hierarchy_engine[n={n},gs={group_size}]: {cost:.1f} "
+                    f"us/PDU is not below the flat n={flat_n} engine "
+                    f"({flat_cost:.1f} us/PDU)"
+                )
+    cells = {(p["n"], p.get("group_size")): p
+             for p in report.get("hierarchy", [])}
+    flat32 = cells.get((32, None))
+    if flat32 is not None:
+        for (n, group_size), point in sorted(cells.items()):
+            if group_size is None:
+                continue
+            if point["deliveries_per_sec"] <= flat32["deliveries_per_sec"]:
+                failures.append(
+                    f"hierarchy[n={n},gs={group_size}]: "
+                    f"{point['deliveries_per_sec']:.0f} deliveries/s does "
+                    f"not beat the flat n=32 cluster "
+                    f"({flat32['deliveries_per_sec']:.0f} deliveries/s)"
+                )
+    return failures
+
+
 def _index_points(section: List[Dict[str, Any]]) -> Dict[Tuple, Dict[str, Any]]:
-    # Batching points carry a second axis, topology points a mode and
-    # codec-churn points a shape label; plain points key on n alone.
+    # Batching points carry a second axis, topology points a mode,
+    # codec-churn points a shape label and hierarchy points a group
+    # size; plain points key on n alone.
     return {
-        (point["n"], point.get("batch"), point.get("op"), point.get("mode")): point
+        (point["n"], point.get("batch"), point.get("op"), point.get("mode"),
+         point.get("group_size")): point
         for point in section
     }
 
@@ -710,7 +1045,7 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
         for point in current.get(section, []):
             base = base_points.get(
                 (point["n"], point.get("batch"), point.get("op"),
-                 point.get("mode"))
+                 point.get("mode"), point.get("group_size"))
             )
             if base is None or key not in base or key not in point:
                 continue
@@ -730,6 +1065,8 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
                 axis += f",op={point['op']}"
             if point.get("mode") is not None:
                 axis += f",mode={point['mode']}"
+            if point.get("group_size") is not None:
+                axis += f",gs={point['group_size']}"
             lines.append(
                 f"{section}[{axis}].{key}: {old:.2f} -> {new:.2f} "
                 f"({delta * 100:+.1f}%, {better})"
@@ -819,6 +1156,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("FAIL: failure-detection axis lost its headline claims:",
               file=sys.stderr)
         for failure in detector_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+
+    hierarchy_failures = hierarchy_gate(report)
+    if hierarchy_failures:
+        print("FAIL: hierarchy axis lost its headline claims:",
+              file=sys.stderr)
+        for failure in hierarchy_failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
 

@@ -330,7 +330,13 @@ class EntityHost(SimProcess):
 
     @property
     def mean_real_cpu_time(self) -> float:
-        """Average *measured* Python time per data PDU inside the engine."""
+        """Average *measured* Python time per data PDU inside the engine.
+
+        Sends issued inside ``on_pdu`` are charged to the engine: the
+        per-destination copy dispatch is the protocol's real fan-out work
+        (the UDP runtime pays n-1 ``sendto`` calls for every broadcast),
+        not simulator overhead to be subtracted.
+        """
         if self.data_pdus_processed == 0:
             return 0.0
         return self.data_real_cpu_time / self.data_pdus_processed
@@ -361,6 +367,7 @@ class Cluster:
         hosts: Sequence[EntityHost],
         config: ProtocolConfig,
         engine_factory: Optional[EngineFactory] = None,
+        roster: Optional[Sequence[int]] = None,
     ):
         self.sim = sim
         self.trace = trace
@@ -369,6 +376,9 @@ class Cluster:
         self.config = config
         #: Factory used to build replacement engines on :meth:`restart`.
         self.engine_factory = engine_factory
+        #: Global ids behind local indices when this cluster is one subgroup
+        #: of a hierarchy (docs/PROTOCOL.md §18); None for flat clusters.
+        self.roster = tuple(roster) if roster is not None else None
 
     @property
     def n(self) -> int:
@@ -430,6 +440,7 @@ class Cluster:
                 "restart() needs one to mint the replacement engine"
             )
         host = self.hosts[index]
+        extra = {} if self.roster is None else {"roster": self.roster}
         engine = self.engine_factory(
             index=index,
             n=self.n,
@@ -438,6 +449,7 @@ class Cluster:
             trace=self.trace,
             advertised_buf=buffer_free_fn(host.buffer),
             joining=True,
+            **extra,
         )
         host.restart(engine)
         return engine
@@ -530,9 +542,13 @@ def default_engine_factory(
     trace: TraceLog,
     advertised_buf: Callable[[], int],
     joining: bool = False,
+    roster: Optional[Sequence[int]] = None,
 ) -> COEntity:
     """Build a CO protocol engine (the default for :func:`build_cluster`)."""
-    return COEntity(index, n, config, clock, trace, advertised_buf, joining=joining)
+    return COEntity(
+        index, n, config, clock, trace, advertised_buf,
+        joining=joining, roster=roster,
+    )
 
 
 def build_cluster(
@@ -549,6 +565,7 @@ def build_cluster(
     duplication: Optional[DuplicatingChannel] = None,
     gauge_every: int = 8,
     delay_model: Optional["DelayModel"] = None,
+    roster: Optional[Sequence[int]] = None,
 ) -> Cluster:
     """Assemble a ready-to-run cluster.
 
@@ -582,6 +599,7 @@ def build_cluster(
         delay_model=delay_model,
     )
     hosts = []
+    extra = {} if roster is None else {"roster": tuple(roster)}
     for i in range(n):
         buffer = ReceiveBuffer(buffer_capacity, config.units_per_pdu)
         engine = engine_factory(
@@ -591,13 +609,17 @@ def build_cluster(
             clock=lambda: sim.now,
             trace=trace,
             advertised_buf=buffer_free_fn(buffer),
+            **extra,
         )
         host = EntityHost(
             sim, trace, i, engine, network, buffer, cpu, config.tick_interval,
             gauge_every=gauge_every,
         )
         hosts.append(host)
-    cluster = Cluster(sim, trace, network, hosts, config, engine_factory=engine_factory)
+    cluster = Cluster(
+        sim, trace, network, hosts, config,
+        engine_factory=engine_factory, roster=roster,
+    )
     cluster.start()
     return cluster
 

@@ -137,6 +137,23 @@ Relay frame (dissemination extension, docs/PROTOCOL.md §16)::
     ..  body           the origin's frame: a type-0x01 or 0x07 body
                        (no inner checksum; one frame CRC)
 
+Inter-group frame (hierarchy tier, docs/PROTOCOL.md §18)::
+
+    u8  type = 0x0B
+    u8  flags          bit 0: ack (cumulative re-injection floor)
+                       bit 1: null payload (None, not the empty string)
+    u32 cid
+    u16 origin_group
+    u16 sender_group
+    u16 src            global origin entity id (0 for acks)
+    u32 seq            origin-local sequence number (0 for acks)
+    u32 gseq           group-stream sequence number / acked floor
+    u16 g              barrier length (the group count G; 0 for acks)
+    u32 barrier[g]
+    u32 buf
+    u32 payload_len    0 for acks
+    ..  payload
+
 Every frame ends in a ``u32`` CRC-32 of everything before it.  The MC
 medium itself is error-free in the paper's model, but real transports (and
 the nemesis harness's bit-flip fault) are not; the checksum turns silent
@@ -175,6 +192,7 @@ from repro.core.pdu import (
     DataPdu,
     DigestPdu,
     HeartbeatPdu,
+    InterGroupPdu,
     JoinPdu,
     RelayPdu,
     RepairPullPdu,
@@ -193,10 +211,13 @@ _TYPE_BATCH = 0x07
 _TYPE_DIGEST = 0x08
 _TYPE_REPAIR_PULL = 0x09
 _TYPE_RELAY = 0x0A
+_TYPE_INTERGROUP = 0x0B
 
 _FLAG_NULL = 0x01
 _FLAG_PROBE = 0x01
 _FLAG_READY = 0x01
+_FLAG_IG_ACK = 0x01
+_FLAG_IG_NULL = 0x02
 
 _PHASE_CODES = {"propose": 0, "agree": 1, "install": 2}
 _PHASE_NAMES = {code: name for name, code in _PHASE_CODES.items()}
@@ -206,7 +227,7 @@ _CRC_BYTES = 4
 
 AnyPdu = Union[
     DataPdu, RetPdu, HeartbeatPdu, ViewChangePdu, JoinPdu, StatePdu, BatchPdu,
-    DigestPdu, RepairPullPdu, RelayPdu,
+    DigestPdu, RepairPullPdu, RelayPdu, InterGroupPdu,
 ]
 
 Buffer = Union[bytes, bytearray, memoryview]
@@ -229,6 +250,7 @@ _S_BATCH = struct.Struct("!BBIHHH")
 _S_DIGEST = struct.Struct("!BBIHHIH")
 _S_REPAIR_PULL = struct.Struct("!BBIHHHH")
 _S_RELAY = struct.Struct("!BBIHHH")
+_S_INTERGROUP = struct.Struct("!BBIHHHIIH")
 _S_U32 = struct.Struct("!I")
 _S_PREFIX = struct.Struct("!HI")
 _S_RANGE = struct.Struct("!HII")
@@ -498,6 +520,24 @@ def _encode_body_into(pdu: AnyPdu, buf: bytearray, offset: int) -> int:
             _S_U32.pack_into(buf, length_at, body_end - offset)
             offset = body_end
         return offset
+    if isinstance(pdu, InterGroupPdu):
+        payload = _payload_bytes(pdu.data)
+        g = len(pdu.barrier)
+        flags = _FLAG_IG_ACK if pdu.ack else 0
+        if pdu.data is None and not pdu.ack:
+            flags |= _FLAG_IG_NULL
+        _S_INTERGROUP.pack_into(
+            buf, offset, _TYPE_INTERGROUP, flags,
+            pdu.cid, pdu.origin_group, pdu.sender_group,
+            pdu.src, pdu.seq, pdu.gseq, g,
+        )
+        offset += _S_INTERGROUP.size
+        _vec(g).pack_into(buf, offset, *pdu.barrier)
+        offset += 4 * g
+        _S_DATA_TAIL.pack_into(buf, offset, pdu.buf, len(payload))
+        offset += _S_DATA_TAIL.size
+        buf[offset:offset + len(payload)] = payload
+        return offset + len(payload)
     raise CodecError(f"cannot encode {type(pdu).__name__}")
 
 
@@ -767,6 +807,28 @@ def _decode(data: Buffer, end: int) -> AnyPdu:
         return BatchPdu(
             cid=cid, src=src, ack=ack, pack=pack, buf=buf, pdus=tuple(pdus),
         )
+    if kind == _TYPE_INTERGROUP:
+        if _S_INTERGROUP.size > end:
+            raise CodecError("truncated inter-group header")
+        (
+            _, flags, cid, origin_group, sender_group, src, seq, gseq, g,
+        ) = _S_INTERGROUP.unpack_from(data, 0)
+        offset = _S_INTERGROUP.size + 4 * g
+        if offset + _S_DATA_TAIL.size > end:
+            raise CodecError("truncated inter-group PDU")
+        barrier = _vec(g).unpack_from(data, _S_INTERGROUP.size)
+        buf, payload_len = _S_DATA_TAIL.unpack_from(data, offset)
+        offset += _S_DATA_TAIL.size
+        if offset + payload_len > end:
+            raise CodecError("payload shorter than its declared length")
+        is_ack = bool(flags & _FLAG_IG_ACK)
+        is_null = is_ack or bool(flags & _FLAG_IG_NULL)
+        return InterGroupPdu(
+            cid=cid, origin_group=origin_group, sender_group=sender_group,
+            src=src, seq=seq, gseq=gseq, barrier=barrier, buf=buf,
+            data=None if is_null else bytes(data[offset:offset + payload_len]),
+            data_size=payload_len, ack=is_ack,
+        )
     raise CodecError(f"unknown PDU type byte 0x{kind:02x}")
 
 
@@ -852,6 +914,11 @@ def _body_size(pdu: AnyPdu) -> int:
         return (
             _S_RELAY.size + 2 * len(pdu.path) + 8 * len(pdu.min_ack)
             + 4 + 4 + _body_size(pdu.frame)
+        )
+    if isinstance(pdu, InterGroupPdu):
+        return (
+            _S_INTERGROUP.size + 4 * len(pdu.barrier) + _S_DATA_TAIL.size
+            + len(_payload_bytes(pdu.data))
         )
     raise CodecError(f"cannot encode {type(pdu).__name__}")
 

@@ -252,6 +252,22 @@ class ProtocolConfig:
     #: Seed for the per-entity gossip peer-sampling RNG, so runs replay
     #: deterministically.
     gossip_seed: int = 0
+    #: Hierarchical sharding (docs/PROTOCOL.md §18): bound each subgroup to
+    #: at most this many entities, every subgroup running the full CO
+    #: protocol internally over a membership-view-local knowledge state,
+    #: with designated bridge entities relaying inter-group traffic under a
+    #: G-sized group-level causal barrier.  ``None`` (default) keeps the
+    #: flat single-cluster layout.  An extension, so strict paper mode
+    #: rejects it.
+    group_size: "int | None" = None
+    #: Bridge retransmit cadence: an inter-group forward unacknowledged by
+    #: a peer group for this long is re-sent (retransmit-until-acked is the
+    #: backbone's recovery path across losses and partitions).
+    intergroup_ret_timeout: float = 4e-3
+    #: How often a group's bridge layer re-evaluates which member fronts
+    #: the group (failover off a crashed bridge).  ``None`` (default)
+    #: follows ``suspect_timeout`` when set, else ``tick_interval``.
+    bridge_tick_interval: "float | None" = None
     #: Cluster identifier placed in every PDU's ``CID`` field.
     cluster_id: int = 1
 
@@ -383,6 +399,29 @@ class ProtocolConfig:
                     "non-flood dissemination wraps data frames in relay "
                     "PDUs, which strict paper mode forbids; choose one"
                 )
+        if self.group_size is not None:
+            if self.group_size < 2:
+                raise ConfigurationError(
+                    f"group_size must be >= 2 (a subgroup is a CO cluster, "
+                    f"and a cluster needs at least 2 entities), got "
+                    f"{self.group_size}"
+                )
+            if self.strict_paper_mode:
+                raise ConfigurationError(
+                    "hierarchical grouping relays messages through bridge "
+                    "entities and out-of-band inter-group frames, which "
+                    "strict paper mode forbids; choose one"
+                )
+        if self.intergroup_ret_timeout <= 0:
+            raise ConfigurationError(
+                f"intergroup_ret_timeout must be positive, got "
+                f"{self.intergroup_ret_timeout}"
+            )
+        if self.bridge_tick_interval is not None and self.bridge_tick_interval <= 0:
+            raise ConfigurationError(
+                f"bridge_tick_interval must be positive or None, got "
+                f"{self.bridge_tick_interval}"
+            )
         if self.dissemination is DisseminationMode.GOSSIP:
             if self.gossip_fanout < 1:
                 raise ConfigurationError(
@@ -416,6 +455,11 @@ class ProtocolConfig:
     def repair_enabled(self) -> bool:
         """True when the anti-entropy repair layer is active."""
         return self.anti_entropy_interval is not None
+
+    @property
+    def hierarchy_enabled(self) -> bool:
+        """True when membership is sharded into bounded bridge-linked groups."""
+        return self.group_size is not None
 
     @property
     def relaying_enabled(self) -> bool:

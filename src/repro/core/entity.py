@@ -58,6 +58,7 @@ from repro.core.pdu import (
     DataPdu,
     DigestPdu,
     HeartbeatPdu,
+    InterGroupPdu,
     JoinPdu,
     RelayPdu,
     RepairPullPdu,
@@ -111,6 +112,9 @@ class EntityCounters:
     delivered: int = 0
     flow_blocked: int = 0
     foreign_cluster: int = 0
+    #: Inter-group backbone frames handed off to the bridge layer
+    #: (docs/PROTOCOL.md §18); zero unless this entity hosts a bridge.
+    intergroup_received: int = 0
     #: Receipt sublogs examined by the event-driven PACK scan (the old
     #: fixpoint visited all n sublogs per round; this counts dirty visits).
     pack_source_scans: int = 0
@@ -257,6 +261,7 @@ class COEntity:
         trace: TraceLog,
         advertised_buf: Optional[Callable[[], int]] = None,
         joining: bool = False,
+        roster: Optional[Sequence[int]] = None,
     ):
         if n < 1:
             raise ProtocolError(f"cluster size must be >= 1, got {n}")
@@ -267,7 +272,10 @@ class COEntity:
         self._trace = trace
         self._advertised_buf = advertised_buf or (lambda: 10 ** 9)
 
-        self.state = KnowledgeState(n, index)
+        self.state = KnowledgeState(n, index, roster=roster)
+        #: Handler the bridge layer installs to claim InterGroupPdu frames
+        #: arriving on this entity's receive path (docs/PROTOCOL.md §18).
+        self._intergroup_fn: Optional[Callable[[InterGroupPdu], None]] = None
         self.flow = FlowController(config, self.state)
         self.sl = SendingLog()
         self.rrl = ReceiptSublogs(n)
@@ -449,8 +457,27 @@ class COEntity:
         self._pending.append((data, size))
         self._pump()
 
+    def set_intergroup_handler(
+        self, fn: Optional[Callable[[InterGroupPdu], None]]
+    ) -> None:
+        """Install (or clear) the bridge-layer hook receiving backbone
+        ``InterGroupPdu`` frames that land on this entity (§18)."""
+        self._intergroup_fn = fn
+
     def on_pdu(self, pdu: Any) -> None:
         """Process one PDU taken from the receive buffer."""
+        if isinstance(pdu, InterGroupPdu):
+            # Backbone frames address *groups*: their cid is the base
+            # cluster id and their src is a global entity id, so they must
+            # bypass both the cid demultiplex and the per-peer liveness
+            # bookkeeping below.  The bridge layer claims them wholesale;
+            # without a handler (flat cluster) they are foreign traffic.
+            if self._intergroup_fn is not None:
+                self.counters.intergroup_received += 1
+                self._intergroup_fn(pdu)
+            else:
+                self.counters.foreign_cluster += 1
+            return
         if getattr(pdu, "cid", self.config.cluster_id) != self.config.cluster_id:
             # Another cluster's traffic on a shared medium (the paper's CID
             # field exists precisely to demultiplex this): not ours, drop.

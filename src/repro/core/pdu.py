@@ -46,6 +46,7 @@ _BATCH_FIXED_FIELDS = 4  # CID + SRC + COUNT + BUF
 _DIGEST_FIXED_FIELDS = 5  # CID + SRC + TARGET + VIEW + BUF
 _REPAIR_PULL_FIXED_FIELDS = 4  # CID + SRC + TARGET + BUF
 _RELAY_FIXED_FIELDS = 4  # CID + SRC + HOPS + BUF
+_INTERGROUP_FIXED_FIELDS = 7  # CID + OGRP + SGRP + SRC + SEQ + GSEQ + BUF
 
 
 @dataclass(frozen=True)
@@ -574,4 +575,106 @@ class RelayPdu:
         return (
             f"RELAY(src=E{self.src}, path={list(self.path)}, "
             f"frame={self.frame})"
+        )
+
+
+@dataclass(frozen=True)
+class InterGroupPdu:
+    """A bridged message (or its acknowledgment) on the inter-group backbone
+    (hierarchy tier, docs/PROTOCOL.md §18).
+
+    The hierarchical cluster partitions membership into bounded subgroups,
+    each running the full CO protocol internally; one designated *bridge*
+    member per group relays locally-delivered messages to every other group.
+    The causal coordinates carried here are **group-level**: ``barrier`` is a
+    ``G``-sized vector (G = number of groups, not n entities), which is the
+    constant-size inter-group control information of Nédelec et al. —
+    the whole point of the tier.
+
+    Forward frames (``ack=False``):
+
+    * ``origin_group`` / ``sender_group`` — both the originating group;
+    * ``src`` / ``seq`` — the *global* id of the originating entity and the
+      message's origin-local sequence number (the pair is the message's
+      cluster-wide identity, used for receiver-side dedupe);
+    * ``gseq`` — the origin bridge's forward counter for its group's stream,
+      starting at 1; receivers re-inject strictly in ``gseq`` order;
+    * ``barrier[j]`` — how many group-``j`` messages the forwarding bridge
+      had processed (delivered locally for ``j == origin_group``,
+      re-injected for ``j != origin_group``) when it forwarded this one.  A
+      receiving bridge holds re-injection until its own counts cover the
+      barrier, which — by CO order inside the origin group — covers every
+      causal predecessor of the message.
+
+    Acknowledgment frames (``ack=True``) flow the other way: ``sender_group``
+    acknowledges that it has re-injected every frame of ``origin_group``'s
+    stream with ``gseq`` at or below the carried ``gseq`` (a cumulative
+    floor; ``src``/``seq`` are 0 and ``barrier`` is empty).  The origin
+    bridge prunes its forward log below the minimum acked floor and
+    re-sends everything above it on a timeout — retransmit-until-acked is
+    what closes cross-group partitions.
+    """
+
+    cid: int
+    origin_group: int
+    sender_group: int
+    src: int
+    seq: int
+    gseq: int
+    barrier: Tuple[int, ...]
+    buf: int
+    data: Optional[Any] = None
+    #: Modelled payload size in bytes (0 for acks).
+    data_size: int = 0
+    ack: bool = False
+
+    def __post_init__(self) -> None:
+        if self.origin_group < 0 or self.sender_group < 0:
+            raise ValueError(
+                f"group ids must be non-negative, got "
+                f"{self.origin_group}/{self.sender_group}"
+            )
+        if self.gseq < 1:
+            raise ValueError(f"group sequence numbers start at 1, got {self.gseq}")
+        if self.ack:
+            if self.barrier:
+                raise ValueError("ack frames carry no barrier vector")
+        else:
+            if self.src < 0:
+                raise ValueError(f"src must be a valid entity id, got {self.src}")
+            if self.seq < 1:
+                raise ValueError(f"sequence numbers start at 1, got {self.seq}")
+            if any(b < 0 for b in self.barrier):
+                raise ValueError(f"barrier entries are counts, got {self.barrier}")
+
+    #: Acks are pure control; forwards carry application data.
+    @property
+    def is_control(self) -> bool:
+        return self.ack
+
+    @property
+    def pdu_id(self) -> "Optional[Tuple[int, int]]":
+        """Cluster-wide identity of the carried message (None for acks)."""
+        if self.ack:
+            return None
+        return (self.src, self.seq)
+
+    def wire_size(self) -> int:
+        """Modelled bytes: fixed header + G barrier entries + data.
+
+        G-sized, not n-sized — the hierarchy's scalability claim in one
+        line.
+        """
+        header = (_INTERGROUP_FIXED_FIELDS + len(self.barrier)) * _INT_BYTES
+        return header + self.data_size
+
+    def __str__(self) -> str:
+        if self.ack:
+            return (
+                f"IG-ACK(G{self.sender_group}→G{self.origin_group}, "
+                f"floor={self.gseq})"
+            )
+        return (
+            f"IG(G{self.origin_group}, gseq={self.gseq}, src=E{self.src}, "
+            f"seq={self.seq}, barrier={list(self.barrier)})"
         )

@@ -22,6 +22,7 @@ from typing import Any, List, Optional
 from repro.core.cluster import Cluster, CpuModel, build_cluster
 from repro.core.config import ProtocolConfig
 from repro.core.entity import DeliveredMessage
+from repro.core.errors import ConfigurationError
 from repro.net.loss import LossModel
 from repro.net.topology import Topology
 from repro.sim.rng import RngRegistry
@@ -58,6 +59,13 @@ class CausalBroadcastService:
         seed: int = 0,
         trace: Optional[TraceLog] = None,
     ):
+        if config is not None and config.hierarchy_enabled:
+            raise ConfigurationError(
+                "CausalBroadcastService runs the flat protocol; a config "
+                "with group_size set would leave the engines in hierarchy "
+                "mode over a flat transport.  Build the sharded topology "
+                "with repro.core.groups.build_hierarchical_cluster instead."
+            )
         self._cluster: Cluster = build_cluster(
             n=n,
             config=config,

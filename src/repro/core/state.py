@@ -162,15 +162,45 @@ class KnowledgeState:
 
     ``index`` is the owning entity's own position; its own rows are kept in
     sync when it sends and self-accepts PDUs.
+
+    The matrices are sized to the **membership view**, not any global
+    roster: ``n`` is the number of entities this state tracks, and every
+    row/column index is view-local.  ``roster`` optionally names the global
+    identity behind each local row — a hierarchical subgroup of a sharded
+    cluster (docs/PROTOCOL.md §18) passes the global ids of its members, so
+    a view-local state still knows who it is talking about.  The mapping is
+    pure bookkeeping: the hot-path merge/minima machinery never consults
+    it, so a view-local state costs exactly what a same-sized flat state
+    costs.
     """
 
-    def __init__(self, n: int, index: int):
+    def __init__(
+        self,
+        n: int,
+        index: int,
+        roster: Optional[Sequence[int]] = None,
+    ):
         if n < 1:
             raise ValueError(f"cluster size must be >= 1, got {n}")
         if not 0 <= index < n:
             raise ValueError(f"entity index {index} outside cluster of {n}")
         self.n = n
         self.index = index
+        if roster is None:
+            roster = tuple(range(n))
+        else:
+            roster = tuple(roster)
+            if len(roster) != n:
+                raise ValueError(
+                    f"roster names {len(roster)} members for a view of {n}"
+                )
+            if len(set(roster)) != n:
+                raise ValueError(f"roster has duplicate member ids: {roster}")
+        #: Global member id behind each local row (identity when flat).
+        self.roster: Tuple[int, ...] = roster
+        self._row_by_member: Dict[int, int] = {
+            member: row for row, member in enumerate(roster)
+        }
         #: Next sequence number expected from each source (starts at 1).
         self.req: List[int] = [1] * n
         # AL[j][k] / PAL[j][k] as flat n*n arrays, row j at offset j*n.
@@ -219,6 +249,17 @@ class KnowledgeState:
         # engine's prune step visits exactly these instead of sweeping all
         # n sources per acknowledged PDU.
         self._al_all_dirty: set = set()
+
+    # ------------------------------------------------------------------
+    # Roster mapping (view-local row <-> global member id)
+    # ------------------------------------------------------------------
+    def row_of(self, member: int) -> int:
+        """View-local row tracking global ``member`` (KeyError if absent)."""
+        return self._row_by_member[member]
+
+    def global_of(self, row: int) -> int:
+        """Global member id behind view-local ``row``."""
+        return self.roster[row]
 
     # ------------------------------------------------------------------
     # Updates (all monotone)
@@ -554,6 +595,7 @@ class KnowledgeState:
         """Deep copy of the complete state for assertions and debugging:
         matrices, membership flags, and every cached minimum."""
         return {
+            "roster": list(self.roster),
             "req": list(self.req),
             "al": [row[:] for row in self.al],
             "pal": [row[:] for row in self.pal],

@@ -412,11 +412,33 @@ Per point the report records, at each n in {4, 8, 16, 32}:
   footing), ``per_pdu_us``, ``relays_sent`` / ``relay_forwards``; the
   ordering oracle is asserted on every cell, and ``topology_gate`` fails
   the run outright if ring stops beating flood at n ≥ 16;
+* ``hierarchy[]`` / ``hierarchy_engine[]`` — the sharding axis
+  (docs/PROTOCOL.md §18), two regimes.  The cluster cells drive one
+  fixed aggregate workload (256 messages total, send interval scaled
+  with n so the cluster-wide offered rate is constant) through flat
+  cells at n ∈ {8, 32} and hierarchical cells (``group_size = 8``) at
+  n ∈ {64, 256}, recording ``deliveries_per_sec`` and ``per_pdu_us``
+  (mean engine ``on_pdu`` wall time across every host, send-path
+  fan-out included, gc parked, cells measured in interleaved repeats —
+  see DESIGN.md §14); every cell asserts full convergence before
+  reporting.  The engine cells run the saturation stream through a
+  rostered group-view engine (the member's actual engine at global
+  n ∈ {64, 256}) next to flat n ∈ {8, 32, 256} reference engines in
+  the same interleaved window.  ``hierarchy_gate`` fails the run if a
+  sharded member engine drifts past 1.3x the flat n = 8 engine or
+  stops beating every larger flat engine, or if a sharded cluster cell
+  stops out-delivering the flat n = 32 cluster.  At the committed
+  baseline the n = 256 member engine measures 32.0 us/PDU — 1.00x the
+  flat n = 8 engine (31.9), 30% below the flat n = 32 engine (45.9)
+  and 6.6x below the flat n = 256 engine (211.1, resident high-water
+  16575 vs the member's 455) — and the sharded cluster cells at
+  n = 64/256 deliver ~1950 deliveries/s, 1.85x the flat n = 32
+  cluster's 1051;
 * ``suites`` — pass/fail of the pytest-benchmark suites (``bench_micro``,
   ``bench_fig8_processing``, ``bench_scale``).
 
-``--compare`` pairs points by ``n`` (and ``batch`` / ``mode``, for the
-batching and topology axes)
+``--compare`` pairs points by ``n`` (and ``batch`` / ``mode`` /
+``group_size``, for the batching, topology and hierarchy axes)
 and fails (exit 1) when a tracked metric regresses beyond ``--threshold``
 (default 15%): per-PDU times, resident high-water, frames and copies per
 delivered PDU must not rise, deliveries/sec must not fall.

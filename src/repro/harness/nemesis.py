@@ -46,6 +46,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cluster import Cluster, build_cluster
 from repro.core.config import DisseminationMode, FailureDetectorMode, ProtocolConfig
+from repro.core.groups import (
+    GroupPartition,
+    HierarchicalCluster,
+    build_hierarchical_cluster,
+)
 from repro.net.delay import LinkDelay
 from repro.net.loss import (
     BernoulliLoss,
@@ -1250,6 +1255,153 @@ def scenario_pause_resume(seed: int, trace: Optional[TraceLog] = None) -> Nemesi
     return outcome
 
 
+# ----------------------------------------------------------------------
+# Hierarchy scenarios (docs/PROTOCOL.md §18)
+# ----------------------------------------------------------------------
+def _hierarchy_cluster(
+    n: int,
+    group_size: int,
+    seed: int,
+    backbone_loss: Optional[LossModel] = None,
+) -> HierarchicalCluster:
+    """A sharded cluster with the campaign's fast fault timings.
+
+    The per-group traces live inside the returned cluster, so the flight
+    recorder hook of the flat scenarios does not apply here; a failing
+    hierarchy scenario is replayed from its seed instead.
+    """
+    config = ProtocolConfig(
+        suspect_timeout=SUSPECT_TIMEOUT,
+        evict_timeout=EVICT_TIMEOUT,
+        group_size=group_size,
+        bridge_tick_interval=0.01,
+    )
+    return build_hierarchical_cluster(
+        n, config=config, rngs=RngRegistry(seed), backbone_loss=backbone_loss,
+    )
+
+
+def check_intergroup_gaps(cluster: HierarchicalCluster) -> None:
+    """Zero orphaned inter-group sequence gaps.
+
+    Every bridge's counter for every origin stream must equal the origin
+    bridge's own production counter — a lower value is a relay that went
+    permanently missing — and no bridge may be left holding stashed
+    out-of-order relays whose gap never filled.
+    """
+    for origin, owner in enumerate(cluster.bridges):
+        produced = owner.seen[origin]
+        for bridge in cluster.bridges:
+            if bridge.seen[origin] != produced:
+                raise InvariantViolation(
+                    f"inter-group sequence gap: group {bridge.gid} advanced "
+                    f"origin {origin} only to {bridge.seen[origin]} of "
+                    f"{produced}"
+                )
+            if bridge.pending[origin]:
+                raise InvariantViolation(
+                    f"orphaned inter-group relays: group {bridge.gid} still "
+                    f"holds gseqs {sorted(bridge.pending[origin])} from "
+                    f"origin {origin}"
+                )
+
+
+def scenario_bridge_failover(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
+    """Crash a group's active bridge mid-stream; its successor takes over.
+
+    The victim group's detector must evict the dead bridge, the lowest
+    surviving member must assume the relay role, and the successor's
+    re-forward of undelivered relays plus the backbone retransmit protocol
+    must leave *zero* inter-group sequence gaps — every live entity
+    converges on the same delivered set.
+    """
+    name = "bridge-failover"
+    n, group_size, gid = 12, 4, 1
+    cluster = _hierarchy_cluster(n, group_size, seed)
+    bridge = cluster.bridges[gid]
+    old_local = bridge.active_local
+    victim = bridge.partition[gid][old_local]
+    live = [i for i in range(n) if i != victim]
+    pre = [f"pre-{k}" for k in range(12)]
+    for k, payload in enumerate(pre):
+        cluster.sim.schedule(
+            0.002 * k, lambda s=k % n, p=payload: cluster.submit(s, p),
+        )
+    cluster.sim.schedule(0.030, lambda: cluster.crash(victim))
+    post = [f"post-{k}" for k in range(8)]
+    for k, payload in enumerate(post):
+        cluster.sim.schedule(
+            0.040 + 0.005 * k,
+            lambda s=live[k % len(live)], p=payload: cluster.submit(s, p),
+        )
+    cluster.run_for(0.030 + 10 * (SUSPECT_TIMEOUT + EVICT_TIMEOUT))
+    try:
+        if bridge.active_local == old_local:
+            raise InvariantViolation(
+                f"group {gid} never promoted a successor bridge"
+            )
+        converge_time = run_until_converged(cluster, live, expected=post)
+        cluster.run_until_quiescent(max_time=60.0)
+        check_intergroup_gaps(cluster)
+        check_prefix_consistency(cluster, live)
+        check_convergence(cluster, live)
+        for group in cluster.groups:
+            verify_run(group.trace, group.n, expect_all_delivered=False).assert_ok()
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    outcome = NemesisOutcome(name, seed, True, "", _observations(cluster, live))
+    outcome.observations["converge_time"] = converge_time
+    outcome.observations["successor"] = bridge.active_local
+    return outcome
+
+
+def scenario_intergroup_partition(seed: int, trace: Optional[TraceLog] = None) -> NemesisOutcome:
+    """Cut one group off the backbone mid-stream, then heal.
+
+    Intra-group life goes on — the split must cause **no** member eviction
+    anywhere (groups are internally healthy; only relays are dark) — and
+    after the heal the bridges' retransmit protocol alone must close every
+    inter-group gap and reconverge all entities.
+    """
+    name = "intergroup-partition"
+    n, group_size = 12, 4
+    partition = GroupPartition()
+    cluster = _hierarchy_cluster(n, group_size, seed, backbone_loss=partition)
+    cluster.sim.schedule(0.005, lambda: partition.partition(0, 1))
+    cluster.sim.schedule(0.005, lambda: partition.partition(0, 2))
+    cluster.sim.schedule(0.120, partition.heal)
+    payloads = [f"split-{k}" for k in range(24)]
+    for k, payload in enumerate(payloads):
+        cluster.sim.schedule(
+            0.002 + 0.006 * k, lambda s=k % n, p=payload: cluster.submit(s, p),
+        )
+    cluster.run_for(0.180)
+    live = list(range(n))
+    try:
+        converge_time = run_until_converged(cluster, live, expected=payloads)
+        cluster.run_until_quiescent(max_time=60.0)
+        if partition.partitioned_drops == 0:
+            raise InvariantViolation("backbone partition never dropped anything")
+        for group in cluster.groups:
+            for engine in group.engines:
+                if engine.view != 0 or engine.evicted:
+                    raise InvariantViolation(
+                        "a backbone split caused a member eviction: group "
+                        f"views {[e.view for e in group.engines]}"
+                    )
+        check_intergroup_gaps(cluster)
+        check_prefix_consistency(cluster, live)
+        check_convergence(cluster, live)
+        for group in cluster.groups:
+            verify_run(group.trace, group.n, expect_all_delivered=False).assert_ok()
+    except (InvariantViolation, Exception) as exc:
+        return NemesisOutcome(name, seed, False, str(exc), _observations(cluster, live))
+    outcome = NemesisOutcome(name, seed, True, "", _observations(cluster, live))
+    outcome.observations["converge_time"] = converge_time
+    outcome.observations["backbone_drops"] = partition.partitioned_drops
+    return outcome
+
+
 SCENARIOS: Dict[str, Callable[[int], NemesisOutcome]] = {
     "crash-evict-rejoin": scenario_crash_evict_rejoin,
     "partition-heal": scenario_partition_heal,
@@ -1266,6 +1418,8 @@ SCENARIOS: Dict[str, Callable[[int], NemesisOutcome]] = {
     "jittery-link": scenario_jittery_link,
     "asymmetric-link": scenario_asymmetric_link,
     "pause-resume": scenario_pause_resume,
+    "bridge-failover": scenario_bridge_failover,
+    "intergroup-partition": scenario_intergroup_partition,
 }
 
 

@@ -23,6 +23,7 @@ from repro.core.config import (
 )
 from repro.core.entity import COEntity
 from repro.core.errors import ConfigurationError
+from repro.core.groups import HierarchicalCluster, build_hierarchical_cluster
 from repro.extensions.total_order import TotalOrderEntity
 from repro.metrics.collector import collect_lifecycles, latency_samples, pdu_census
 from repro.metrics.stats import Summary, summarize
@@ -87,6 +88,11 @@ class ExperimentConfig:
     #: Anti-entropy digest cadence (None = repair layer off).  Gossip
     #: dissemination requires it as its completion path.
     anti_entropy_interval: Optional[float] = None
+    #: Hierarchical sharding (docs/PROTOCOL.md §18): bound on subgroup
+    #: size.  ``None`` runs the flat protocol; a value partitions the
+    #: cluster into bridge-relayed subgroups each running the CO engine
+    #: over a view-local knowledge state.  CO protocol only.
+    group_size: Optional[int] = None
     cpu_base: float = 40e-6
     cpu_per_entity: float = 8e-6
     seed: int = 0
@@ -112,6 +118,22 @@ class ExperimentConfig:
                 f"unknown dissemination {self.dissemination!r}; choose from "
                 f"{sorted(m.value for m in DisseminationMode)}"
             )
+        if self.group_size is not None:
+            if self.group_size < 2:
+                raise ConfigurationError(
+                    f"group_size must be >= 2, got {self.group_size}"
+                )
+            if self.protocol != "co":
+                raise ConfigurationError(
+                    "hierarchical sharding runs the CO engine inside every "
+                    f"subgroup; protocol {self.protocol!r} is not supported "
+                    "with group_size"
+                )
+            if self.dissemination != "flood":
+                raise ConfigurationError(
+                    "hierarchical subgroups use the flood medium; combine "
+                    "group_size only with dissemination='flood'"
+                )
 
     def with_(self, **changes: Any) -> "ExperimentConfig":
         return dataclasses.replace(self, **changes)
@@ -192,6 +214,7 @@ def _protocol_config(config: ExperimentConfig) -> ProtocolConfig:
         gossip_fanout=config.gossip_fanout,
         gossip_seed=config.gossip_seed,
         anti_entropy_interval=config.anti_entropy_interval,
+        group_size=config.group_size,
     )
     if config.protocol == "co-gbn":
         return base.with_(retransmission=RetransmissionScheme.GO_BACK_N)
@@ -229,6 +252,42 @@ def _build_workload(config: ExperimentConfig) -> Workload:
     )
 
 
+def _merge_counts(parts: list) -> Dict[str, int]:
+    total: Dict[str, int] = {}
+    for part in parts:
+        for key, value in part.items():
+            total[key] = total.get(key, 0) + value
+    return total
+
+
+def _verify_hierarchical(
+    cluster: HierarchicalCluster, expect_all: bool
+) -> RunReport:
+    """Check the CO contract inside every subgroup and merge the verdicts.
+
+    Each subgroup's trace is self-contained (view-local indices, its own
+    submissions including bridge re-injections), so the flat checker runs
+    per group; defect tables are re-keyed to global entity ids.  The
+    cross-group ordering claim is covered by the conformance/property
+    tier, not this per-run oracle.
+    """
+    merged = RunReport(n=cluster.n, messages_sent=0, deliveries=[])
+    for k, group in enumerate(cluster.groups):
+        base = cluster.partition[k][0]
+        part = verify_run(group.trace, group.n, expect_all_delivered=expect_all)
+        merged.messages_sent += part.messages_sent
+        merged.deliveries.extend(part.deliveries)
+        for table, sub in (
+            (merged.missing, part.missing),
+            (merged.duplicates, part.duplicates),
+            (merged.local_order, part.local_order),
+            (merged.causality, part.causality),
+        ):
+            for entity, items in sub.items():
+                table.setdefault(base + entity, []).extend(items)
+    return merged
+
+
 def run_experiment(
     config: ExperimentConfig,
     trace: Optional[TraceLog] = None,
@@ -248,17 +307,32 @@ def run_experiment(
     loss: Optional[LossModel] = None
     if config.loss_rate > 0:
         loss = BernoulliLoss(config.loss_rate, protect_control=config.protect_control)
-    cluster = build_cluster(
-        n=config.n,
-        config=_protocol_config(config),
-        topology=Topology.uniform(config.n, config.delay),
-        trace=trace,
-        loss=loss,
-        rngs=rngs,
-        buffer_capacity=config.buffer_capacity,
-        cpu=CpuModel(base=config.cpu_base, per_entity=config.cpu_per_entity),
-        engine_factory=PROTOCOLS[config.protocol],
-    )
+    protocol_config = _protocol_config(config)
+    if protocol_config.hierarchy_enabled:
+        # Sharded mode (docs/PROTOCOL.md §18): bounded subgroups behind
+        # bridge relays.  A single-group partition degenerates to the flat
+        # cluster, so the metrics path below stays uniform either way.
+        cluster = build_hierarchical_cluster(
+            n=config.n,
+            config=protocol_config,
+            rngs=rngs,
+            buffer_capacity=config.buffer_capacity,
+            cpu=CpuModel(base=config.cpu_base, per_entity=config.cpu_per_entity),
+            delay=config.delay,
+            loss=loss,
+        )
+    else:
+        cluster = build_cluster(
+            n=config.n,
+            config=protocol_config,
+            topology=Topology.uniform(config.n, config.delay),
+            trace=trace,
+            loss=loss,
+            rngs=rngs,
+            buffer_capacity=config.buffer_capacity,
+            cpu=CpuModel(base=config.cpu_base, per_entity=config.cpu_per_entity),
+            engine_factory=PROTOCOLS[config.protocol],
+        )
     workload = _build_workload(config)
     workload.install(cluster, rngs)
 
@@ -272,10 +346,22 @@ def run_experiment(
         cluster.run_for(config.fixed_duration)
         quiesced = cluster._quiet()
 
-    lifecycles = collect_lifecycles(cluster.trace)
-    tap = summarize([s.value for s in latency_samples(lifecycles, "delivery")])
-    preack = summarize([s.value for s in latency_samples(lifecycles, "preack")])
-    ack = summarize([s.value for s in latency_samples(lifecycles, "ack")])
+    # A multi-group cluster records one trace per subgroup (plus the
+    # backbone's own log); lifecycle metrics concatenate the per-group
+    # samples, and the wire counters sum every medium.
+    flat = isinstance(cluster, Cluster)
+    traces = [cluster.trace] if flat else [group.trace for group in cluster.groups]
+    per_trace = [collect_lifecycles(t) for t in traces]
+
+    def _samples(kind: str) -> list:
+        values: list = []
+        for lifecycles in per_trace:
+            values.extend(s.value for s in latency_samples(lifecycles, kind))
+        return values
+
+    tap = summarize(_samples("delivery"))
+    preack = summarize(_samples("preack"))
+    ack = summarize(_samples("ack"))
 
     counters: Dict[str, int] = {}
     resident_high = 0
@@ -291,7 +377,12 @@ def run_experiment(
         expect_all = quiesced and config.protocol in (
             "co", "co-gbn", "co-strict", "co-immediate", "co-preack",
         )
-        report = verify_run(cluster.trace, config.n, expect_all_delivered=expect_all)
+        if flat:
+            report = verify_run(
+                cluster.trace, config.n, expect_all_delivered=expect_all
+            )
+        else:
+            report = _verify_hierarchical(cluster, expect_all)
 
     hosts = cluster.hosts
     tco = sum(h.mean_service_time for h in hosts) / len(hosts)
@@ -305,8 +396,10 @@ def run_experiment(
         tap=tap,
         preack_latency=preack,
         ack_latency=ack,
-        census=pdu_census(cluster.trace),
-        network=cluster.network.stats.snapshot(),
+        census=_merge_counts([pdu_census(t) for t in traces]),
+        network=(
+            cluster.network.stats.snapshot() if flat else cluster.network_stats()
+        ),
         entity_counters=counters,
         buffer_overruns=sum(h.buffer.stats.overruns for h in hosts),
         resident_high_water=resident_high,

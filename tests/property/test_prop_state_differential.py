@@ -92,6 +92,7 @@ class NaiveKnowledgeState:
 
     def snapshot(self):
         return {
+            "roster": list(range(self.n)),
             "req": [self.req[j] for j in range(self.n)],
             "al": [[self.al[j][k] for k in range(self.n)] for j in range(self.n)],
             "pal": [[self.pal[j][k] for k in range(self.n)] for j in range(self.n)],

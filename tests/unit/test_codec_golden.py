@@ -16,6 +16,7 @@ from repro.core.pdu import (
     DataPdu,
     DigestPdu,
     HeartbeatPdu,
+    InterGroupPdu,
     JoinPdu,
     RelayPdu,
     RepairPullPdu,
@@ -85,6 +86,21 @@ def _pdus():
         "repair_pull": RepairPullPdu(cid=7, src=1, target=6,
                                      ranges=((4, 2, 9), (0, 1, 3), (7, 5, 6)),
                                      ack=_ACK, buf=33),
+        # Hierarchy extension frames (PROTOCOL.md §18): the inter-group
+        # barrier PDU with payload, with a null payload, and as a
+        # cumulative stream ack.
+        "intergroup": InterGroupPdu(cid=7, origin_group=1, sender_group=2,
+                                    src=11, seq=5, gseq=9,
+                                    barrier=(3, 0, 7, 2), buf=64,
+                                    data=b"bridge-bytes", data_size=12),
+        "intergroup_null": InterGroupPdu(cid=7, origin_group=0,
+                                         sender_group=2, src=4, seq=2,
+                                         gseq=3, barrier=(1, 1, 0), buf=32,
+                                         data=None, data_size=0),
+        "intergroup_ack": InterGroupPdu(cid=7, origin_group=1,
+                                        sender_group=0, src=0, seq=1,
+                                        gseq=6, barrier=(), buf=16,
+                                        ack=True),
     }
 
 
@@ -102,6 +118,9 @@ GOLDEN = {
     "relay_batch": "0a00000000070001000200080003000100000001000000020000000300000004000000050000000600000007000000080000000200000003000000040000000500000006000000070000000800000009000000600000011507000000000700030008000200000001000000020000000300000004000000050000000600000007000000080000000200000003000000040000000500000006000000070000000800000009000001000000005e01000000000700030000002800080000000100000002000000030000000400000005000000060000000700000008000000f000000028696969696969696969696969696969696969696969696969696969696969696969696969696969690000005f01000000000700030000002900080000000100000002000000030000000400000005000000060000000700000008000000f1000000296a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a6a9ca00ca7",
     "digest": "08000000000700020005000000030008000000010000000200000003000000040000000500000006000000070000000800000002000000030000000400000005000000060000000700000008000000090000004d8873d2a4",
     "repair_pull": "0900000000070001000600080003000000010000000200000003000000040000000500000006000000070000000800040000000200000009000000000001000000030007000000050000000600000021858a173f",
+    "intergroup": "0b000000000700010002000b0000000500000009000400000003000000000000000700000002000000400000000c6272696467652d62797465734638cded",
+    "intergroup_null": "0b0200000007000000020004000000020000000300030000000100000001000000000000002000000000f7cbebdf",
+    "intergroup_ack": "0b01000000070001000000000000000100000006000000000010000000007b594cdd",
 }
 
 

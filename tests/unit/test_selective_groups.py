@@ -1,0 +1,141 @@
+"""Unit tests for the selective-groups extension (closed-group emulation).
+
+Pins the service contract of
+:class:`repro.extensions.selective_groups.SelectiveBroadcastService`:
+receiver-side delivery scoping over the single cluster-wide CO order.
+
+Delivery-scoping semantics vs the hierarchy layer (PROTOCOL.md §18)
+-------------------------------------------------------------------
+The two features scope *different* things and deliberately diverge:
+
+* Selective groups scope **delivery**: every PDU still travels and is
+  ordered cluster-wide, and the filtered view keeps the *global*
+  ``(src, seq)`` ids — so a member excluded from some of a source's
+  multicasts observes per-source seq gaps.  That is the honest signature
+  of a filtered view of one total per-source stream.
+
+* Hierarchical sharding scopes **transport**: every entity still
+  delivers every message, and ``HierarchicalCluster.delivered()``
+  renumbers per-source app seqs densely (1, 2, 3, ...) so ids line up
+  with an equivalent flat run.
+
+Composing them (selective delivery over a sharded transport) is future
+work; the public SAP refuses a hierarchy-enabled config rather than
+silently running engines in hierarchy mode over a flat transport —
+also pinned here.
+"""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.errors import ConfigurationError
+from repro.extensions.selective_groups import (
+    SelectiveBroadcastService,
+    _Envelope,
+)
+
+
+def _payloads(svc, member):
+    return svc.delivered_payloads(member)
+
+
+class TestScoping:
+    def test_multicast_reaches_only_destinations(self):
+        svc = SelectiveBroadcastService(n=4, seed=3)
+        svc.multicast(0, {1, 2}, "two")
+        svc.run_until_quiescent()
+        assert _payloads(svc, 1) == ["two"]
+        assert _payloads(svc, 2) == ["two"]
+        assert _payloads(svc, 0) == []
+        assert _payloads(svc, 3) == []
+
+    def test_sender_receives_own_message_only_if_addressed(self):
+        svc = SelectiveBroadcastService(n=3, seed=5)
+        svc.multicast(0, {0, 1}, "self-included")
+        svc.multicast(0, {1}, "self-excluded")
+        svc.run_until_quiescent()
+        assert _payloads(svc, 0) == ["self-included"]
+        assert _payloads(svc, 1) == ["self-included", "self-excluded"]
+
+    def test_broadcast_reaches_everyone(self):
+        svc = SelectiveBroadcastService(n=4, seed=7)
+        svc.broadcast(2, "all")
+        svc.run_until_quiescent()
+        for member in range(4):
+            assert _payloads(svc, member) == ["all"]
+
+    def test_destinations_are_validated(self):
+        svc = SelectiveBroadcastService(n=3, seed=1)
+        with pytest.raises(ValueError, match="outside cluster"):
+            svc.multicast(0, {1, 7}, "bad")
+        with pytest.raises(ValueError, match="outside cluster"):
+            svc.multicast(0, {-1}, "bad")
+
+    def test_non_members_carry_but_never_deliver(self):
+        """The closed-group emulation: the full cluster orders the PDU."""
+        svc = SelectiveBroadcastService(n=4, seed=9)
+        svc.multicast(0, {3}, "through")
+        svc.run_until_quiescent()
+        # Underlying service delivered the envelope everywhere...
+        for member in range(4):
+            raw = svc.service.delivered_payloads(member)
+            assert raw == [_Envelope(frozenset({3}), "through")]
+        # ...but only the destination sees it at the extension's SAP.
+        assert _payloads(svc, 3) == ["through"]
+        assert all(_payloads(svc, m) == [] for m in range(3))
+
+
+class TestCausalOrderAcrossGroups:
+    def test_overlapping_groups_never_invert_causality(self):
+        """A chain passing through one group stays ordered in another."""
+        svc = SelectiveBroadcastService(n=4, seed=13)
+        svc.multicast(0, {1, 2}, "cause")
+        svc.run_until_quiescent()
+        assert _payloads(svc, 2) == ["cause"]
+        # Entity 2 reacts to "cause" with a multicast to the other group.
+        svc.multicast(2, {1, 3}, "effect")
+        svc.run_until_quiescent()
+        # The overlap member sees the chain in causal order.
+        assert _payloads(svc, 1) == ["cause", "effect"]
+        assert _payloads(svc, 3) == ["effect"]
+
+    def test_chain_through_non_member_is_preserved(self):
+        """Causality relayed by an entity outside both destination sets."""
+        svc = SelectiveBroadcastService(n=4, seed=17)
+        svc.multicast(0, {2}, "first")
+        svc.run_until_quiescent()
+        # Entity 2 (not a destination of what follows) relays causally.
+        svc.multicast(2, {3}, "second")
+        svc.run_until_quiescent()
+        svc.multicast(3, {1}, "third")
+        svc.run_until_quiescent()
+        assert _payloads(svc, 1) == ["third"]
+        assert _payloads(svc, 2) == ["first"]
+        assert _payloads(svc, 3) == ["second"]
+        # The cluster-wide order carried all three everywhere.
+        for member in range(4):
+            assert len(svc.service.delivered(member)) == 3
+
+
+class TestDivergenceFromHierarchyLayer:
+    def test_filtered_view_keeps_global_seq_gaps(self):
+        """Selective scoping does NOT renumber: gaps mark skipped traffic.
+
+        This is the documented divergence from
+        ``HierarchicalCluster.delivered()``, which renumbers densely.
+        """
+        svc = SelectiveBroadcastService(n=3, seed=21)
+        svc.multicast(0, {1}, "a")          # src 0, seq 1
+        svc.multicast(0, {2}, "b")          # src 0, seq 2 — skips entity 1
+        svc.multicast(0, {1}, "c")          # src 0, seq 3
+        svc.run_until_quiescent()
+        at_one = [(m.src, m.seq, m.data) for m in svc.delivered(1)]
+        assert at_one == [(0, 1, "a"), (0, 3, "c")]
+        at_two = [(m.src, m.seq, m.data) for m in svc.delivered(2)]
+        assert at_two == [(0, 2, "b")]
+
+    def test_hierarchy_config_is_rejected_not_half_applied(self):
+        with pytest.raises(ConfigurationError, match="hierarchical"):
+            SelectiveBroadcastService(
+                n=8, config=ProtocolConfig(group_size=4), seed=1,
+            )
